@@ -1,0 +1,290 @@
+//! Shared configuration, replicated-mesh driver, and balance analysis for
+//! the three AMR implementations.
+//!
+//! All three models run the *same* deterministic adaptation sequence (the
+//! mesh metadata is replicated, as in many paper-era remeshing codes; the
+//! surgery cost is charged as parallel work). What differs — and what the
+//! experiments measure — is how the solution field moves: explicit
+//! messages, one-sided puts, or hardware coherence.
+
+use mesh::adaptive::AdaptiveMesh;
+use mesh::dual::{dual_graph, DualGraph};
+use mesh::indicator::{mark, Marking, Shock};
+use partition::{imbalance, rcb_partition, remap_labels, MoveStats, WeightedPoint};
+
+/// AMR run parameters.
+#[derive(Debug, Clone)]
+pub struct AmrConfig {
+    /// Base mesh cells in x.
+    pub nx: usize,
+    /// Base mesh cells in y.
+    pub ny: usize,
+    /// Adaptation steps (the shock crosses the unit domain over all steps).
+    pub steps: usize,
+    /// Jacobi sweeps between adaptations.
+    pub sweeps: usize,
+    /// Refinement band half-width around the front.
+    pub refine_band: f64,
+    /// Coarsening distance from the front.
+    pub coarsen_band: f64,
+    /// Maximum refinement level.
+    pub max_level: u8,
+    /// Apply PLUM remapping after each repartition (ablation A2).
+    pub use_remap: bool,
+    /// Drive adaptation with an expanding circular front instead of the
+    /// default planar shock.
+    pub circular: bool,
+    /// CC-SAS only: claim sweep work dynamically in chunks from a shared
+    /// counter (self-scheduling) instead of static blocks (ablation A6).
+    pub sas_self_schedule: bool,
+    /// Workload seed (kept for interface uniformity).
+    pub seed: u64,
+}
+
+impl Default for AmrConfig {
+    fn default() -> Self {
+        AmrConfig {
+            nx: 24,
+            ny: 24,
+            steps: 4,
+            sweeps: 4,
+            refine_band: 0.08,
+            coarsen_band: 0.22,
+            max_level: 2,
+            use_remap: true,
+            circular: false,
+            sas_self_schedule: false,
+            seed: 42,
+        }
+    }
+}
+
+impl AmrConfig {
+    /// A small configuration for fast tests.
+    pub fn small() -> Self {
+        AmrConfig { nx: 10, ny: 10, steps: 3, sweeps: 2, ..Self::default() }
+    }
+
+    /// The moving front: by default a planar shock crossing the unit domain
+    /// over the configured number of steps; with [`AmrConfig::circular`], an
+    /// expanding circular front centred on the domain.
+    pub fn shock(&self) -> Shock {
+        if self.circular {
+            Shock::Circular { cx: 0.5, cy: 0.5, r0: 0.05, speed: 0.6 }
+        } else {
+            Shock::Planar { x0: 0.0, speed: 1.0 }
+        }
+    }
+
+    /// Front time at adaptation step `step`.
+    pub fn front_time(&self, step: usize) -> f64 {
+        (step as f64 + 1.0) / self.steps as f64
+    }
+
+    /// Capacity of triangle-id-indexed shared/symmetric arrays.
+    pub fn tri_capacity(&self) -> usize {
+        2 * self.nx * self.ny * 64
+    }
+}
+
+/// The replicated mesh + field state every PE carries.
+#[derive(Debug, Clone)]
+pub struct ReplicatedMesh {
+    /// The adaptive mesh (identical on every PE by determinism).
+    pub mesh: AdaptiveMesh,
+    /// Solution value per triangle id (authoritative only at the owner for
+    /// MP/SHMEM; those models synchronise before adaptation).
+    pub field: Vec<f64>,
+}
+
+/// What one adaptation step did (for cost charging).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptStats {
+    /// Triangles examined by the indicator.
+    pub marked_scan: usize,
+    /// New triangles created (refine + conformity restoration).
+    pub new_tris: usize,
+    /// Sibling groups coarsened.
+    pub coarsened_groups: usize,
+}
+
+impl ReplicatedMesh {
+    /// Base mesh over the unit square with the initial field (centroid x).
+    pub fn new(cfg: &AmrConfig) -> Self {
+        let mesh = AdaptiveMesh::structured(cfg.nx, cfg.ny, 1.0, 1.0);
+        let field = (0..mesh.num_tris_total() as u32)
+            .map(|t| mesh.centroid_of(t).x)
+            .collect();
+        ReplicatedMesh { mesh, field }
+    }
+
+    /// One adaptation step: mark against the front, refine, coarsen, and
+    /// extend the field (children inherit the parent value; reactivated
+    /// parents keep their pre-refinement value). Deterministic.
+    pub fn adapt(&mut self, cfg: &AmrConfig, step: usize) -> AdaptStats {
+        let t = cfg.front_time(step);
+        let marking: Marking = mark(
+            &self.mesh,
+            &cfg.shock(),
+            t,
+            cfg.refine_band,
+            cfg.coarsen_band,
+            cfg.max_level,
+        );
+        let scanned = self.mesh.num_active();
+        let before = self.mesh.num_tris_total();
+        self.mesh.refine(&marking.refine);
+        let groups = self.mesh.coarsen(&marking.coarsen);
+        let after = self.mesh.num_tris_total();
+        for t in before..after {
+            let parent = self
+                .mesh
+                .parent_of(t as u32)
+                .expect("new triangles have parents");
+            self.field.push(self.field[parent as usize]);
+        }
+        AdaptStats {
+            marked_scan: scanned,
+            new_tris: after - before,
+            coarsened_groups: groups,
+        }
+    }
+
+    /// Checksum: sum of field over active triangles in ascending id order.
+    pub fn checksum(&self) -> f64 {
+        self.mesh
+            .active_tris()
+            .iter()
+            .map(|&t| self.field[t as usize])
+            .sum()
+    }
+}
+
+/// Partition the active triangles: RCB over centroids (unit weights), then
+/// optionally PLUM-remap against the inherited owners. Returns the parts
+/// by *active index* and the movement statistics.
+pub fn partition_active(
+    dual: &DualGraph,
+    inherited: &[u32],
+    nparts: usize,
+    use_remap: bool,
+) -> (Vec<u32>, MoveStats) {
+    let pts: Vec<WeightedPoint> = dual
+        .centroids
+        .iter()
+        .map(|c| WeightedPoint::new(c.x, c.y, 1.0))
+        .collect();
+    let mut parts = rcb_partition(&pts, nparts);
+    let w = vec![1.0; parts.len()];
+    let stats = if use_remap {
+        remap_labels(inherited, &mut parts, &w, nparts)
+    } else {
+        partition::remap::movement(inherited, &parts, &w, nparts)
+    };
+    (parts, stats)
+}
+
+/// Load imbalance / movement series for experiment F6: replays the
+/// deterministic adaptation + partitioning sequence without running the
+/// parallel code. Returns, per step, `(imbalance_before_partitioning,
+/// imbalance_after, total_v, max_v)`.
+pub fn balance_series(cfg: &AmrConfig, nparts: usize) -> Vec<(f64, f64, f64, f64)> {
+    let mut state = ReplicatedMesh::new(cfg);
+    let mut owner: Vec<u32> = {
+        let dual = dual_graph(&state.mesh);
+        let pts: Vec<WeightedPoint> = dual
+            .centroids
+            .iter()
+            .map(|c| WeightedPoint::new(c.x, c.y, 1.0))
+            .collect();
+        let parts = rcb_partition(&pts, nparts);
+        let mut owner = vec![0u32; state.mesh.num_tris_total()];
+        for (i, &t) in dual.tris.iter().enumerate() {
+            owner[t as usize] = parts[i];
+        }
+        owner
+    };
+    let mut out = Vec::with_capacity(cfg.steps);
+    for step in 0..cfg.steps {
+        state.adapt(cfg, step);
+        // Inherit owners for new triangles.
+        for t in owner.len()..state.mesh.num_tris_total() {
+            let p = state.mesh.parent_of(t as u32).expect("has parent");
+            let o = owner[p as usize];
+            owner.push(o);
+        }
+        let dual = dual_graph(&state.mesh);
+        let inherited: Vec<u32> = dual.tris.iter().map(|&t| owner[t as usize]).collect();
+        let w = vec![1.0; inherited.len()];
+        let before = imbalance(&w, &inherited, nparts);
+        let (parts, stats) = partition_active(&dual, &inherited, nparts, cfg.use_remap);
+        let after = imbalance(&w, &parts, nparts);
+        for (i, &t) in dual.tris.iter().enumerate() {
+            owner[t as usize] = parts[i];
+        }
+        out.push((before, after, stats.total_v, stats.max_v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicated_mesh_is_deterministic() {
+        let cfg = AmrConfig::small();
+        let mut a = ReplicatedMesh::new(&cfg);
+        let mut b = ReplicatedMesh::new(&cfg);
+        for step in 0..cfg.steps {
+            a.adapt(&cfg, step);
+            b.adapt(&cfg, step);
+        }
+        assert_eq!(a.mesh.num_active(), b.mesh.num_active());
+        assert_eq!(a.field, b.field);
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn adaptation_grows_near_front() {
+        let cfg = AmrConfig::default();
+        let mut s = ReplicatedMesh::new(&cfg);
+        let base = s.mesh.num_active();
+        let stats = s.adapt(&cfg, 0);
+        assert!(stats.new_tris > 0);
+        assert!(s.mesh.num_active() > base);
+        s.mesh.validate().expect("valid after adapt");
+    }
+
+    #[test]
+    fn field_extension_covers_all_tris() {
+        let cfg = AmrConfig::small();
+        let mut s = ReplicatedMesh::new(&cfg);
+        for step in 0..cfg.steps {
+            s.adapt(&cfg, step);
+            assert_eq!(s.field.len(), s.mesh.num_tris_total());
+        }
+    }
+
+    #[test]
+    fn remap_reduces_movement() {
+        let cfg = AmrConfig { use_remap: true, ..AmrConfig::default() };
+        let cfg_no = AmrConfig { use_remap: false, ..AmrConfig::default() };
+        let with: f64 = balance_series(&cfg, 8).iter().map(|r| r.2).sum();
+        let without: f64 = balance_series(&cfg_no, 8).iter().map(|r| r.2).sum();
+        assert!(
+            with <= without,
+            "PLUM remap must not increase movement: {with} vs {without}"
+        );
+        assert!(with < 0.95 * without, "remap should help substantially");
+    }
+
+    #[test]
+    fn partitioning_restores_balance() {
+        let cfg = AmrConfig::default();
+        for (before, after, _, _) in balance_series(&cfg, 8) {
+            assert!(after <= before + 1e-9);
+            assert!(after < 1.5, "post-partition imbalance too high: {after}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! AMR under one-sided communication (SHMEM-style).
+//!
+//! Structurally the MP version — replicated metadata, RCB + PLUM
+//! repartitioning, explicit ghost updates — but every byte moves with
+//! one-sided puts into a symmetric, triangle-id-indexed field mirror:
+//!
+//! * consistency before remeshing: owners put their values into PE 0's
+//!   instance (fine-grained single-element puts — SHMEM's forte), then the
+//!   root instance is broadcast;
+//! * ghost updates per sweep: boundary values are put *directly at their
+//!   id slot* in the consuming PE's instance — no tag matching, no
+//!   receive-side code at all.
+
+use std::sync::Arc;
+
+use machine::Machine;
+use mesh::dual::dual_graph;
+use parallel::{Ctx, Team};
+use partition::rcb_partition;
+use partition::WeightedPoint;
+use shmem::{SymSlice, SymWorld};
+
+use crate::amr_common::{partition_active, AmrConfig, ReplicatedMesh};
+use crate::metrics::{App, Model, RunMetrics};
+use crate::workcost as W;
+
+/// Run the SHMEM AMR application; returns uniform metrics.
+pub fn run(machine: Arc<Machine>, cfg: &AmrConfig) -> RunMetrics {
+    let world = SymWorld::new(Arc::clone(&machine));
+    let team = Team::new(machine).seed(cfg.seed);
+    let run = team.run(|ctx| pe_main(ctx, &world, cfg));
+    let size = {
+        let mut probe = ReplicatedMesh::new(cfg);
+        for s in 0..cfg.steps {
+            probe.adapt(cfg, s);
+        }
+        probe.mesh.num_active()
+    };
+    RunMetrics::collect(App::Amr, Model::Shmem, &run, size)
+}
+
+fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
+    let p = ctx.npes();
+    let me = ctx.pe();
+    let cap = cfg.tri_capacity();
+    let mut state = ReplicatedMesh::new(cfg);
+
+    // Symmetric field mirror, indexed by triangle id.
+    let field: SymSlice<f64> = w.alloc(ctx, cap);
+    for (t, v) in state.field.iter().enumerate() {
+        field.write_local(ctx, t, &[*v]);
+    }
+
+    // Initial ownership: RCB over the base mesh, replicated.
+    let mut owner = vec![0u32; state.mesh.num_tris_total()];
+    {
+        let dual = dual_graph(&state.mesh);
+        ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
+        let pts: Vec<WeightedPoint> = dual
+            .centroids
+            .iter()
+            .map(|c| WeightedPoint::new(c.x, c.y, 1.0))
+            .collect();
+        let parts = rcb_partition(&pts, p);
+        for (i, &t) in dual.tris.iter().enumerate() {
+            owner[t as usize] = parts[i];
+        }
+    }
+
+    for step in 0..cfg.steps {
+        // (1) Consistency: owners put values into PE 0's instance, the
+        // root instance is broadcast, everyone refreshes its replica.
+        sync_field(ctx, w, &field, &mut state, &owner);
+
+        // (2) Remesh (replicated metadata, distributed charge).
+        let stats = state.adapt(cfg, step);
+        assert!(state.mesh.num_tris_total() <= cap, "triangle capacity exceeded");
+        ctx.compute_units((stats.marked_scan / p + 1) as u64, W::MARK_PER_TRI_NS);
+        ctx.compute_units((stats.new_tris / p + 1) as u64, W::ADAPT_PER_TRI_NS);
+        for t in owner.len()..state.mesh.num_tris_total() {
+            let parent = state.mesh.parent_of(t as u32).expect("has parent");
+            let o = owner[parent as usize];
+            owner.push(o);
+        }
+        // Mirror the inherited values into my instance.
+        for t in state.field.len() - stats.new_tris..state.field.len() {
+            field.write_local(ctx, t, &[state.field[t]]);
+        }
+        w.barrier_all(ctx);
+
+        // (3) Repartition + PLUM remap; migration is just ownership
+        // bookkeeping here because the sync already placed every value in
+        // every instance — but the pack/unpack work is still charged.
+        let dual = dual_graph(&state.mesh);
+        ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
+        let inherited: Vec<u32> = dual.tris.iter().map(|&t| owner[t as usize]).collect();
+        let (parts, _mv) = partition_active(&dual, &inherited, p, cfg.use_remap);
+        let moved_out = inherited
+            .iter()
+            .zip(&parts)
+            .filter(|(&o, &n)| o as usize == me && n as usize != me)
+            .count();
+        ctx.compute_units(moved_out as u64, W::MIGRATE_PER_TRI_NS);
+        for (i, &t) in dual.tris.iter().enumerate() {
+            owner[t as usize] = parts[i];
+        }
+
+        // (4) Jacobi sweeps; ghosts land directly at their id slots.
+        let my: Vec<usize> = (0..dual.len())
+            .filter(|&i| parts[i] as usize == me)
+            .collect();
+        let mut ghost_targets: Vec<Vec<u64>> = vec![Vec::new(); p];
+        for &i in &my {
+            for &j in dual.neighbors(i) {
+                let r = parts[j as usize] as usize;
+                if r != me {
+                    ghost_targets[r].push(u64::from(dual.tris[i]));
+                }
+            }
+        }
+        for l in &mut ghost_targets {
+            l.sort_unstable();
+            l.dedup();
+        }
+        for _sweep in 0..cfg.sweeps {
+            for (r, ids) in ghost_targets.iter().enumerate() {
+                for &id in ids {
+                    let v = field.read_local1(ctx, id as usize);
+                    field.put1(ctx, r, id as usize, v);
+                }
+            }
+            w.barrier_all(ctx);
+            let mut work = 0u64;
+            let new_vals: Vec<f64> = my
+                .iter()
+                .map(|&i| {
+                    let nb = dual.neighbors(i);
+                    work += nb.len() as u64;
+                    if nb.is_empty() {
+                        field.read_local1(ctx, dual.tris[i] as usize)
+                    } else {
+                        let s: f64 = nb
+                            .iter()
+                            .map(|&j| field.read_local1(ctx, dual.tris[j as usize] as usize))
+                            .sum();
+                        s / nb.len() as f64
+                    }
+                })
+                .collect();
+            ctx.compute_units(work, W::SOLVER_PER_NEIGHBOR_NS);
+            for (k, &i) in my.iter().enumerate() {
+                field.write_local(ctx, dual.tris[i] as usize, &[new_vals[k]]);
+            }
+            w.barrier_all(ctx);
+        }
+        // Refresh the replica from my instance for the next adaptation.
+        for &t in &state.mesh.active_tris() {
+            if owner[t as usize] as usize == me {
+                state.field[t as usize] = field.read_local1(ctx, t as usize);
+            }
+        }
+    }
+
+    // Final consistency + checksum at PE 0.
+    sync_field(ctx, w, &field, &mut state, &owner);
+    let total = if me == 0 { state.checksum() } else { 0.0 };
+    ctx.broadcast(0, if me == 0 { Some(total) } else { None })
+}
+
+/// Owners put their active values into PE 0's instance; the root instance
+/// is broadcast; every PE refreshes its replicated copy.
+fn sync_field(
+    ctx: &mut Ctx,
+    w: &SymWorld,
+    field: &SymSlice<f64>,
+    state: &mut ReplicatedMesh,
+    owner: &[u32],
+) {
+    let me = ctx.pe();
+    for &t in &state.mesh.active_tris() {
+        if owner[t as usize] as usize == me {
+            let v = state.field[t as usize];
+            if me == 0 {
+                field.write_local(ctx, t as usize, &[v]);
+            } else {
+                field.put1(ctx, 0, t as usize, v);
+            }
+        }
+    }
+    w.barrier_all(ctx);
+    let total = state.mesh.num_tris_total();
+    field.broadcast(ctx, 0, 0, total);
+    for t in 0..total {
+        state.field[t] = field.read_local1(ctx, t);
+    }
+    w.barrier_all(ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineConfig;
+
+    fn machine(pes: usize) -> Arc<Machine> {
+        Arc::new(Machine::new(pes, MachineConfig::origin2000()))
+    }
+
+    #[test]
+    fn runs_with_one_sided_traffic() {
+        let cfg = AmrConfig::small();
+        let m = run(machine(4), &cfg);
+        assert!(m.sim_time > 0);
+        assert!(m.counters.puts > 0);
+        assert_eq!(m.counters.msgs_sent, 0);
+    }
+
+    #[test]
+    fn matches_mp_checksum_bitwise() {
+        let cfg = AmrConfig::small();
+        let sh = run(machine(4), &cfg).checksum;
+        let mpv = crate::amr_mp::run(machine(4), &cfg).checksum;
+        assert_eq!(sh, mpv);
+    }
+
+    #[test]
+    fn checksum_independent_of_pe_count() {
+        let cfg = AmrConfig::small();
+        assert_eq!(run(machine(1), &cfg).checksum, run(machine(6), &cfg).checksum);
+    }
+
+    #[test]
+    fn speeds_up() {
+        let cfg = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+        let t1 = run(machine(1), &cfg).sim_time;
+        let t8 = run(machine(8), &cfg).sim_time;
+        assert!(t8 < t1);
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's two adaptive applications under all three programming models.
+//!
+//! Six implementations (2 applications × 3 models), all built on the same
+//! substrates and charging the same calibrated compute costs
+//! ([`workcost`]), so the only differences between models are — as in the
+//! paper — the communication and synchronisation machinery:
+//!
+//! | | MP | SHMEM | CC-SAS |
+//! |---|---|---|---|
+//! | N-body | ORB + locally-essential trees exchanged via `alltoallv`; explicit body repartitioning through rank 0 | ORB + LET exchanged via one-sided puts with count/offset reservation and remote atomics | costzones over a shared tree; no explicit communication at all |
+//! | AMR | RCB + PLUM remap; ghost values exchanged per sweep via `alltoallv` | RCB + PLUM remap; ghosts put one-sidedly into symmetric buffers | block ownership of shared arrays; neighbour reads through the coherence protocol |
+//!
+//! A fourth, extension model implements both applications as a **hybrid**
+//! (messages between SMP nodes, coherence within — `amr_hybrid`,
+//! `nbody_hybrid`), reproducing the follow-up papers' cluster-of-SMPs
+//! results.
+//!
+//! Every implementation returns a [`RunMetrics`] with the simulated time,
+//! its breakdown, the traffic counters, and a physics checksum used by the
+//! integration tests to prove the three models computed the same answer.
+
+pub mod amr_common;
+pub mod amr_hybrid;
+pub mod amr_mp;
+pub mod amr_sas;
+pub mod amr_shmem;
+pub mod metrics;
+pub mod nbody_common;
+pub mod nbody_hybrid;
+pub mod nbody_mp;
+pub mod nbody_sas;
+pub mod nbody_shmem;
+pub mod workcost;
+
+pub use amr_common::AmrConfig;
+pub use metrics::{App, Model, RunMetrics};
+pub use nbody_common::NBodyConfig;
+
+use std::sync::Arc;
+
+use machine::Machine;
+
+/// Run an application under a model on a machine. The uniform entry point
+/// the experiment driver uses.
+pub fn run_app(
+    machine: Arc<Machine>,
+    app: App,
+    model: Model,
+    nbody_cfg: &NBodyConfig,
+    amr_cfg: &AmrConfig,
+) -> RunMetrics {
+    match (app, model) {
+        (App::NBody, Model::Mp) => nbody_mp::run(machine, nbody_cfg),
+        (App::NBody, Model::Shmem) => nbody_shmem::run(machine, nbody_cfg),
+        (App::NBody, Model::Sas) => nbody_sas::run(machine, nbody_cfg),
+        (App::Amr, Model::Mp) => amr_mp::run(machine, amr_cfg),
+        (App::Amr, Model::Shmem) => amr_shmem::run(machine, amr_cfg),
+        (App::Amr, Model::Sas) => amr_sas::run(machine, amr_cfg),
+        (App::Amr, Model::Hybrid) => amr_hybrid::run(machine, amr_cfg),
+        (App::NBody, Model::Hybrid) => nbody_hybrid::run(machine, nbody_cfg),
+    }
+}

@@ -1,0 +1,123 @@
+//! Uniform run results across applications and models.
+
+use machine::{Counters, SimTime, TimeBreakdown};
+use parallel::TeamRun;
+
+/// The three programming models under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Two-sided message passing ("MPI").
+    Mp,
+    /// One-sided puts/gets ("SHMEM").
+    Shmem,
+    /// Cache-coherent shared address space ("CC-SAS").
+    Sas,
+    /// Extension: message passing between nodes, shared memory within
+    /// (the follow-up papers' hybrid; AMR only).
+    Hybrid,
+}
+
+impl Model {
+    /// The paper's three models, in its presentation order (the hybrid
+    /// extension is excluded; use [`Model::WITH_HYBRID`] to include it).
+    pub const ALL: [Model; 3] = [Model::Mp, Model::Shmem, Model::Sas];
+
+    /// The paper's models plus the hybrid extension.
+    pub const WITH_HYBRID: [Model; 4] =
+        [Model::Mp, Model::Shmem, Model::Sas, Model::Hybrid];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Mp => "MPI",
+            Model::Shmem => "SHMEM",
+            Model::Sas => "CC-SAS",
+            Model::Hybrid => "MPI+SAS",
+        }
+    }
+}
+
+/// The two adaptive applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Barnes-Hut N-body.
+    NBody,
+    /// Adaptive mesh refinement with a moving shock.
+    Amr,
+}
+
+impl App {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::NBody => "N-body",
+            App::Amr => "AMR",
+        }
+    }
+}
+
+/// Result of one application run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    pub app: App,
+    pub model: Model,
+    /// Team size.
+    pub pes: usize,
+    /// Simulated wall time (max over PEs).
+    pub sim_time: SimTime,
+    /// Per-PE time breakdowns.
+    pub per_pe: Vec<TimeBreakdown>,
+    /// Sum of all PEs' counters.
+    pub counters: Counters,
+    /// Physics checksum for cross-model validation.
+    pub checksum: f64,
+    /// App-specific size indicator (bodies, or final active triangles).
+    pub problem_size: usize,
+}
+
+impl RunMetrics {
+    /// Assemble from a team run whose per-PE closures returned `checksum`.
+    pub fn collect(
+        app: App,
+        model: Model,
+        run: &TeamRun<f64>,
+        problem_size: usize,
+    ) -> RunMetrics {
+        RunMetrics {
+            app,
+            model,
+            pes: run.reports.len(),
+            sim_time: run.sim_time(),
+            per_pe: run.reports.iter().map(|r| r.breakdown).collect(),
+            counters: run.merged_counters(),
+            checksum: run.results.first().copied().unwrap_or(0.0),
+            problem_size,
+        }
+    }
+
+    /// Aggregate breakdown across PEs.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.per_pe
+            .iter()
+            .fold(TimeBreakdown::default(), |acc, b| acc.merged(b))
+    }
+
+    /// Speedup of this run relative to a baseline (usually the same model
+    /// at P = 1).
+    pub fn speedup_vs(&self, baseline: &RunMetrics) -> f64 {
+        baseline.sim_time as f64 / self.sim_time.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Model::Mp.name(), "MPI");
+        assert_eq!(Model::Sas.name(), "CC-SAS");
+        assert_eq!(App::Amr.name(), "AMR");
+        assert_eq!(Model::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! N-body under message passing (MPI-style).
+//!
+//! The structure the paper's MPI version needed — and the reason it is the
+//! longest of the three implementations:
+//!
+//! 1. every rank owns the bodies inside its ORB box;
+//! 2. per step, ranks exchange bounding boxes (allgather), extract the
+//!    locally-essential tree for every remote box, and trade pseudo-bodies
+//!    with a personalised all-to-all;
+//! 3. forces are then computed purely locally on a merged tree;
+//! 4. load balance requires *explicit repartitioning*: bodies and their
+//!    costs funnel to rank 0, a fresh cost-weighted ORB is computed, and
+//!    bodies are scattered to their new owners.
+
+use std::sync::Arc;
+
+use machine::Machine;
+use mp::{MpWorld, RecvSpec};
+use nbody::force::accel_at;
+use nbody::lett::essential_for;
+use nbody::orb::{orb_partition, BBox};
+use nbody::{Octree, Vec3};
+use parallel::{Ctx, Team};
+
+use crate::metrics::{App, Model, RunMetrics};
+use crate::nbody_common::{checksum_positions, BodyCost, NBodyConfig};
+use crate::workcost as W;
+
+/// Tag for the rebalance scatter.
+const TAG_REBALANCE: u32 = 7;
+
+/// Run the MP N-body application; returns uniform metrics.
+pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
+    assert!(cfg.n >= machine.pes(), "need at least one body per rank");
+    let world = MpWorld::new(Arc::clone(&machine));
+    let team = Team::new(machine).seed(cfg.seed);
+    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    RunMetrics::collect(App::NBody, Model::Mp, &run, cfg.n)
+}
+
+fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig) -> f64 {
+    let p = ctx.npes();
+    let me = ctx.pe();
+
+    // Initial decomposition: every rank derives the same startup ORB from
+    // the (deterministically generated) body set, then keeps its share.
+    let all = cfg.bodies();
+    let pos0: Vec<Vec3> = all.iter().map(|b| b.pos).collect();
+    ctx.compute_units(cfg.n as u64, W::PARTITION_PER_BODY_NS);
+    let assign = orb_partition(&pos0, &vec![1.0; cfg.n], p);
+    let mut mine: Vec<BodyCost> = all
+        .iter()
+        .zip(&assign)
+        .filter(|(_, &a)| a as usize == me)
+        .map(|(b, _)| BodyCost { body: *b, cost: 1.0 })
+        .collect();
+
+    for _step in 0..cfg.steps {
+        // (1) Exchange bounding boxes.
+        let my_pos: Vec<Vec3> = mine.iter().map(|b| b.body.pos).collect();
+        let bb = BBox::of(&my_pos);
+        let boxes = w.allgatherv(
+            ctx,
+            vec![bb.min.x, bb.min.y, bb.min.z, bb.max.x, bb.max.y, bb.max.z],
+        );
+
+        // (2) Local tree over owned bodies.
+        let (lpos, lmass) = local_arrays(&mine);
+        ctx.compute_units(mine.len() as u64, W::TREE_BUILD_PER_BODY_NS);
+        let ltree = Octree::build(&lpos, &lmass, 4);
+
+        // (3) Extract and trade locally-essential data.
+        let mut sends: Vec<Vec<[f64; 4]>> = vec![Vec::new(); p];
+        for (q, bx) in boxes.iter().enumerate() {
+            if q == me {
+                continue;
+            }
+            let target = BBox {
+                min: Vec3::new(bx[0], bx[1], bx[2]),
+                max: Vec3::new(bx[3], bx[4], bx[5]),
+            };
+            let ess = essential_for(&ltree, &target, cfg.theta);
+            ctx.compute_units(ess.len() as u64, W::LET_EXTRACT_PER_ITEM_NS);
+            sends[q] = ess
+                .iter()
+                .map(|pb| [pb.pos.x, pb.pos.y, pb.pos.z, pb.mass])
+                .collect();
+        }
+        let received = w.alltoallv(ctx, sends);
+
+        // (4) Merged tree: own bodies + imported pseudo-bodies.
+        let mut fpos = lpos;
+        let mut fmass = lmass;
+        for chunk in &received {
+            for it in chunk {
+                fpos.push(Vec3::new(it[0], it[1], it[2]));
+                fmass.push(it[3]);
+            }
+        }
+        ctx.compute_units(fpos.len() as u64, W::TREE_BUILD_PER_BODY_NS);
+        let ftree = Octree::build(&fpos, &fmass, 4);
+
+        // (5) Forces and integration, purely local.
+        let mut interactions = 0u64;
+        for bc in &mut mine {
+            let (a, cnt) = accel_at(&ftree, bc.body.pos, cfg.theta, cfg.eps);
+            interactions += cnt;
+            bc.cost = cnt as f64;
+            bc.body.vel += a * cfg.dt;
+            bc.body.pos += bc.body.vel * cfg.dt;
+        }
+        ctx.compute_units(interactions, W::NBODY_INTERACTION_NS);
+        ctx.compute_units(mine.len() as u64, W::INTEGRATE_PER_BODY_NS);
+
+        // (6) Explicit repartitioning through rank 0 — the MP model's
+        // structural overhead for adaptivity.
+        let gathered = w.gatherv(ctx, 0, mine.clone());
+        if me == 0 {
+            let all: Vec<BodyCost> = gathered
+                .expect("root gathers")
+                .into_iter()
+                .flatten()
+                .collect();
+            ctx.compute_units(all.len() as u64, W::PARTITION_PER_BODY_NS);
+            let pos: Vec<Vec3> = all.iter().map(|b| b.body.pos).collect();
+            let wts: Vec<f64> = all.iter().map(|b| b.cost.max(1.0)).collect();
+            let new_assign = orb_partition(&pos, &wts, p);
+            let mut outs: Vec<Vec<BodyCost>> = vec![Vec::new(); p];
+            for (b, &a) in all.iter().zip(&new_assign) {
+                outs[a as usize].push(*b);
+            }
+            mine = std::mem::take(&mut outs[0]);
+            for (q, chunk) in outs.into_iter().enumerate().skip(1) {
+                w.send_vec(ctx, q, TAG_REBALANCE, chunk);
+            }
+        } else {
+            let (_, _, newly) = w.recv::<BodyCost>(ctx, RecvSpec::from(0, TAG_REBALANCE));
+            mine = newly;
+        }
+    }
+
+    // Checksum: deterministic global sum at the root, broadcast back.
+    let my_pos: Vec<Vec3> = mine.iter().map(|b| b.body.pos).collect();
+    let partial = checksum_positions(&my_pos);
+    let sums = w.gatherv(ctx, 0, vec![partial]);
+    let total = if me == 0 {
+        sums.expect("root").into_iter().flatten().sum::<f64>()
+    } else {
+        0.0
+    };
+    w.bcast(ctx, 0, vec![total])[0]
+}
+
+fn local_arrays(mine: &[BodyCost]) -> (Vec<Vec3>, Vec<f64>) {
+    if mine.is_empty() {
+        // Degenerate rank: a zero-mass sentinel keeps tree code total.
+        return (vec![Vec3::ZERO], vec![0.0]);
+    }
+    (
+        mine.iter().map(|b| b.body.pos).collect(),
+        mine.iter().map(|b| b.body.mass).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineConfig;
+
+    fn machine(pes: usize) -> Arc<Machine> {
+        Arc::new(Machine::new(pes, MachineConfig::origin2000()))
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let cfg = NBodyConfig::small();
+        let m = run(machine(4), &cfg);
+        assert_eq!(m.pes, 4);
+        assert!(m.sim_time > 0);
+        assert!(m.checksum > 0.0);
+        assert!(m.counters.msgs_sent > 0, "MP must send messages");
+        assert_eq!(m.counters.puts, 0, "MP uses no one-sided ops");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = NBodyConfig::small();
+        let a = run(machine(2), &cfg);
+        let b = run(machine(2), &cfg);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.sim_time, b.sim_time);
+    }
+
+    #[test]
+    fn single_pe_matches_physics_of_two_pes() {
+        let cfg = NBodyConfig::small();
+        let a = run(machine(1), &cfg);
+        let b = run(machine(2), &cfg);
+        let rel = (a.checksum - b.checksum).abs() / a.checksum;
+        assert!(rel < 0.02, "decomposition changed physics too much: {rel}");
+    }
+
+    #[test]
+    fn more_pes_simulate_faster() {
+        let cfg = NBodyConfig { n: 512, steps: 2, ..NBodyConfig::default() };
+        let t1 = run(machine(1), &cfg).sim_time;
+        let t4 = run(machine(4), &cfg).sim_time;
+        assert!(t4 < t1, "P=4 ({t4}) should beat P=1 ({t1})");
+    }
+}

@@ -1,0 +1,60 @@
+//! Calibrated per-unit compute costs, shared by every model.
+//!
+//! The paper's comparison is fair because all three versions of each
+//! application run the same numerical kernels; only communication and
+//! synchronisation differ. We enforce the same property by charging
+//! computation through this single table (nanoseconds per unit on the
+//! 250 MHz R10000 — each constant is roughly `cycles × 4 ns`, with cache
+//! effects on *private* data folded in).
+
+/// One Barnes-Hut body–node interaction (~20 flops + traversal logic).
+pub const NBODY_INTERACTION_NS: f64 = 240.0;
+
+/// Inserting one body while building the octree.
+pub const TREE_BUILD_PER_BODY_NS: f64 = 800.0;
+
+/// Emitting one pseudo-body during locally-essential-tree extraction.
+pub const LET_EXTRACT_PER_ITEM_NS: f64 = 120.0;
+
+/// Integrating one body (leapfrog kick + drift).
+pub const INTEGRATE_PER_BODY_NS: f64 = 100.0;
+
+/// Examining one body during ORB / costzones partitioning.
+pub const PARTITION_PER_BODY_NS: f64 = 150.0;
+
+/// One element visit of the edge-based Jacobi solver (load neighbours,
+/// average, store).
+pub const SOLVER_PER_NEIGHBOR_NS: f64 = 90.0;
+
+/// Evaluating the refinement indicator for one triangle.
+pub const MARK_PER_TRI_NS: f64 = 60.0;
+
+/// Mesh surgery per triangle created or removed.
+pub const ADAPT_PER_TRI_NS: f64 = 1_500.0;
+
+/// Examining one element during mesh partitioning (RCB) or remapping.
+pub const PARTITION_PER_TRI_NS: f64 = 200.0;
+
+/// Packing/unpacking one element's state when it migrates between parts.
+pub const MIGRATE_PER_TRI_NS: f64 = 400.0;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn costs_are_positive_and_sane() {
+        for c in [
+            super::NBODY_INTERACTION_NS,
+            super::TREE_BUILD_PER_BODY_NS,
+            super::LET_EXTRACT_PER_ITEM_NS,
+            super::INTEGRATE_PER_BODY_NS,
+            super::PARTITION_PER_BODY_NS,
+            super::SOLVER_PER_NEIGHBOR_NS,
+            super::MARK_PER_TRI_NS,
+            super::ADAPT_PER_TRI_NS,
+            super::PARTITION_PER_TRI_NS,
+            super::MIGRATE_PER_TRI_NS,
+        ] {
+            assert!(c > 0.0 && c < 1e6);
+        }
+    }
+}

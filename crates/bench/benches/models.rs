@@ -1,0 +1,116 @@
+//! Criterion benchmarks of the three programming-model runtimes: how fast
+//! the simulator executes their primitives (wall time per simulated
+//! operation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use machine::{Machine, MachineConfig};
+use mp::{MpWorld, RecvSpec};
+use parallel::Team;
+use sas::SasWorld;
+use shmem::SymWorld;
+
+fn setup(pes: usize) -> (Arc<Machine>, Team) {
+    let m = Arc::new(Machine::new(pes, MachineConfig::origin2000()));
+    (Arc::clone(&m), Team::new(m))
+}
+
+fn bench_mp(c: &mut Criterion) {
+    c.bench_function("mp_pingpong_1000", |b| {
+        let (m, team) = setup(2);
+        let w = MpWorld::new(m);
+        b.iter(|| {
+            team.run(|ctx| {
+                for i in 0..1000u32 {
+                    if ctx.pe() == 0 {
+                        w.send(ctx, 1, 0, &[i]);
+                        let _ = w.recv::<u32>(ctx, RecvSpec::from(1, 1));
+                    } else {
+                        let (_, _, d) = w.recv::<u32>(ctx, RecvSpec::from(0, 0));
+                        w.send(ctx, 0, 1, &d);
+                    }
+                }
+            })
+        })
+    });
+    c.bench_function("mp_allreduce_8pe_100", |b| {
+        let (m, team) = setup(8);
+        let w = MpWorld::new(m);
+        b.iter(|| {
+            team.run(|ctx| {
+                let mut acc = 0u64;
+                for _ in 0..100 {
+                    acc += w.allreduce_sum_u64(ctx, vec![1])[0];
+                }
+                black_box(acc)
+            })
+        })
+    });
+}
+
+fn bench_shmem(c: &mut Criterion) {
+    c.bench_function("shmem_put_1000x64B", |b| {
+        let (m, team) = setup(2);
+        let w = SymWorld::new(m);
+        b.iter(|| {
+            team.run(|ctx| {
+                let s = w.alloc::<u64>(ctx, 8 * 1000);
+                if ctx.pe() == 0 {
+                    for i in 0..1000 {
+                        s.put(ctx, 1, 8 * i, &[i as u64; 8]);
+                    }
+                }
+                w.barrier_all(ctx);
+            })
+        })
+    });
+    c.bench_function("shmem_fadd_4pe_1000", |b| {
+        let (m, team) = setup(4);
+        let w = SymWorld::new(m);
+        b.iter(|| {
+            team.run(|ctx| {
+                let s = w.alloc::<u64>(ctx, 1);
+                let mut last = 0;
+                for _ in 0..1000 {
+                    last = s.fadd(ctx, 0, 0, 1u64);
+                }
+                black_box(last)
+            })
+        })
+    });
+}
+
+fn bench_sas(c: &mut Criterion) {
+    c.bench_function("sas_shared_sweep_4pe_16k", |b| {
+        let (m, team) = setup(4);
+        let w = SasWorld::new(m);
+        b.iter(|| {
+            team.run(|ctx| {
+                let s = w.alloc::<f64>(ctx, 16 * 1024);
+                let mut pe = w.pe();
+                let n = 16 * 1024 / ctx.npes();
+                let lo = ctx.pe() * n;
+                let mut acc = 0.0;
+                for i in lo..lo + n {
+                    pe.write(ctx, &s, i, i as f64);
+                }
+                w.barrier(ctx);
+                // Read a neighbour's block: coherence traffic.
+                let other = ((ctx.pe() + 1) % ctx.npes()) * n;
+                for i in other..other + n {
+                    acc += pe.read(ctx, &s, i);
+                }
+                black_box(acc)
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mp, bench_shmem, bench_sas
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the substrate crates: octree build and
+//! force evaluation, mesh adaptation, partitioners, and the cache
+//! simulator. These measure the *simulator's* wall-clock cost (how fast
+//! the reproduction itself runs), complementing the virtual-time results
+//! the `repro` binary produces.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mesh::adaptive::AdaptiveMesh;
+use mesh::dual::dual_graph;
+use nbody::force::accel_at;
+use nbody::octree::Octree;
+use nbody::plummer::plummer;
+use nbody::vec3::Vec3;
+use partition::{hilbert_partition, morton_partition, rcb_partition, WeightedPoint};
+use sas::cache::{line_tag, CacheSim};
+
+fn bench_octree(c: &mut Criterion) {
+    let bodies = plummer(2048, 7);
+    let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+    c.bench_function("octree_build_2048", |b| {
+        b.iter(|| Octree::build(black_box(&pos), black_box(&mass), 4))
+    });
+    let tree = Octree::build(&pos, &mass, 4);
+    c.bench_function("bh_force_256_bodies", |b| {
+        b.iter(|| {
+            let mut acc = Vec3::ZERO;
+            for p in pos.iter().take(256) {
+                acc += accel_at(black_box(&tree), *p, 0.8, 0.05).0;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh_refine_band_32x32", |b| {
+        b.iter_batched(
+            || AdaptiveMesh::structured(32, 32, 1.0, 1.0),
+            |mut m| {
+                let marked: Vec<u32> = m
+                    .active_tris()
+                    .into_iter()
+                    .filter(|&t| (m.centroid_of(t).x - 0.5).abs() < 0.1)
+                    .collect();
+                m.refine(black_box(&marked));
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut m = AdaptiveMesh::structured(32, 32, 1.0, 1.0);
+    let marked: Vec<u32> = m.active_tris().into_iter().step_by(5).collect();
+    m.refine(&marked);
+    c.bench_function("dual_graph_adapted", |b| b.iter(|| dual_graph(black_box(&m))));
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let pts: Vec<WeightedPoint> = (0..4096)
+        .map(|i| {
+            let x = (i % 64) as f64 + 0.3 * ((i * 37 % 100) as f64 / 100.0);
+            let y = (i / 64) as f64;
+            WeightedPoint::new(x, y, 1.0 + (i % 3) as f64)
+        })
+        .collect();
+    c.bench_function("rcb_4096_into_16", |b| {
+        b.iter(|| rcb_partition(black_box(&pts), 16))
+    });
+    c.bench_function("morton_4096_into_16", |b| {
+        b.iter(|| morton_partition(black_box(&pts), 16))
+    });
+    c.bench_function("hilbert_4096_into_16", |b| {
+        b.iter(|| hilbert_partition(black_box(&pts), 16))
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    c.bench_function("cache_sim_stream_64k", |b| {
+        b.iter_batched(
+            || CacheSim::new(4 << 20, 128, 2),
+            |mut sim| {
+                for i in 0..65_536u64 {
+                    if sim.probe(line_tag(0, i % 40_000)) == sas::cache::Probe::Miss {
+                        sim.insert(line_tag(0, i % 40_000), 1, false);
+                    }
+                }
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_octree, bench_mesh, bench_partitioners, bench_cache_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,716 @@
+//! The reconstructed evaluation suite (DESIGN.md §3): tables T1–T3,
+//! figures F1–F8, ablations A1–A3.
+
+use std::sync::Arc;
+
+use apps::{App, Model};
+use apps::{AmrConfig, NBodyConfig};
+use machine::{Machine, MachineConfig};
+use mesh::adaptive::AdaptiveMesh;
+use mesh::dual::dual_graph;
+use o2k_core::figure::{line_chart, stacked_bars};
+use o2k_core::table::{cells, ms, render, x2};
+use o2k_core::{effort_table, sweep_models, SweepResult};
+use partition::{
+    diffusion::diffuse, edge_cut, hilbert_partition, imbalance, morton_partition,
+    multilevel_partition, rcb_partition, CsrGraph, WeightedPoint,
+};
+use sas::PagePolicy;
+
+/// All experiment ids, in suite order.
+pub const EXPERIMENT_IDS: [&str; 18] = [
+    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3",
+    "a4", "a5", "a6",
+];
+
+/// Processor sweep used by the figure experiments.
+fn sweep_pes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    }
+}
+
+fn nbody_cfg(quick: bool) -> NBodyConfig {
+    if quick {
+        NBodyConfig { n: 512, steps: 2, ..NBodyConfig::default() }
+    } else {
+        NBodyConfig { n: 2048, steps: 3, ..NBodyConfig::default() }
+    }
+}
+
+fn amr_cfg(quick: bool) -> AmrConfig {
+    if quick {
+        AmrConfig::small()
+    } else {
+        AmrConfig { nx: 32, ny: 32, steps: 5, sweeps: 5, ..AmrConfig::default() }
+    }
+}
+
+fn machine(p: usize) -> Arc<Machine> {
+    Arc::new(Machine::new(p, MachineConfig::origin2000()))
+}
+
+/// Run one experiment by id; `quick` shrinks problem sizes and sweeps.
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, quick: bool) -> String {
+    match id {
+        "t1" => t1_machine(),
+        "t2" => t2_effort(),
+        "t3" => t3_partitioners(),
+        "t4" => t4_microbench(),
+        "f1" => f_speedup(App::NBody, quick),
+        "f2" => f_breakdown(App::NBody, quick),
+        "f3" => f_speedup(App::Amr, quick),
+        "f4" => f_breakdown(App::Amr, quick),
+        "f5" => f5_comm_volume(quick),
+        "f6" => f6_balance(quick),
+        "f7" => f7_traffic_structure(quick),
+        "f8" => f8_cache(quick),
+        "a1" => a1_paging(quick),
+        "a2" => a2_remap(quick),
+        "a3" => a3_partitioning(quick),
+        "a4" => a4_numa_sensitivity(quick),
+        "a5" => a5_hybrid(quick),
+        "a6" => a6_self_schedule(quick),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------- tables
+
+fn t1_machine() -> String {
+    let c = MachineConfig::origin2000();
+    let rows = vec![
+        vec!["CPUs per node".into(), format!("{}", c.cpus_per_node)],
+        vec!["CPU cycle".into(), format!("{} ns (250 MHz R10000)", c.cycle_ns)],
+        vec!["Cache line".into(), format!("{} B", c.line_bytes)],
+        vec!["Modelled cache".into(), format!("{} MB, {}-way", c.cache_bytes >> 20, c.cache_assoc)],
+        vec!["Cache hit".into(), format!("{} ns", c.lat_cache_hit)],
+        vec!["Local memory".into(), format!("{} ns", c.lat_local_mem)],
+        vec!["Per router hop".into(), format!("{} ns", c.lat_hop)],
+        vec!["Directory op".into(), format!("{} ns", c.lat_directory)],
+        vec!["Link bandwidth".into(), format!("{:.2} GB/s", c.bw_bytes_per_ns)],
+        vec!["Page size".into(), format!("{} KB", c.page_bytes >> 10)],
+        vec!["MPI send+recv overhead".into(), format!("{} ns", c.mp_send_overhead + c.mp_recv_overhead)],
+        vec!["SHMEM put overhead".into(), format!("{} ns", c.shmem_put_overhead)],
+        vec!["Barrier cost per tree level".into(), format!("{} ns", c.sync_hop)],
+    ];
+    format!(
+        "T1: simulated Origin2000 machine parameters\n\n{}",
+        render(&cells(&["parameter", "value"]), &rows)
+    )
+}
+
+fn t2_effort() -> String {
+    let t = effort_table();
+    let rows: Vec<Vec<String>> = t
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} / {}", r.app.name(), r.model.name()),
+                r.loc.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "T2: programming effort (effective source lines, simulator shims excluded)\n\n{}",
+        render(&cells(&["application / model", "LoC"]), &rows)
+    )
+}
+
+fn t3_partitioners() -> String {
+    // Partition an adapted mesh (shock mid-domain) with every partitioner.
+    let mut mesh = AdaptiveMesh::structured(32, 32, 1.0, 1.0);
+    let cfg = AmrConfig { nx: 32, ny: 32, ..AmrConfig::default() };
+    for step in 0..3 {
+        mesh::indicator::adapt_step(
+            &mut mesh,
+            &cfg.shock(),
+            cfg.front_time(step),
+            cfg.refine_band,
+            cfg.coarsen_band,
+            cfg.max_level,
+        );
+    }
+    let dual = dual_graph(&mesh);
+    let pts: Vec<WeightedPoint> = dual
+        .centroids
+        .iter()
+        .map(|c| WeightedPoint::new(c.x, c.y, 1.0))
+        .collect();
+    let lists: Vec<Vec<u32>> = (0..dual.len()).map(|v| dual.neighbors(v).to_vec()).collect();
+    let g = CsrGraph::from_lists(&lists, vec![1.0; dual.len()]);
+    let nparts = 16;
+    let mut rows = Vec::new();
+    let mut eval = |name: &str, parts: &[u32]| {
+        rows.push(vec![
+            name.to_string(),
+            edge_cut(&g, parts).to_string(),
+            x2(imbalance(&g.vwgt, parts, nparts)),
+        ]);
+    };
+    eval("RCB", &rcb_partition(&pts, nparts));
+    eval("Morton SFC", &morton_partition(&pts, nparts));
+    eval("Hilbert SFC", &hilbert_partition(&pts, nparts));
+    eval("Multilevel (MeTiS-lite)", &multilevel_partition(&g, nparts));
+    // A stale partition: computed on the *base* mesh and inherited through
+    // the adaptation (what a non-repartitioning code would run with) —
+    // then repaired locally by diffusion instead of a global repartition.
+    let base = AdaptiveMesh::structured(32, 32, 1.0, 1.0);
+    let bdual = dual_graph(&base);
+    let bpts: Vec<WeightedPoint> = bdual
+        .centroids
+        .iter()
+        .map(|c| WeightedPoint::new(c.x, c.y, 1.0))
+        .collect();
+    let bparts = rcb_partition(&bpts, nparts);
+    let mut bowner = vec![0u32; base.num_tris_total()];
+    for (i, &t) in bdual.tris.iter().enumerate() {
+        bowner[t as usize] = bparts[i];
+    }
+    // Inherit through the hierarchy: children take the parent's part.
+    let mut stale: Vec<u32> = dual
+        .tris
+        .iter()
+        .map(|&t| {
+            let mut cur = t;
+            loop {
+                if (cur as usize) < bowner.len() {
+                    return bowner[cur as usize];
+                }
+                cur = mesh.parent_of(cur).expect("new tris trace to base");
+            }
+        })
+        .collect();
+    eval("stale (inherited)", &stale);
+    diffuse(&g, &mut stale, nparts, 1.05, 200);
+    eval("stale + diffusion", &stale);
+    format!(
+        "T3: partitioner quality on an adapted mesh ({} active triangles, {} parts)\n\n{}",
+        dual.len(),
+        nparts,
+        render(&cells(&["partitioner", "edge cut", "imbalance"]), &rows)
+    )
+}
+
+fn t4_microbench() -> String {
+    // The communication-parameter table every paper of the era includes,
+    // *measured* on the simulated machine by running the primitives —
+    // a self-validation that the runtimes charge what the model says.
+    use mp::{MpWorld, RecvSpec};
+    use parallel::Team;
+    use sas::SasWorld;
+    use shmem::SymWorld;
+
+    let p = 16;
+    let m = machine(p);
+    let mut rows = Vec::new();
+
+    // Two-sided round trip / 2 for varying sizes, ranks 0 <-> p-1.
+    let mpw = MpWorld::new(Arc::clone(&m));
+    for bytes in [8usize, 1024, 65_536] {
+        let words = bytes / 8;
+        let run = Team::new(Arc::clone(&m)).run(|ctx| {
+            let reps = 10u64;
+            let t0 = ctx.now();
+            for _ in 0..reps {
+                if ctx.pe() == 0 {
+                    mpw.send_vec(ctx, p - 1, 1, vec![0u64; words]);
+                    let _ = mpw.recv::<u64>(ctx, RecvSpec::from(p - 1, 2));
+                } else if ctx.pe() == p - 1 {
+                    let (_, _, d) = mpw.recv::<u64>(ctx, RecvSpec::from(0, 1));
+                    mpw.send_vec(ctx, 0, 2, d);
+                }
+            }
+            (ctx.now() - t0) / (2 * reps)
+        });
+        rows.push(vec![
+            format!("MPI one-way, {bytes} B"),
+            format!("{} ns", run.results[0]),
+        ]);
+    }
+
+    // One-sided put / get for the same span.
+    let shw = SymWorld::new(Arc::clone(&m));
+    for bytes in [8usize, 1024, 65_536] {
+        let words = bytes / 8;
+        let run = Team::new(Arc::clone(&m)).run(|ctx| {
+            let sym = shw.alloc::<u64>(ctx, words.max(1));
+            let reps = 10u64;
+            let data = vec![0u64; words];
+            let t0 = ctx.now();
+            if ctx.pe() == 0 {
+                for _ in 0..reps {
+                    sym.put(ctx, p - 1, 0, &data);
+                }
+            }
+            let put_ns = (ctx.now() - t0) / reps;
+            let t1 = ctx.now();
+            if ctx.pe() == 0 {
+                for _ in 0..reps {
+                    let _ = sym.get(ctx, p - 1, 0, words.max(1));
+                }
+            }
+            (put_ns, (ctx.now() - t1) / reps)
+        });
+        let (put_ns, get_ns) = run.results[0];
+        rows.push(vec![
+            format!("SHMEM put / get, {bytes} B"),
+            format!("{put_ns} / {get_ns} ns"),
+        ]);
+    }
+
+    // SAS remote line fetch: PE p-1 reads a line homed on node 0.
+    let sasw = SasWorld::new(Arc::clone(&m));
+    let run = Team::new(Arc::clone(&m)).run(|ctx| {
+        let sh = sasw.alloc::<u64>(ctx, 1024);
+        let mut pe = sasw.pe();
+        if ctx.pe() == 0 {
+            sh.home_pages(ctx, 0, 1024);
+            pe.write(ctx, &sh, 0, 1);
+        }
+        sasw.barrier(ctx);
+        let t0 = ctx.now();
+        let _ = pe.read(ctx, &sh, 0);
+        ctx.now() - t0
+    });
+    rows.push(vec![
+        "CC-SAS remote dirty-line fetch".into(),
+        format!("{} ns", run.results[p - 1]),
+    ]);
+
+    // Barrier costs vs team size.
+    for pes in [4usize, 16, 64] {
+        let mb = machine(pes);
+        let run = Team::new(mb).run(|ctx| {
+            let reps = 10u64;
+            let t0 = ctx.now();
+            for _ in 0..reps {
+                ctx.barrier();
+            }
+            (ctx.now() - t0) / reps
+        });
+        rows.push(vec![
+            format!("barrier, P={pes}"),
+            format!("{} ns", run.results[0]),
+        ]);
+    }
+
+    format!(
+        "T4: measured communication parameters on the simulated Origin2000
+(P={p}, ranks 0 and {} are {} hops apart)
+
+{}
+Measured by timing the actual runtime primitives in virtual time — the
+microbenchmark table of the era, doubling as a model self-check.
+",
+        p - 1,
+        m.hops_between(0, p - 1),
+        render(&cells(&["operation", "cost"]), &rows)
+    )
+}
+
+// ---------------------------------------------------------------- figures
+
+fn do_sweep(app: App, quick: bool) -> SweepResult {
+    sweep_models(app, &Model::ALL, &sweep_pes(quick), &nbody_cfg(quick), &amr_cfg(quick))
+}
+
+fn f_speedup(app: App, quick: bool) -> String {
+    let sweep = do_sweep(app, quick);
+    let id = if app == App::NBody { "F1" } else { "F3" };
+    let mut rows = Vec::new();
+    for (pi, &p) in sweep.pes.iter().enumerate() {
+        let mut row = vec![p.to_string()];
+        for s in &sweep.series {
+            row.push(ms(s.runs[pi].sim_time));
+        }
+        for s in &sweep.series {
+            row.push(x2(s.speedups()[pi]));
+        }
+        rows.push(row);
+    }
+    let header = cells(&[
+        "P", "MPI ms", "SHMEM ms", "CC-SAS ms", "MPI spd", "SHMEM spd", "CC-SAS spd",
+    ]);
+    let chart_series: Vec<(&str, Vec<f64>)> = sweep
+        .series
+        .iter()
+        .map(|s| (s.model.name(), s.speedups()))
+        .collect();
+    format!(
+        "{id}: {} simulated execution time and speedup vs processors\n\n{}\n{}",
+        app.name(),
+        render(&header, &rows),
+        line_chart(&format!("{} speedup", app.name()), &sweep.pes, &chart_series, 12)
+    )
+}
+
+fn f_breakdown(app: App, quick: bool) -> String {
+    let id = if app == App::NBody { "F2" } else { "F4" };
+    let p = if quick { 8 } else { 32 };
+    let m = machine(p);
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    let runs: Vec<_> = Model::ALL
+        .iter()
+        .map(|&model| apps::run_app(Arc::clone(&m), app, model, &nb, &am))
+        .collect();
+    let labels: Vec<&str> = Model::ALL.iter().map(|m| m.name()).collect();
+    let fractions: Vec<Vec<f64>> = runs
+        .iter()
+        .map(|r| {
+            let (b, l, rm, s) = r.breakdown().fractions();
+            vec![b, l, rm, s]
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (r, model) in runs.iter().zip(&labels) {
+        let bd = r.breakdown();
+        rows.push(vec![
+            model.to_string(),
+            ms(r.sim_time),
+            ms(bd.busy / p as u64),
+            ms(bd.local / p as u64),
+            ms(bd.remote / p as u64),
+            ms(bd.sync / p as u64),
+        ]);
+    }
+    format!(
+        "{id}: {} execution-time breakdown at P={p} (per-PE average, ms)\n\n{}\n{}",
+        app.name(),
+        render(
+            &cells(&["model", "total", "busy", "local", "remote", "sync"]),
+            &rows
+        ),
+        stacked_bars(
+            "time fractions",
+            &labels,
+            &["busy", "local", "remote", "sync"],
+            &fractions,
+            48
+        )
+    )
+}
+
+fn f5_comm_volume(quick: bool) -> String {
+    let mut out = String::from("F5: communication volume vs processors (KB total)\n");
+    for app in [App::NBody, App::Amr] {
+        let sweep = do_sweep(app, quick);
+        out.push('\n');
+        out.push_str(&format!("{}:\n", app.name()));
+        let mut rows = Vec::new();
+        for (pi, &p) in sweep.pes.iter().enumerate() {
+            let mut row = vec![p.to_string()];
+            for s in &sweep.series {
+                let c = &s.runs[pi].counters;
+                let line = MachineConfig::origin2000().line_bytes;
+                let bytes = c.explicit_comm_bytes() + c.implicit_comm_bytes(line);
+                row.push(format!("{}", bytes / 1024));
+            }
+            rows.push(row);
+        }
+        out.push_str(&render(&cells(&["P", "MPI", "SHMEM", "CC-SAS"]), &rows));
+    }
+    out.push_str(
+        "\nMPI/SHMEM volume is explicit message/put/get payload; CC-SAS volume is\nremote cache-line fills (misses × 128 B).\n",
+    );
+    out
+}
+
+fn f6_balance(quick: bool) -> String {
+    let cfg = amr_cfg(quick);
+    let p = if quick { 8 } else { 16 };
+    let with = apps::amr_common::balance_series(&cfg, p);
+    let no_cfg = AmrConfig { use_remap: false, ..cfg.clone() };
+    let without = apps::amr_common::balance_series(&no_cfg, p);
+    let mut rows = Vec::new();
+    for (step, (w, n)) in with.iter().zip(&without).enumerate() {
+        rows.push(vec![
+            step.to_string(),
+            x2(w.0),
+            x2(w.1),
+            format!("{:.0}", w.2),
+            format!("{:.0}", w.3),
+            format!("{:.0}", n.2),
+            format!("{:.0}", n.3),
+        ]);
+    }
+    format!(
+        "F6: AMR load balance and data movement per adaptation step (P={p})\n\n{}\nimb-before: imbalance inherited after adaptation; imb-after: after\nrepartitioning. TotalV/MaxV: elements moved (PLUM metrics), with remapping\nvs without.\n",
+        render(
+            &cells(&[
+                "step",
+                "imb-before",
+                "imb-after",
+                "TotalV(remap)",
+                "MaxV(remap)",
+                "TotalV(none)",
+                "MaxV(none)"
+            ]),
+            &rows
+        )
+    )
+}
+
+fn f7_traffic_structure(quick: bool) -> String {
+    let p = if quick { 8 } else { 16 };
+    let m = machine(p);
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    let mut out = String::from(
+        "F7: traffic structure at P=16 — message-size histogram (MPI) and\none-sided operation counts (SHMEM)\n",
+    );
+    for app in [App::NBody, App::Amr] {
+        let mp = apps::run_app(Arc::clone(&m), app, Model::Mp, &nb, &am);
+        let sh = apps::run_app(Arc::clone(&m), app, Model::Shmem, &nb, &am);
+        out.push('\n');
+        out.push_str(&format!("{}:\n", app.name()));
+        let h = mp.counters.msg_size_hist;
+        let rows = vec![
+            vec!["MPI messages".into(), mp.counters.msgs_sent.to_string()],
+            vec!["  <64 B".into(), h[0].to_string()],
+            vec!["  64-511 B".into(), h[1].to_string()],
+            vec!["  512 B-4 KB".into(), h[2].to_string()],
+            vec!["  4-32 KB".into(), h[3].to_string()],
+            vec!["  >32 KB".into(), h[4].to_string()],
+            vec!["SHMEM puts".into(), sh.counters.puts.to_string()],
+            vec!["SHMEM gets".into(), sh.counters.gets.to_string()],
+            vec!["SHMEM atomics".into(), sh.counters.amos.to_string()],
+        ];
+        out.push_str(&render(&cells(&["metric", "count"]), &rows));
+    }
+    out
+}
+
+fn f8_cache(quick: bool) -> String {
+    let mut out = String::from("F8: CC-SAS cache behaviour vs processors\n");
+    for app in [App::NBody, App::Amr] {
+        let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+        out.push('\n');
+        out.push_str(&format!("{}:\n", app.name()));
+        let mut rows = Vec::new();
+        for &p in &sweep_pes(quick) {
+            let r = apps::run_app(machine(p), app, Model::Sas, &nb, &am);
+            rows.push(vec![
+                p.to_string(),
+                format!("{:.4}", r.counters.miss_ratio()),
+                format!("{:.3}", r.counters.remote_miss_fraction()),
+                r.counters.invalidations.to_string(),
+            ]);
+        }
+        out.push_str(&render(
+            &cells(&["P", "miss ratio", "remote fraction", "invalidations"]),
+            &rows,
+        ));
+    }
+    out
+}
+
+// -------------------------------------------------------------- ablations
+
+fn a1_paging(quick: bool) -> String {
+    let p = if quick { 8 } else { 16 };
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("first-touch", PagePolicy::FirstTouch),
+        ("round-robin", PagePolicy::RoundRobin),
+    ] {
+        let n = apps::nbody_sas::run_with_paging(machine(p), &nb, policy);
+        let a = apps::amr_sas::run_with_paging(machine(p), &am, policy);
+        rows.push(vec![
+            name.to_string(),
+            ms(n.sim_time),
+            format!("{:.3}", n.counters.remote_miss_fraction()),
+            ms(a.sim_time),
+            format!("{:.3}", a.counters.remote_miss_fraction()),
+        ]);
+    }
+    format!(
+        "A1: CC-SAS page-placement ablation at P={p}\n\n{}\nFirst touch matters where ownership is address-contiguous (AMR); the\nirregular N-body working set defeats both policies equally (the SPLASH-era\nfinding).\n",
+        render(
+            &cells(&["paging", "N-body ms", "N-body remote", "AMR ms", "AMR remote"]),
+            &rows
+        )
+    )
+}
+
+fn a2_remap(quick: bool) -> String {
+    let p = if quick { 8 } else { 16 };
+    let base = amr_cfg(quick);
+    let mut rows = Vec::new();
+    for (name, use_remap) in [("with PLUM remap", true), ("without remap", false)] {
+        let cfg = AmrConfig { use_remap, ..base.clone() };
+        let r = apps::amr_mp::run(machine(p), &cfg);
+        let moved: f64 = apps::amr_common::balance_series(&cfg, p)
+            .iter()
+            .map(|s| s.2)
+            .sum();
+        rows.push(vec![name.to_string(), ms(r.sim_time), format!("{moved:.0}")]);
+    }
+    format!(
+        "A2: PLUM remapping ablation (MPI AMR, P={p})\n\n{}",
+        render(&cells(&["configuration", "time ms", "elements moved"]), &rows)
+    )
+}
+
+fn a3_partitioning(quick: bool) -> String {
+    // Load-balance quality of costzones (SAS) vs ORB (MP): spread of busy
+    // time across PEs.
+    let p = if quick { 8 } else { 16 };
+    let nb = nbody_cfg(quick);
+    let am = amr_cfg(quick);
+    let mut rows = Vec::new();
+    for model in [Model::Sas, Model::Mp] {
+        let r = apps::run_app(machine(p), App::NBody, model, &nb, &am);
+        let busy: Vec<f64> = r.per_pe.iter().map(|b| b.busy as f64).collect();
+        let max = busy.iter().cloned().fold(0.0f64, f64::max);
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        let scheme = if model == Model::Sas { "costzones" } else { "ORB" };
+        rows.push(vec![
+            format!("{} ({})", model.name(), scheme),
+            ms(r.sim_time),
+            x2(max / mean),
+        ]);
+    }
+    format!(
+        "A3: N-body work partitioning — costzones vs ORB at P={p}\n\n{}\nbusy max/mean = 1.00 is perfect compute balance.\n",
+        render(&cells(&["model (scheme)", "time ms", "busy max/mean"]), &rows)
+    )
+}
+
+fn a4_numa_sensitivity(quick: bool) -> String {
+    // Extension beyond the paper: how does the model ranking depend on the
+    // machine's NUMA remoteness? Scale the per-hop latency and re-run the
+    // AMR comparison at fixed P.
+    let p = if quick { 8 } else { 16 };
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    let base = MachineConfig::origin2000();
+    let mut rows = Vec::new();
+    for factor in [0u64, 1, 4, 16] {
+        let cfg = MachineConfig {
+            lat_hop: base.lat_hop * factor,
+            ..base.clone()
+        };
+        let m = Arc::new(Machine::new(p, cfg));
+        let mut row = vec![format!("{}x ({} ns/hop)", factor, base.lat_hop * factor)];
+        for model in Model::ALL {
+            let r = apps::run_app(Arc::clone(&m), App::Amr, model, &nb, &am);
+            row.push(ms(r.sim_time));
+        }
+        rows.push(row);
+    }
+    format!(
+        "A4 (extension): NUMA remoteness sensitivity — AMR at P={p}, scaling the
+per-hop network latency
+
+{}
+MPI's cost is dominated by per-message *software* overhead, so it is nearly
+flat in hop latency. The fine-grained models — SHMEM puts and CC-SAS line
+fills — are the latency-sensitive ones: their advantage is largest on a
+flat machine (0x) and erodes as remoteness grows, until at 16x the ranking
+*inverts* and bulk message passing wins. This is precisely the mechanism
+behind the follow-up papers' cluster results: take away cheap hardware
+fine-grained access and MPI becomes competitive again.
+",
+        render(&cells(&["hop latency", "MPI ms", "SHMEM ms", "CC-SAS ms"]), &rows)
+    )
+}
+
+fn a5_hybrid(quick: bool) -> String {
+    // Extension: the follow-up papers' hybrid (MP between nodes, SAS
+    // within) against the three pure models, on the stock machine and on a
+    // deep-NUMA variant where fine-grained remote access is expensive.
+    let p = if quick { 8 } else { 16 };
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    let mut rows = Vec::new();
+    for app in [App::NBody, App::Amr] {
+        for (label, cfg) in [
+            ("Origin2000", MachineConfig::origin2000()),
+            ("cluster of SMPs", MachineConfig::cluster_of_smps()),
+        ] {
+            let m = Arc::new(Machine::new(p, cfg));
+            let mut row = vec![format!("{} / {}", app.name(), label)];
+            for model in Model::WITH_HYBRID {
+                let r = apps::run_app(Arc::clone(&m), app, model, &nb, &am);
+                row.push(ms(r.sim_time));
+            }
+            rows.push(row);
+        }
+    }
+    format!(
+        "A5 (extension): hybrid MPI+SAS vs the pure models at P={p}\n\n{}\nThe hybrid keeps all data in per-node (page-aligned) shared segments and\nbatches every cross-node byte into leader messages — zero cross-node\ncoherence by construction. It is the fastest model in three of the four\ncells: both applications on the Origin2000, and AMR on the cluster, where\nthe pure fine-grained models are 2-4x slower. Only cluster N-body goes to\npure MPI, whose per-PE essential-tree exchange avoids the hybrid's\nnode-leader serialisation — the intra-node Amdahl effect the follow-up\npapers also observed.\n",
+        render(
+            &cells(&["workload / machine", "MPI ms", "SHMEM ms", "CC-SAS ms", "MPI+SAS ms"]),
+            &rows
+        )
+    )
+}
+
+fn a6_self_schedule(quick: bool) -> String {
+    // Ablation: the classic SAS self-scheduled loop (chunks claimed from a
+    // shared counter) vs the static block schedule, for the CC-SAS AMR.
+    let p = if quick { 8 } else { 16 };
+    let base = amr_cfg(quick);
+    let mut rows = Vec::new();
+    for (name, dynamic) in [("static blocks", false), ("self-scheduled (chunk 32)", true)] {
+        let cfg = AmrConfig { sas_self_schedule: dynamic, ..base.clone() };
+        let r = apps::amr_sas::run(machine(p), &cfg);
+        let busy: Vec<f64> = r.per_pe.iter().map(|b| b.busy as f64).collect();
+        let max = busy.iter().cloned().fold(0.0f64, f64::max);
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            ms(r.sim_time),
+            x2(max / mean),
+            r.counters.invalidations.to_string(),
+            format!("{:.3}", r.counters.remote_miss_fraction()),
+        ]);
+    }
+    format!(
+        "A6 (ablation): CC-SAS sweep scheduling at P={p}\n\n{}\nWith near-uniform per-element work, self-scheduling buys no balance (both\nschedules sit at busy max/mean ~1.0) and pays ~3x the invalidation\ntraffic for the shared cursor line — so the static block schedule is the\nright default, exactly the trade-off the SPLASH-era codes tuned by hand.\n(Claim *order* is modelled deterministically; see `apps::amr_sas`.)\n",
+        render(
+            &cells(&["schedule", "time ms", "busy max/mean", "invalidations", "remote frac"]),
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        for id in ["t1", "t2", "t3"] {
+            let out = run_experiment(id, true);
+            assert!(out.len() > 100, "{id} too short:\n{out}");
+            assert!(out.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn quick_figures_render() {
+        for id in ["f2", "f6", "f7"] {
+            let out = run_experiment(id, true);
+            assert!(out.len() > 100, "{id} too short");
+        }
+    }
+
+    #[test]
+    fn a_series_render() {
+        for id in ["a1", "a2", "a3"] {
+            let out = run_experiment(id, true);
+            assert!(out.len() > 80, "{id} too short");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        run_experiment("zzz", true);
+    }
+}

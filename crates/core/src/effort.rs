@@ -1,0 +1,126 @@
+//! Programming-effort comparison (the paper's lines-of-code table).
+//!
+//! Measured from this repository's own sources via `include_str!`, so the
+//! numbers always track the actual implementations. Counting rule: lines
+//! that are neither blank, nor pure comments, nor test code (everything
+//! before the `#[cfg(test)]` marker).
+
+use apps::{App, Model};
+
+/// Source text of each application implementation.
+fn source(app: App, model: Model) -> &'static str {
+    match (app, model) {
+        (App::NBody, Model::Mp) => include_str!("../../apps/src/nbody_mp.rs"),
+        (App::NBody, Model::Shmem) => include_str!("../../apps/src/nbody_shmem.rs"),
+        (App::NBody, Model::Sas) => include_str!("../../apps/src/nbody_sas.rs"),
+        (App::Amr, Model::Mp) => include_str!("../../apps/src/amr_mp.rs"),
+        (App::Amr, Model::Shmem) => include_str!("../../apps/src/amr_shmem.rs"),
+        (App::Amr, Model::Sas) => include_str!("../../apps/src/amr_sas.rs"),
+        (App::Amr, Model::Hybrid) => include_str!("../../apps/src/amr_hybrid.rs"),
+        (App::NBody, Model::Hybrid) => "", // extension: AMR only
+    }
+}
+
+/// Count effective source lines: stop at the unit-test marker, drop
+/// simulator-shim regions (between `// sim:begin` and `// sim:end` —
+/// code that on real hardware is a plain load/store or a reused sequential
+/// routine, and exists only to drive the cache simulator), and skip blank
+/// or comment-only lines.
+pub fn count_loc(src: &str) -> usize {
+    let src = src.split("#[cfg(test)]").next().unwrap_or(src);
+    let mut in_shim = false;
+    let mut count = 0;
+    for line in src.lines() {
+        let l = line.trim();
+        if l.starts_with("// sim:begin") {
+            in_shim = true;
+            continue;
+        }
+        if l.starts_with("// sim:end") {
+            in_shim = false;
+            continue;
+        }
+        if in_shim
+            || l.is_empty()
+            || l.starts_with("//")
+            || l.starts_with("/*")
+            || l.starts_with('*')
+        {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+/// One row of the effort table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffortRow {
+    pub app: App,
+    pub model: Model,
+    pub loc: usize,
+}
+
+/// The full effort table (2 applications × 3 models).
+pub fn effort_table() -> Vec<EffortRow> {
+    let mut rows = Vec::with_capacity(6);
+    for app in [App::NBody, App::Amr] {
+        for model in Model::ALL {
+            rows.push(EffortRow { app, model, loc: count_loc(source(app, model)) });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counting_rules() {
+        let src = "fn a() {}\n\n// comment\n   // indented comment\nlet x = 1;\n#[cfg(test)]\nmod tests { lots and lots }\n";
+        assert_eq!(count_loc(src), 2);
+    }
+
+    #[test]
+    fn table_has_six_rows_of_real_code() {
+        let t = effort_table();
+        assert_eq!(t.len(), 6);
+        for row in &t {
+            assert!(row.loc > 30, "{:?}/{:?} suspiciously small", row.app, row.model);
+        }
+    }
+
+    #[test]
+    fn effort_ordering_matches_the_paper_where_expected() {
+        // The paper's effort result reproduces fully for AMR (SAS needs
+        // far less code than the explicit-decomposition models) and
+        // partially for N-body: SAS beats SHMEM, but our MPI N-body is
+        // *shorter* than 2000-era MPI-C because the high-level collective
+        // API (typed `alltoallv`/`gatherv`) absorbs the packing code the
+        // paper counted. EXPERIMENTS.md discusses this deviation.
+        let t = effort_table();
+        let loc = |app: App, model: Model| {
+            t.iter()
+                .find(|r| r.app == app && r.model == model)
+                .expect("row")
+                .loc
+        };
+        // AMR: full paper ordering.
+        let (mp, sh, sas) = (
+            loc(App::Amr, Model::Mp),
+            loc(App::Amr, Model::Shmem),
+            loc(App::Amr, Model::Sas),
+        );
+        assert!(sas < sh && sas < mp, "AMR: SAS ({sas}) vs SHMEM ({sh}) / MP ({mp})");
+        // (1.3x rather than the earlier 1.6x: the SAS source now also
+        // carries the A6 self-scheduling ablation machinery.)
+        assert!(
+            (mp as f64) > 1.25 * sas as f64,
+            "AMR MP should need substantially more code: {mp} vs {sas}"
+        );
+        // N-body: SAS still at or below SHMEM.
+        let (sh, sas) = (loc(App::NBody, Model::Shmem), loc(App::NBody, Model::Sas));
+        assert!(sas <= sh, "N-body: SAS ({sas}) vs SHMEM ({sh})");
+    }
+}

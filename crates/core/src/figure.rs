@@ -1,0 +1,134 @@
+//! ASCII figure rendering: line charts for speedup curves and stacked
+//! bars for time breakdowns.
+
+/// Render a multi-series line chart. `xs` labels the x positions; each
+/// series is `(name, ys)`. The chart is `height` rows tall and scales y
+/// from 0 to the data maximum.
+pub fn line_chart(
+    title: &str,
+    xs: &[usize],
+    series: &[(&str, Vec<f64>)],
+    height: usize,
+) -> String {
+    assert!(height >= 2);
+    let max_y = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let width = xs.len();
+    let marks: Vec<char> = vec!['M', 'S', 'C', 'x', 'o', '+'];
+    let col_w = 6;
+    let mut grid = vec![vec![' '; width * col_w]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        for (xi, &y) in ys.iter().enumerate() {
+            let row = ((1.0 - y / max_y) * (height - 1) as f64).round() as usize;
+            let col = xi * col_w + col_w / 2;
+            let cell = &mut grid[row.min(height - 1)][col];
+            // Collisions render as '*'.
+            *cell = if *cell == ' ' { marks[si % marks.len()] } else { '*' };
+        }
+    }
+    let mut out = format!("{title}  (y max = {max_y:.2})\n");
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max_y:>7.1} |")
+        } else if r == height - 1 {
+            format!("{:>7.1} |", 0.0)
+        } else {
+            "        |".to_string()
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(width * col_w));
+    out.push('\n');
+    out.push_str("         ");
+    for &x in xs {
+        out.push_str(&format!("{x:^col_w$}"));
+    }
+    out.push('\n');
+    out.push_str("legend: ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{} = {}   ", marks[si % marks.len()], name));
+    }
+    out.push_str("(* = overlap)\n");
+    out
+}
+
+/// Render a horizontal stacked bar per label: each bar splits into named
+/// fractions (summing to ~1), scaled to `width` characters.
+pub fn stacked_bars(
+    title: &str,
+    labels: &[&str],
+    parts: &[&str],
+    fractions: &[Vec<f64>],
+    width: usize,
+) -> String {
+    assert_eq!(labels.len(), fractions.len());
+    let glyphs = ['#', '=', '~', '.', '%'];
+    let mut out = format!("{title}\n");
+    let lw = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    for (label, fr) in labels.iter().zip(fractions) {
+        assert_eq!(fr.len(), parts.len(), "one fraction per part");
+        out.push_str(&format!("{label:>lw$} |"));
+        let mut drawn = 0usize;
+        for (pi, f) in fr.iter().enumerate() {
+            let n = (f * width as f64).round() as usize;
+            let n = n.min(width - drawn.min(width));
+            out.push_str(&glyphs[pi % glyphs.len()].to_string().repeat(n));
+            drawn += n;
+        }
+        out.push('\n');
+    }
+    out.push_str("legend: ");
+    for (pi, p) in parts.iter().enumerate() {
+        out.push_str(&format!("{} = {}   ", glyphs[pi % glyphs.len()], p));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_marks_and_legend() {
+        let c = line_chart(
+            "speedup",
+            &[1, 2, 4],
+            &[("MPI", vec![1.0, 1.9, 3.5]), ("CC-SAS", vec![1.0, 2.0, 3.9])],
+            8,
+        );
+        assert!(c.contains("speedup"));
+        assert!(c.contains('M'));
+        assert!(c.contains("legend"));
+        assert!(c.contains("CC-SAS"));
+        // Axis labels present.
+        assert!(c.contains("0.0"));
+    }
+
+    #[test]
+    fn stacked_bars_scale() {
+        let b = stacked_bars(
+            "breakdown",
+            &["MPI", "SAS"],
+            &["busy", "comm"],
+            &[vec![0.5, 0.5], vec![0.9, 0.1]],
+            20,
+        );
+        let lines: Vec<&str> = b.lines().collect();
+        assert!(lines[1].matches('#').count() == 10);
+        assert!(lines[2].matches('#').count() == 18);
+    }
+
+    #[test]
+    fn single_point_chart() {
+        let c = line_chart("t", &[1], &[("x", vec![5.0])], 4);
+        assert!(c.contains('M'));
+    }
+}

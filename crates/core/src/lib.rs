@@ -1,0 +1,22 @@
+//! The paper's contribution as a library: the three-model comparison
+//! methodology.
+//!
+//! Everything the evaluation sections of the paper family needed, on top
+//! of the model runtimes and applications:
+//!
+//! * [`sweep`] — run an application under every model across a processor
+//!   sweep, collecting simulated times, speedups, breakdowns and traffic;
+//! * [`effort`] — the programming-effort comparison, measured from this
+//!   repository's own sources (lines of code per application per model);
+//! * [`table`] — plain-text table rendering for the reproduction harness;
+//! * [`figure`] — ASCII line/bar charts for the figure reproductions;
+//! * [`report`] — stitch archived experiment outputs into REPORT.md.
+
+pub mod effort;
+pub mod figure;
+pub mod report;
+pub mod sweep;
+pub mod table;
+
+pub use effort::{effort_table, EffortRow};
+pub use sweep::{sweep_models, ModelSeries, SweepResult};

@@ -1,0 +1,85 @@
+//! Plain-text table rendering.
+
+/// Render a table: header row plus data rows, columns right-aligned and
+/// padded to the widest cell. The first column is left-aligned (labels).
+pub fn render(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut s = String::new();
+        for (c, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if c > 0 {
+                s.push_str("  ");
+            }
+            if c == 0 {
+                s.push_str(&format!("{cell:<w$}"));
+            } else {
+                s.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: stringify a slice of displayable values.
+pub fn cells<T: std::fmt::Display>(vals: &[T]) -> Vec<String> {
+    vals.iter().map(|v| v.to_string()).collect()
+}
+
+/// Format a simulated-time value (ns) as milliseconds with 2 decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Format a ratio with 2 decimals.
+pub fn x2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let h = cells(&["name", "P", "time"]);
+        let rows = vec![cells(&["alpha", "1", "100"]), cells(&["b", "64", "7"])];
+        let t = render(&h, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("alpha"));
+        assert!(lines[3].starts_with("b    "));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(1_500_000), "1.50");
+        assert_eq!(x2(3.149), "3.15");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        render(&cells(&["a", "b"]), &[cells(&["only one"])]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Machine configuration: latency, bandwidth and cache parameters.
+
+/// Parameters of the simulated ccNUMA machine.
+///
+/// The [`MachineConfig::origin2000`] preset follows publicly documented
+/// Origin2000 characteristics (250 MHz R10000, dual-CPU nodes, 128 B L2
+/// lines, ~320 ns local memory, ~100 ns per router hop, 780 MB/s links).
+/// Exact values matter less than their *ratios*: the reproduction targets
+/// relative model behaviour, and every knob here is adjustable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    // --- structure ---
+    /// CPUs (PEs) per node board. Origin2000: 2.
+    pub cpus_per_node: usize,
+    /// CPU cycle time in nanoseconds. 250 MHz R10000 → 4 ns.
+    pub cycle_ns: f64,
+    /// Virtual-memory page size in bytes (first-touch homing granularity).
+    pub page_bytes: usize,
+
+    // --- cache geometry (models the unified off-chip L2) ---
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Modelled cache capacity in bytes per PE.
+    pub cache_bytes: usize,
+    /// Set associativity of the modelled cache.
+    pub cache_assoc: usize,
+
+    // --- memory-system latencies (ns) ---
+    /// Hit in the modelled cache.
+    pub lat_cache_hit: u64,
+    /// Line fill from the local node's memory.
+    pub lat_local_mem: u64,
+    /// Extra latency per router hop for remote fills / network traversal.
+    pub lat_hop: u64,
+    /// Directory lookup / coherence action overhead at the home node.
+    pub lat_directory: u64,
+    /// Cost charged to a writer per sharer invalidated.
+    pub lat_invalidate: u64,
+
+    // --- interconnect ---
+    /// Link bandwidth in bytes per nanosecond (0.78 ≈ 780 MB/s).
+    pub bw_bytes_per_ns: f64,
+
+    // --- message passing (two-sided) software costs ---
+    /// Sender-side software overhead per message (marshalling, matching).
+    pub mp_send_overhead: u64,
+    /// Receiver-side software overhead per message.
+    pub mp_recv_overhead: u64,
+    /// Fixed network injection latency for a message, before per-hop cost.
+    pub mp_net_base: u64,
+
+    // --- one-sided (SHMEM) costs ---
+    /// Initiator overhead for a put.
+    pub shmem_put_overhead: u64,
+    /// Initiator overhead for a get (plus a round trip is charged).
+    pub shmem_get_overhead: u64,
+    /// Remote atomic operation overhead (on top of a round trip).
+    pub shmem_amo_overhead: u64,
+
+    // --- synchronisation ---
+    /// Cost per tree level of a barrier / collective.
+    pub sync_hop: u64,
+    /// Uncontended lock acquire/release cost.
+    pub lock_overhead: u64,
+}
+
+impl MachineConfig {
+    /// Origin2000-class preset. See module docs for provenance.
+    pub fn origin2000() -> Self {
+        MachineConfig {
+            cpus_per_node: 2,
+            cycle_ns: 4.0,
+            page_bytes: 16 * 1024,
+            line_bytes: 128,
+            cache_bytes: 4 * 1024 * 1024,
+            cache_assoc: 2,
+            lat_cache_hit: 20,
+            lat_local_mem: 320,
+            lat_hop: 100,
+            lat_directory: 80,
+            lat_invalidate: 60,
+            bw_bytes_per_ns: 0.78,
+            mp_send_overhead: 4_000,
+            mp_recv_overhead: 4_000,
+            mp_net_base: 1_000,
+            shmem_put_overhead: 500,
+            shmem_get_overhead: 500,
+            shmem_amo_overhead: 300,
+            sync_hop: 400,
+            lock_overhead: 240,
+        }
+    }
+
+    /// A cluster-of-SMPs preset (the follow-up papers' platform): fat SMP
+    /// nodes joined by a commodity network. Within a node everything is
+    /// Origin-priced; across nodes there is **no coherence hardware**, so
+    /// cross-node "shared memory" is software-DSM-class — every remote
+    /// line fill, invalidation and directory action costs microseconds —
+    /// while messages pay commodity-NIC software overheads. Used by the
+    /// hybrid-model experiments (A5, `examples/hybrid_cluster.rs`).
+    pub fn cluster_of_smps() -> Self {
+        let base = Self::origin2000();
+        MachineConfig {
+            cpus_per_node: 4,
+            lat_hop: 5_000,
+            lat_directory: 5_000,
+            lat_invalidate: 100,
+            bw_bytes_per_ns: 0.1,
+            mp_send_overhead: 8_000,
+            mp_recv_overhead: 8_000,
+            mp_net_base: 10_000,
+            shmem_put_overhead: 6_000,
+            shmem_get_overhead: 6_000,
+            shmem_amo_overhead: 6_000,
+            ..base
+        }
+    }
+
+    /// A small, fast configuration for unit tests: tiny cache so eviction
+    /// paths are exercised, round latencies so arithmetic is easy to check.
+    pub fn test_tiny() -> Self {
+        MachineConfig {
+            cpus_per_node: 2,
+            cycle_ns: 1.0,
+            page_bytes: 256,
+            line_bytes: 64,
+            cache_bytes: 1024,
+            cache_assoc: 2,
+            lat_cache_hit: 1,
+            lat_local_mem: 10,
+            lat_hop: 5,
+            lat_directory: 2,
+            lat_invalidate: 3,
+            bw_bytes_per_ns: 1.0,
+            mp_send_overhead: 100,
+            mp_recv_overhead: 100,
+            mp_net_base: 10,
+            shmem_put_overhead: 20,
+            shmem_get_overhead: 20,
+            shmem_amo_overhead: 10,
+            sync_hop: 8,
+            lock_overhead: 6,
+        }
+    }
+
+    /// Number of elements of size `elem_bytes` per cache line (at least 1).
+    #[inline]
+    pub fn elems_per_line(&self, elem_bytes: usize) -> usize {
+        (self.line_bytes / elem_bytes.max(1)).max(1)
+    }
+
+    /// Nanoseconds to move `bytes` across one link at configured bandwidth.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: usize) -> u64 {
+        (bytes as f64 / self.bw_bytes_per_ns).ceil() as u64
+    }
+
+    /// Convert CPU cycles to nanoseconds.
+    #[inline]
+    pub fn cycles_ns(&self, cycles: u64) -> u64 {
+        (cycles as f64 * self.cycle_ns).round() as u64
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::origin2000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin2000_preset_sane() {
+        let c = MachineConfig::origin2000();
+        assert_eq!(c.cpus_per_node, 2);
+        assert_eq!(c.line_bytes, 128);
+        assert!(c.lat_local_mem > c.lat_cache_hit);
+        assert!(c.mp_send_overhead > c.shmem_put_overhead,
+            "two-sided software overhead must exceed one-sided");
+    }
+
+    #[test]
+    fn elems_per_line() {
+        let c = MachineConfig::origin2000();
+        assert_eq!(c.elems_per_line(8), 16);
+        assert_eq!(c.elems_per_line(4), 32);
+        assert_eq!(c.elems_per_line(1024), 1); // clamps to 1
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let c = MachineConfig::test_tiny();
+        assert_eq!(c.transfer_ns(100), 100);
+        assert_eq!(c.transfer_ns(0), 0);
+        let o = MachineConfig::origin2000();
+        assert!(o.transfer_ns(1024) > o.transfer_ns(128));
+    }
+
+    #[test]
+    fn cluster_preset_is_remote_hostile() {
+        let o = MachineConfig::origin2000();
+        let c = MachineConfig::cluster_of_smps();
+        assert!(c.lat_hop > 10 * o.lat_hop);
+        assert!(c.mp_send_overhead > o.mp_send_overhead);
+        assert_eq!(c.line_bytes, o.line_bytes, "node hardware unchanged");
+        assert_eq!(c.cpus_per_node, 4, "fatter SMP nodes");
+    }
+
+    #[test]
+    fn cycles_to_ns() {
+        let c = MachineConfig::origin2000();
+        assert_eq!(c.cycles_ns(10), 40);
+    }
+}

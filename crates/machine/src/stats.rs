@@ -1,0 +1,193 @@
+//! Per-PE event counters.
+//!
+//! Every runtime increments these alongside the time charges, so experiments
+//! can report communication volume, remote-reference counts, message-size
+//! histograms, and cache behaviour (the paper family's Figures on traffic).
+
+/// Raw event counts for one PE (or, after [`Counters::merge`], a whole run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    // --- two-sided ---
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Payload bytes sent in messages.
+    pub msg_bytes: u64,
+    /// Messages received.
+    pub msgs_recvd: u64,
+
+    // --- one-sided ---
+    /// Puts issued.
+    pub puts: u64,
+    /// Bytes written by puts.
+    pub put_bytes: u64,
+    /// Gets issued.
+    pub gets: u64,
+    /// Bytes read by gets.
+    pub get_bytes: u64,
+    /// Remote atomic operations.
+    pub amos: u64,
+
+    // --- shared address space ---
+    /// Cache hits in the modelled cache.
+    pub cache_hits: u64,
+    /// Misses served by local memory.
+    pub misses_local: u64,
+    /// Misses served by a remote node.
+    pub misses_remote: u64,
+    /// Invalidation messages caused by this PE's writes.
+    pub invalidations: u64,
+    /// Write upgrades (line already present, needed exclusivity).
+    pub upgrades: u64,
+
+    // --- synchronisation ---
+    /// Barrier episodes.
+    pub barriers: u64,
+    /// Lock acquisitions.
+    pub lock_acquires: u64,
+
+    /// Message-size histogram buckets: counts of messages with payload in
+    /// [0,64), [64,512), [512,4K), [4K,32K), [32K,∞) bytes.
+    pub msg_size_hist: [u64; 5],
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sent message of `bytes` (updates count, volume, histogram).
+    pub fn record_msg_sent(&mut self, bytes: usize) {
+        self.msgs_sent += 1;
+        self.msg_bytes += bytes as u64;
+        let bucket = match bytes {
+            0..=63 => 0,
+            64..=511 => 1,
+            512..=4095 => 2,
+            4096..=32767 => 3,
+            _ => 4,
+        };
+        self.msg_size_hist[bucket] += 1;
+    }
+
+    /// Total bytes moved across the network by explicit communication
+    /// (messages + puts + gets).
+    pub fn explicit_comm_bytes(&self) -> u64 {
+        self.msg_bytes + self.put_bytes + self.get_bytes
+    }
+
+    /// Bytes implied by remote cache misses (line-granularity traffic).
+    pub fn implicit_comm_bytes(&self, line_bytes: usize) -> u64 {
+        self.misses_remote * line_bytes as u64
+    }
+
+    /// Cache miss ratio over all modelled accesses; 0 if no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let misses = self.misses_local + self.misses_remote;
+        let total = self.cache_hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+
+    /// Fraction of misses served remotely; 0 if no misses.
+    pub fn remote_miss_fraction(&self) -> f64 {
+        let misses = self.misses_local + self.misses_remote;
+        if misses == 0 {
+            0.0
+        } else {
+            self.misses_remote as f64 / misses as f64
+        }
+    }
+
+    /// Accumulate `other` into `self` (for whole-run aggregation).
+    pub fn merge(&mut self, other: &Counters) {
+        self.msgs_sent += other.msgs_sent;
+        self.msg_bytes += other.msg_bytes;
+        self.msgs_recvd += other.msgs_recvd;
+        self.puts += other.puts;
+        self.put_bytes += other.put_bytes;
+        self.gets += other.gets;
+        self.get_bytes += other.get_bytes;
+        self.amos += other.amos;
+        self.cache_hits += other.cache_hits;
+        self.misses_local += other.misses_local;
+        self.misses_remote += other.misses_remote;
+        self.invalidations += other.invalidations;
+        self.upgrades += other.upgrades;
+        self.barriers += other.barriers;
+        self.lock_acquires += other.lock_acquires;
+        for (a, b) in self.msg_size_hist.iter_mut().zip(other.msg_size_hist) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_histogram_buckets() {
+        let mut c = Counters::new();
+        c.record_msg_sent(0);
+        c.record_msg_sent(63);
+        c.record_msg_sent(64);
+        c.record_msg_sent(511);
+        c.record_msg_sent(512);
+        c.record_msg_sent(4096);
+        c.record_msg_sent(40_000);
+        assert_eq!(c.msg_size_hist, [2, 2, 1, 1, 1]);
+        assert_eq!(c.msgs_sent, 7);
+        assert_eq!(c.msg_bytes, 63 + 64 + 511 + 512 + 4096 + 40_000);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Counters::new();
+        a.record_msg_sent(100);
+        a.cache_hits = 5;
+        let mut b = Counters::new();
+        b.record_msg_sent(200);
+        b.misses_remote = 7;
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 2);
+        assert_eq!(a.msg_bytes, 300);
+        assert_eq!(a.cache_hits, 5);
+        assert_eq!(a.misses_remote, 7);
+    }
+
+    #[test]
+    fn ratios_handle_empty() {
+        let c = Counters::new();
+        assert_eq!(c.miss_ratio(), 0.0);
+        assert_eq!(c.remote_miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let c = Counters {
+            cache_hits: 90,
+            misses_local: 5,
+            misses_remote: 5,
+            ..Counters::new()
+        };
+        assert!((c.miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((c.remote_miss_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_byte_accounting() {
+        let c = Counters {
+            msg_bytes: 100,
+            put_bytes: 50,
+            get_bytes: 25,
+            misses_remote: 3,
+            ..Counters::new()
+        };
+        assert_eq!(c.explicit_comm_bytes(), 175);
+        assert_eq!(c.implicit_comm_bytes(128), 384);
+    }
+}

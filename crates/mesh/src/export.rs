@@ -1,0 +1,108 @@
+//! SVG export of adaptive meshes.
+//!
+//! The paper-era workflow inspected adapted meshes visually; this module
+//! renders the active triangulation (coloured by refinement level) so the
+//! examples can write inspectable snapshots of the shock tracking.
+
+use std::fmt::Write as _;
+
+use crate::adaptive::AdaptiveMesh;
+
+/// Fill colours by refinement level (level 0 lightest), cycled if deeper.
+const LEVEL_FILLS: [&str; 5] = ["#f4f1ea", "#ddd6c3", "#c4b892", "#a89a6a", "#8c7c4a"];
+
+/// Render the active triangles of `mesh` as an SVG document of the given
+/// pixel `width` (height follows the mesh's aspect ratio). Triangles are
+/// filled by refinement level with thin edge strokes.
+pub fn to_svg(mesh: &AdaptiveMesh, width: f64) -> String {
+    let (min_x, min_y, max_x, max_y) = bounds(mesh);
+    let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+    let scale = width / span_x;
+    let height = span_y * scale;
+    let px = |x: f64| (x - min_x) * scale;
+    // SVG y grows downward; flip so the mesh renders upright.
+    let py = |y: f64| height - (y - min_y) * scale;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.1} {height:.1}">"#
+    );
+    // Draw coarse levels first so finer triangles sit on top.
+    let mut tris = mesh.active_tris();
+    tris.sort_by_key(|&t| mesh.level_of(t));
+    for t in tris {
+        let [a, b, c] = mesh.tri_points(t);
+        let fill = LEVEL_FILLS[mesh.level_of(t) as usize % LEVEL_FILLS.len()];
+        let _ = writeln!(
+            svg,
+            r##"  <polygon points="{:.2},{:.2} {:.2},{:.2} {:.2},{:.2}" fill="{fill}" stroke="#555" stroke-width="0.5"/>"##,
+            px(a.x),
+            py(a.y),
+            px(b.x),
+            py(b.y),
+            px(c.x),
+            py(c.y),
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn bounds(mesh: &AdaptiveMesh) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::MAX;
+    let mut min_y = f64::MAX;
+    let mut max_x = f64::MIN;
+    let mut max_y = f64::MIN;
+    for t in mesh.active_tris() {
+        for p in mesh.tri_points(t) {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+    }
+    (min_x, min_y, max_x, max_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indicator::{adapt_step, Shock};
+
+    #[test]
+    fn svg_contains_every_active_triangle() {
+        let mut m = AdaptiveMesh::structured(4, 4, 1.0, 1.0);
+        m.refine(&[0]);
+        let svg = to_svg(&m, 400.0);
+        assert_eq!(svg.matches("<polygon").count(), m.num_active());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn refined_levels_get_distinct_fills() {
+        let mut m = AdaptiveMesh::structured(6, 6, 1.0, 1.0);
+        let shock = Shock::Planar { x0: 0.3, speed: 0.0 };
+        adapt_step(&mut m, &shock, 0.0, 0.15, 0.4, 2);
+        let svg = to_svg(&m, 300.0);
+        assert!(svg.contains(LEVEL_FILLS[0]));
+        assert!(svg.contains(LEVEL_FILLS[1]), "level-1 triangles rendered");
+    }
+
+    #[test]
+    fn coordinates_stay_inside_viewbox() {
+        let m = AdaptiveMesh::annulus(2, 8, 0.5, 1.0);
+        let svg = to_svg(&m, 200.0);
+        for cap in svg.split("points=\"").skip(1) {
+            let coords = cap.split('"').next().unwrap();
+            for pair in coords.split(' ') {
+                let (x, y) = pair.split_once(',').unwrap();
+                let (x, y): (f64, f64) = (x.parse().unwrap(), y.parse().unwrap());
+                assert!((-1.0..=201.0).contains(&x), "x={x}");
+                assert!((-1.0..=201.0).contains(&y), "y={y}");
+            }
+        }
+    }
+}

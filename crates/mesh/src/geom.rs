@@ -1,0 +1,107 @@
+//! Planar geometry primitives.
+
+/// A point (or vector) in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct from coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Midpoint of the segment to `other`.
+    pub fn midpoint(&self, other: &Point2) -> Point2 {
+        Point2::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+}
+
+/// Twice the signed area of triangle `(a, b, c)`; positive when
+/// counter-clockwise.
+pub fn signed_area2(a: &Point2, b: &Point2, c: &Point2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y)
+}
+
+/// Unsigned area of triangle `(a, b, c)`.
+pub fn area(a: &Point2, b: &Point2, c: &Point2) -> f64 {
+    signed_area2(a, b, c).abs() * 0.5
+}
+
+/// Centroid of triangle `(a, b, c)`.
+pub fn centroid(a: &Point2, b: &Point2, c: &Point2) -> Point2 {
+    Point2::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0)
+}
+
+/// Interior angles of triangle `(a, b, c)` in radians, in vertex order.
+pub fn angles(a: &Point2, b: &Point2, c: &Point2) -> [f64; 3] {
+    let la = b.dist(c); // side opposite a
+    let lb = a.dist(c);
+    let lc = a.dist(b);
+    let clamp = |x: f64| x.clamp(-1.0, 1.0);
+    let aa = clamp((lb * lb + lc * lc - la * la) / (2.0 * lb * lc)).acos();
+    let ab = clamp((la * la + lc * lc - lb * lb) / (2.0 * la * lc)).acos();
+    let ac = std::f64::consts::PI - aa - ab;
+    [aa, ab, ac]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn distances_and_midpoints() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.midpoint(&b), Point2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn area_of_unit_right_triangle() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.0, 1.0);
+        assert_eq!(area(&a, &b, &c), 0.5);
+        assert!(signed_area2(&a, &b, &c) > 0.0, "CCW is positive");
+        assert!(signed_area2(&a, &c, &b) < 0.0, "CW is negative");
+    }
+
+    #[test]
+    fn centroid_averages() {
+        let c = centroid(
+            &Point2::new(0.0, 0.0),
+            &Point2::new(3.0, 0.0),
+            &Point2::new(0.0, 3.0),
+        );
+        assert!((c.x - 1.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angles_sum_to_pi() {
+        let a = Point2::new(0.2, 0.1);
+        let b = Point2::new(1.7, 0.4);
+        let c = Point2::new(0.5, 2.3);
+        let [x, y, z] = angles(&a, &b, &c);
+        assert!((x + y + z - PI).abs() < 1e-9);
+        assert!(x > 0.0 && y > 0.0 && z > 0.0);
+    }
+
+    #[test]
+    fn equilateral_angles() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = Point2::new(0.5, 3f64.sqrt() / 2.0);
+        for ang in angles(&a, &b, &c) {
+            assert!((ang - PI / 3.0).abs() < 1e-9);
+        }
+    }
+}

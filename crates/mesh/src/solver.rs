@@ -1,0 +1,178 @@
+//! Edge-based explicit solver kernel.
+//!
+//! Stands in for the flow solver the paper's remeshing code ran between
+//! adaptations: a Jacobi relaxation over the active vertex graph. Its work
+//! (one update per edge per sweep) is what the parallel applications charge
+//! compute time for, and its converged values give a cross-model
+//! correctness check (all three implementations must produce identical
+//! fields).
+
+use std::collections::HashSet;
+
+use crate::adaptive::AdaptiveMesh;
+
+/// Unique undirected edges of the active triangles, as `(lo, hi)` vertex
+/// pairs in deterministic sorted order.
+pub fn active_edges(mesh: &AdaptiveMesh) -> Vec<(u32, u32)> {
+    let mut set: HashSet<(u32, u32)> = HashSet::new();
+    for t in mesh.active_tris() {
+        let [a, b, c] = mesh.tri(t);
+        for (x, y) in [(a, b), (b, c), (a, c)] {
+            set.insert(if x < y { (x, y) } else { (y, x) });
+        }
+    }
+    let mut edges: Vec<(u32, u32)> = set.into_iter().collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// Initial field: each vertex starts at its x-coordinate (a linear field,
+/// which Jacobi relaxation preserves in the interior — handy for tests).
+pub fn initial_field(mesh: &AdaptiveMesh) -> Vec<f64> {
+    mesh.verts.iter().map(|p| p.x).collect()
+}
+
+/// One Jacobi sweep over `edges`: every vertex moves to the average of its
+/// neighbours (vertices with no edges are untouched). Returns the number of
+/// edge visits (2 per edge), the unit of solver work.
+pub fn jacobi_sweep(values: &mut [f64], edges: &[(u32, u32)]) -> u64 {
+    let n = values.len();
+    let mut acc = vec![0.0f64; n];
+    let mut deg = vec![0u32; n];
+    for &(a, b) in edges {
+        acc[a as usize] += values[b as usize];
+        acc[b as usize] += values[a as usize];
+        deg[a as usize] += 1;
+        deg[b as usize] += 1;
+    }
+    for v in 0..n {
+        if deg[v] > 0 {
+            values[v] = acc[v] / f64::from(deg[v]);
+        }
+    }
+    2 * edges.len() as u64
+}
+
+/// Run `sweeps` Jacobi sweeps on the mesh from [`initial_field`]; returns
+/// the field and the total edge-visit work.
+pub fn relax(mesh: &AdaptiveMesh, sweeps: usize) -> (Vec<f64>, u64) {
+    let edges = active_edges(mesh);
+    let mut values = initial_field(mesh);
+    let mut work = 0;
+    for _ in 0..sweeps {
+        work += jacobi_sweep(&mut values, &edges);
+    }
+    (values, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_euler() {
+        let m = AdaptiveMesh::structured(4, 4, 1.0, 1.0);
+        let e = active_edges(&m);
+        // V - E + T = 1 → E = V + T - 1 = 25 + 32 - 1 = 56.
+        assert_eq!(e.len(), 56);
+        // Sorted and unique.
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_work_accounting() {
+        let m = AdaptiveMesh::structured(2, 2, 1.0, 1.0);
+        let e = active_edges(&m);
+        let mut v = initial_field(&m);
+        assert_eq!(jacobi_sweep(&mut v, &e), 2 * e.len() as u64);
+    }
+
+    #[test]
+    fn relaxation_contracts_toward_mean() {
+        let m = AdaptiveMesh::structured(6, 6, 1.0, 1.0);
+        let (v0, _) = relax(&m, 0);
+        let (v50, _) = relax(&m, 50);
+        let spread = |v: &[f64]| {
+            let mx = v.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = v.iter().cloned().fold(f64::MAX, f64::min);
+            mx - mn
+        };
+        assert!(spread(&v50) < spread(&v0));
+    }
+
+    #[test]
+    fn relaxation_is_deterministic() {
+        let m = AdaptiveMesh::structured(5, 3, 2.0, 1.0);
+        let (a, wa) = relax(&m, 10);
+        let (b, wb) = relax(&m, 10);
+        assert_eq!(a, b);
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn refinement_changes_edge_set_consistently() {
+        let mut m = AdaptiveMesh::structured(4, 4, 1.0, 1.0);
+        let e0 = active_edges(&m).len();
+        m.refine(&m.active_tris());
+        let e1 = active_edges(&m).len();
+        // Uniform red refinement: V' = V + E, T' = 4T, and E' = 2E + 3T.
+        assert_eq!(e1, 2 * e0 + 3 * 32);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Jacobi averaging fixes constant fields exactly, on arbitrary
+        /// (possibly adapted) meshes.
+        #[test]
+        fn constant_field_is_a_fixed_point(
+            nx in 1usize..6,
+            ny in 1usize..6,
+            c in -100.0f64..100.0,
+            marks in proptest::collection::vec(0usize..64, 0..8),
+        ) {
+            let mut m = AdaptiveMesh::structured(nx, ny, 1.0, 1.0);
+            let active = m.active_tris();
+            let marked: Vec<u32> = marks.iter().map(|&i| active[i % active.len()]).collect();
+            m.refine(&marked);
+            let edges = active_edges(&m);
+            let mut vals = vec![c; m.verts.len()];
+            jacobi_sweep(&mut vals, &edges);
+            // Vertices with edges must stay exactly at c.
+            let mut touched = vec![false; m.verts.len()];
+            for &(a, b) in &edges {
+                touched[a as usize] = true;
+                touched[b as usize] = true;
+            }
+            for (v, &x) in vals.iter().enumerate() {
+                if touched[v] {
+                    prop_assert!((x - c).abs() < 1e-12);
+                }
+            }
+        }
+
+        /// Sweeps never push values outside the initial min/max (discrete
+        /// maximum principle for averaging).
+        #[test]
+        fn maximum_principle(
+            nx in 2usize..6,
+            ny in 2usize..6,
+            sweeps in 1usize..10,
+        ) {
+            let m = AdaptiveMesh::structured(nx, ny, 1.0, 1.0);
+            let (v0, _) = relax(&m, 0);
+            let (vk, _) = relax(&m, sweeps);
+            let lo = v0.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = v0.iter().cloned().fold(f64::MIN, f64::max);
+            for &x in &vk {
+                prop_assert!(x >= lo - 1e-12 && x <= hi + 1e-12);
+            }
+        }
+    }
+}

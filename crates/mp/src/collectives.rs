@@ -1,0 +1,606 @@
+//! Collective operations layered on point-to-point messages.
+//!
+//! Classic log-depth algorithms (dissemination barrier, binomial-tree
+//! broadcast and reduce), so collective *cost* emerges from the message
+//! model: each level pays real send/receive overheads and hop-priced
+//! latencies. Each collective invocation reserves a fresh block of tags in
+//! the reserved space, keyed by a per-PE sequence counter; because every PE
+//! executes the same collective sequence, the blocks align.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use parallel::Ctx;
+
+use crate::world::{MpWorld, RecvSpec, Tag};
+
+/// Tags per collective invocation (must exceed the deepest level count:
+/// log2(max PEs) plus per-phase offsets).
+const TAG_BLOCK: u32 = 64;
+
+/// Per-world collective sequencing state. Lives in a side table so
+/// `world.rs` stays focused on point-to-point.
+pub(crate) struct CollSeq {
+    seq: Vec<AtomicU32>,
+}
+
+impl CollSeq {
+    pub(crate) fn new(pes: usize) -> Self {
+        CollSeq { seq: (0..pes).map(|_| AtomicU32::new(0)).collect() }
+    }
+}
+
+impl MpWorld {
+    fn tag_block(&self, pe: usize) -> Tag {
+        let seq = self.coll_seq().seq[pe].fetch_add(1, Ordering::Relaxed);
+        MpWorld::COLLECTIVE_BASE + (seq % 0x00FF_FFFF) * TAG_BLOCK
+    }
+
+    /// Dissemination barrier: ceil(log2 P) rounds of shifted exchanges.
+    /// After it completes, every PE's virtual clock is at least the maximum
+    /// pre-barrier clock (information from every PE has reached every other).
+    pub fn barrier(&self, ctx: &mut Ctx) {
+        let p = self.size();
+        if p == 1 {
+            ctx.counters_mut().barriers += 1;
+            return;
+        }
+        let base = self.tag_block(ctx.pe());
+        let mut dist = 1usize;
+        let mut round = 0u32;
+        while dist < p {
+            let dst = (ctx.pe() + dist) % p;
+            let src = (ctx.pe() + p - dist) % p;
+            self.send_impl::<u8>(ctx, dst, base + round, Vec::new());
+            let _ = self.recv::<u8>(ctx, RecvSpec::from(src, base + round));
+            dist <<= 1;
+            round += 1;
+        }
+        ctx.counters_mut().barriers += 1;
+    }
+
+    /// Binomial-tree broadcast of `data` from `root`. Non-root PEs pass any
+    /// (ignored) value, conventionally an empty `Vec`.
+    pub fn bcast<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        data: Vec<T>,
+    ) -> Vec<T> {
+        let p = self.size();
+        let tag = self.tag_block(ctx.pe());
+        if p == 1 {
+            return data;
+        }
+        let rank = ctx.pe();
+        let relative = (rank + p - root) % p;
+        let mut buf = if relative == 0 { data } else { Vec::new() };
+
+        // Receive phase: wait for the parent (clears the lowest set bit).
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let src = (rank + p - mask) % p;
+                let (_, _, d) = self.recv::<T>(ctx, RecvSpec::from(src, tag));
+                buf = d;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children below the received bit.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                let dst = (rank + mask) % p;
+                self.send_impl(ctx, dst, tag, buf.clone());
+            }
+            mask >>= 1;
+        }
+        buf
+    }
+
+    /// Binomial-tree reduction to `root` with an element-wise combiner
+    /// `op(acc, incoming)`. Returns `Some(result)` at the root, `None`
+    /// elsewhere. `op` must be commutative and associative (as with
+    /// MPI built-in operations).
+    pub fn reduce<T, F>(&self, ctx: &mut Ctx, root: usize, data: Vec<T>, op: F) -> Option<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut [T], &[T]),
+    {
+        let p = self.size();
+        let tag = self.tag_block(ctx.pe());
+        if p == 1 {
+            return Some(data);
+        }
+        let rank = ctx.pe();
+        let relative = (rank + p - root) % p;
+        let mut acc = data;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask == 0 {
+                let src_rel = relative | mask;
+                if src_rel < p {
+                    let src = (src_rel + root) % p;
+                    let (_, _, d) = self.recv::<T>(ctx, RecvSpec::from(src, tag));
+                    op(&mut acc, &d);
+                }
+            } else {
+                let dst = ((relative ^ mask) + root) % p;
+                self.send_impl(ctx, dst, tag, acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// All-reduce: reduce to rank 0 then broadcast. Deterministic combine
+    /// order for a given team size.
+    pub fn allreduce<T, F>(&self, ctx: &mut Ctx, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut [T], &[T]),
+    {
+        let reduced = self.reduce(ctx, 0, data, op);
+        self.bcast(ctx, 0, reduced.unwrap_or_default())
+    }
+
+    /// Sum all-reduce over `f64` slices.
+    pub fn allreduce_sum_f64(&self, ctx: &mut Ctx, data: Vec<f64>) -> Vec<f64> {
+        self.allreduce(ctx, data, |acc, d| {
+            for (a, b) in acc.iter_mut().zip(d) {
+                *a += b;
+            }
+        })
+    }
+
+    /// Sum all-reduce over `u64` slices.
+    pub fn allreduce_sum_u64(&self, ctx: &mut Ctx, data: Vec<u64>) -> Vec<u64> {
+        self.allreduce(ctx, data, |acc, d| {
+            for (a, b) in acc.iter_mut().zip(d) {
+                *a += b;
+            }
+        })
+    }
+
+    /// Max all-reduce over `u64` slices.
+    pub fn allreduce_max_u64(&self, ctx: &mut Ctx, data: Vec<u64>) -> Vec<u64> {
+        self.allreduce(ctx, data, |acc, d| {
+            for (a, b) in acc.iter_mut().zip(d) {
+                *a = (*a).max(*b);
+            }
+        })
+    }
+
+    /// Gather variable-length contributions at `root`: returns
+    /// `Some(chunks_by_rank)` at the root, `None` elsewhere.
+    pub fn gatherv<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        root: usize,
+        mine: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        let p = self.size();
+        let tag = self.tag_block(ctx.pe());
+        if ctx.pe() == root {
+            let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+            out[root] = mine;
+            for src in (0..p).filter(|&s| s != root) {
+                let (_, _, d) = self.recv::<T>(ctx, RecvSpec::from(src, tag));
+                out[src] = d;
+            }
+            Some(out)
+        } else {
+            self.send_impl(ctx, root, tag, mine);
+            None
+        }
+    }
+
+    /// All-gather of variable-length contributions: gather at rank 0, then
+    /// broadcast the concatenated structure.
+    pub fn allgatherv<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        mine: Vec<T>,
+    ) -> Vec<Vec<T>> {
+        let gathered = self.gatherv(ctx, 0, mine);
+        self.bcast(ctx, 0, gathered.map(flatten_tagged).unwrap_or_default())
+            .into_iter()
+            .fold(Vec::new(), rebuild_tagged)
+    }
+
+    /// Personalised all-to-all: `sends[d]` goes to rank `d`; returns the
+    /// chunks received, indexed by source. The self-chunk moves locally for
+    /// free (a memory copy, charged as Busy).
+    pub fn alltoallv<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        mut sends: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(sends.len(), p, "alltoallv needs one chunk per rank");
+        let tag = self.tag_block(ctx.pe());
+        let me = ctx.pe();
+        let mut recvs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        recvs[me] = std::mem::take(&mut sends[me]);
+        // Stagger destinations to avoid hot-spotting rank 0.
+        for k in 1..p {
+            let dst = (me + k) % p;
+            self.send_impl(ctx, dst, tag, std::mem::take(&mut sends[dst]));
+        }
+        for k in 1..p {
+            let src = (me + p - k) % p;
+            let (_, _, d) = self.recv::<T>(ctx, RecvSpec::from(src, tag));
+            recvs[src] = d;
+        }
+        recvs
+    }
+
+    /// Exclusive prefix sum of `v` across ranks (rank 0 gets 0).
+    pub fn exscan_sum_u64(&self, ctx: &mut Ctx, v: u64) -> u64 {
+        let all = self.allgatherv(ctx, vec![v]);
+        all[..ctx.pe()].iter().map(|c| c[0]).sum()
+    }
+}
+
+/// Encode per-rank chunks as (rank, item) pairs for transport through bcast.
+fn flatten_tagged<T>(chunks: Vec<Vec<T>>) -> Vec<(u32, T)> {
+    let mut out = Vec::new();
+    for (r, c) in chunks.into_iter().enumerate() {
+        for item in c {
+            out.push((r as u32, item));
+        }
+    }
+    out
+}
+
+fn rebuild_tagged<T>(mut acc: Vec<Vec<T>>, (r, item): (u32, T)) -> Vec<Vec<T>> {
+    let r = r as usize;
+    if acc.len() <= r {
+        acc.resize_with(r + 1, Vec::new);
+    }
+    acc[r].push(item);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::{Machine, MachineConfig};
+    use parallel::Team;
+    use std::sync::Arc;
+
+    fn setup(pes: usize) -> (Arc<MpWorld>, Team) {
+        let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+    }
+
+    #[test]
+    fn barrier_synchronises_clocks() {
+        for pes in [2, 3, 5, 8] {
+            let (w, t) = setup(pes);
+            let run = t.run(|ctx| {
+                ctx.compute(ctx.pe() as u64 * 1_000);
+                w.barrier(ctx);
+                ctx.now()
+            });
+            let slowest_work = (pes as u64 - 1) * 1_000;
+            for &finish in &run.results {
+                assert!(finish >= slowest_work, "pes={pes}: clock behind slowest PE");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..4 {
+            let (w, t) = setup(4);
+            let run = t.run(|ctx| {
+                let data = if ctx.pe() == root {
+                    vec![root as u64, 42]
+                } else {
+                    Vec::new()
+                };
+                w.bcast(ctx, root, data)
+            });
+            for r in run.results {
+                assert_eq!(r, vec![root as u64, 42]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_vectors_at_root() {
+        let (w, t) = setup(6);
+        let run = t.run(|ctx| {
+            let data = vec![ctx.pe() as u64, 1];
+            w.reduce(ctx, 2, data, |acc, d| {
+                for (a, b) in acc.iter_mut().zip(d) {
+                    *a += b;
+                }
+            })
+        });
+        for (pe, r) in run.results.into_iter().enumerate() {
+            if pe == 2 {
+                assert_eq!(r, Some(vec![15, 6]));
+            } else {
+                assert_eq!(r, None);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_everywhere() {
+        for pes in [1, 2, 3, 7, 8] {
+            let (w, t) = setup(pes);
+            let run = t.run(|ctx| w.allreduce_sum_u64(ctx, vec![1, ctx.pe() as u64]));
+            let sum_pe: u64 = (0..pes as u64).sum();
+            for r in run.results {
+                assert_eq!(r, vec![pes as u64, sum_pe], "pes={pes}");
+            }
+        }
+    }
+
+    #[test]
+    fn gatherv_collects_ragged() {
+        let (w, t) = setup(4);
+        let run = t.run(|ctx| {
+            let mine: Vec<u32> = (0..ctx.pe() as u32).collect();
+            w.gatherv(ctx, 0, mine)
+        });
+        let got = run.results[0].as_ref().expect("root has data");
+        assert_eq!(got[0], Vec::<u32>::new());
+        assert_eq!(got[2], vec![0, 1]);
+        assert_eq!(got[3], vec![0, 1, 2]);
+        assert!(run.results[1].is_none());
+    }
+
+    #[test]
+    fn allgatherv_everyone_sees_all() {
+        let (w, t) = setup(3);
+        let run = t.run(|ctx| w.allgatherv(ctx, vec![ctx.pe() as u32 * 10]));
+        for r in run.results {
+            assert_eq!(r, vec![vec![0], vec![10], vec![20]]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        let (w, t) = setup(4);
+        let run = t.run(|ctx| {
+            // PE i sends [i*10 + d] to PE d.
+            let sends: Vec<Vec<u32>> =
+                (0..4).map(|d| vec![ctx.pe() as u32 * 10 + d as u32]).collect();
+            w.alltoallv(ctx, sends)
+        });
+        for (pe, r) in run.results.into_iter().enumerate() {
+            let expected: Vec<Vec<u32>> =
+                (0..4).map(|s| vec![s as u32 * 10 + pe as u32]).collect();
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn exscan_prefix_sums() {
+        let (w, t) = setup(4);
+        let run = t.run(|ctx| w.exscan_sum_u64(ctx, (ctx.pe() + 1) as u64));
+        assert_eq!(run.results, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p() {
+        let (w, t) = setup(2);
+        let run = t.run(|ctx| {
+            let a = w.allreduce_sum_u64(ctx, vec![1])[0];
+            if ctx.pe() == 0 {
+                w.send(ctx, 1, 9, &[a]);
+            } else {
+                let (_, _, d) = w.recv::<u64>(ctx, RecvSpec::from(0, 9));
+                assert_eq!(d, vec![2]);
+            }
+            w.barrier(ctx);
+            w.allreduce_max_u64(ctx, vec![ctx.pe() as u64])[0]
+        });
+        assert_eq!(run.results, vec![1, 1]);
+    }
+
+    #[test]
+    fn barrier_message_counts_are_logarithmic() {
+        let (w, t) = setup(8);
+        let run = t.run(|ctx| {
+            w.barrier(ctx);
+        });
+        // Dissemination over 8 PEs: exactly 3 sends per PE.
+        for rep in &run.reports {
+            assert_eq!(rep.counters.msgs_sent, 3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use machine::{Machine, MachineConfig};
+    use parallel::Team;
+    use std::sync::Arc;
+
+    use crate::world::MpWorld;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// allreduce(sum) over arbitrary vectors equals the sequential sum,
+        /// for arbitrary (small) team sizes.
+        #[test]
+        fn allreduce_matches_sequential(
+            pes in 1usize..6,
+            vals in proptest::collection::vec(0u64..1_000_000, 1..8),
+        ) {
+            let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+            let w = Arc::new(MpWorld::new(Arc::clone(&machine)));
+            let vals = Arc::new(vals);
+            let run = Team::new(machine).run(|ctx| {
+                let mine: Vec<u64> = vals
+                    .iter()
+                    .map(|&v| v.wrapping_mul(ctx.pe() as u64 + 1))
+                    .collect();
+                w.allreduce_sum_u64(ctx, mine)
+            });
+            let pe_factor: u64 = (1..=pes as u64).sum();
+            for r in run.results {
+                for (k, &v) in vals.iter().enumerate() {
+                    prop_assert_eq!(r[k], v * pe_factor);
+                }
+            }
+        }
+
+        /// alltoallv always delivers every chunk to the right rank with the
+        /// right content (the transpose property), for ragged chunk sizes.
+        #[test]
+        fn alltoallv_transpose_ragged(
+            pes in 2usize..6,
+            sizes in proptest::collection::vec(0usize..5, 25),
+        ) {
+            let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+            let w = Arc::new(MpWorld::new(Arc::clone(&machine)));
+            let sizes = Arc::new(sizes);
+            let run = Team::new(machine).run(|ctx| {
+                let me = ctx.pe() as u32;
+                let sends: Vec<Vec<u32>> = (0..ctx.npes())
+                    .map(|d| {
+                        let n = sizes[(ctx.pe() * ctx.npes() + d) % sizes.len()];
+                        (0..n as u32).map(|k| me * 1000 + d as u32 * 10 + k).collect()
+                    })
+                    .collect();
+                w.alltoallv(ctx, sends)
+            });
+            for (dst, r) in run.results.iter().enumerate() {
+                for (src, chunk) in r.iter().enumerate() {
+                    let n = sizes[(src * pes + dst) % sizes.len()];
+                    prop_assert_eq!(chunk.len(), n);
+                    for (k, &v) in chunk.iter().enumerate() {
+                        prop_assert_eq!(v, src as u32 * 1000 + dst as u32 * 10 + k as u32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MpWorld {
+    /// Inclusive prefix scan: rank `r` receives `op` folded over the
+    /// contributions of ranks `0..=r`. Linear pipeline (the classic
+    /// MPI_Scan implementation for small teams).
+    pub fn scan<T, F>(&self, ctx: &mut Ctx, data: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut [T], &[T]),
+    {
+        let p = self.size();
+        let tag = self.tag_block(ctx.pe());
+        let me = ctx.pe();
+        let mut acc = data;
+        if me > 0 {
+            let (_, _, prefix) = self.recv::<T>(ctx, RecvSpec::from(me - 1, tag));
+            let mine = std::mem::replace(&mut acc, prefix);
+            op(&mut acc, &mine);
+        }
+        if me + 1 < p {
+            self.send_impl(ctx, me + 1, tag, acc.clone());
+        }
+        acc
+    }
+
+    /// Reduce-scatter: element-wise reduce `data` (length = team size ×
+    /// `chunk`) across ranks, then scatter chunk `r` to rank `r`. Implemented
+    /// as reduce-to-root + targeted sends (adequate at Origin2000 scales).
+    pub fn reduce_scatter<T, F>(
+        &self,
+        ctx: &mut Ctx,
+        data: Vec<T>,
+        chunk: usize,
+        op: F,
+    ) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&mut [T], &[T]),
+    {
+        let p = self.size();
+        assert_eq!(data.len(), p * chunk, "reduce_scatter needs npes × chunk elements");
+        let tag = self.tag_block(ctx.pe());
+        let reduced = self.reduce(ctx, 0, data, op);
+        if ctx.pe() == 0 {
+            let mut reduced = reduced.expect("root holds the reduction");
+            for r in (1..p).rev() {
+                let part = reduced.split_off(r * chunk);
+                self.send_impl(ctx, r, tag, part);
+            }
+            reduced
+        } else {
+            let (_, _, mine) = self.recv::<T>(ctx, RecvSpec::from(0, tag));
+            mine
+        }
+    }
+}
+
+#[cfg(test)]
+mod scan_tests {
+    use machine::{Machine, MachineConfig};
+    use parallel::Team;
+    use std::sync::Arc;
+
+    use crate::world::MpWorld;
+
+    fn setup(pes: usize) -> (Arc<MpWorld>, Team) {
+        let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+    }
+
+    #[test]
+    fn scan_produces_prefix_sums() {
+        let (w, t) = setup(5);
+        let run = t.run(|ctx| {
+            let mine = vec![ctx.pe() as u64 + 1, 10 * (ctx.pe() as u64 + 1)];
+            w.scan(ctx, mine, |acc, d| {
+                for (a, b) in acc.iter_mut().zip(d) {
+                    *a += b;
+                }
+            })
+        });
+        for (r, out) in run.results.iter().enumerate() {
+            let expect: u64 = (1..=r as u64 + 1).sum();
+            assert_eq!(out, &vec![expect, 10 * expect], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn scan_single_rank_is_identity() {
+        let (w, t) = setup(1);
+        let run = t.run(|ctx| w.scan(ctx, vec![7u64], |a, b| a[0] += b[0]));
+        assert_eq!(run.results[0], vec![7]);
+    }
+
+    #[test]
+    fn reduce_scatter_distributes_chunks() {
+        let (w, t) = setup(4);
+        let run = t.run(|ctx| {
+            // Every rank contributes [1, 1, ..., 1] (8 elements, chunk 2).
+            let data = vec![1u64; 8];
+            w.reduce_scatter(ctx, data, 2, |acc, d| {
+                for (a, b) in acc.iter_mut().zip(d) {
+                    *a += b;
+                }
+            })
+        });
+        for out in run.results {
+            assert_eq!(out, vec![4, 4]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "npes × chunk")]
+    fn reduce_scatter_checks_length() {
+        let (w, t) = setup(2);
+        t.run(|ctx| w.reduce_scatter(ctx, vec![0u64; 3], 2, |_, _| {}));
+    }
+}

@@ -1,0 +1,480 @@
+//! Mailboxes, envelopes, and point-to-point send/receive.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use machine::{cost, Machine, SimTime, TimeCat};
+use parallel::Ctx;
+use parking_lot::{Condvar, Mutex};
+
+/// Message tag. User tags must stay below [`Tag::COLLECTIVE_BASE`]; the
+/// collective algorithms reserve the space above it.
+pub type Tag = u32;
+
+/// Matching specification for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvSpec {
+    /// Match only this source, or any source if `None`.
+    pub src: Option<usize>,
+    /// Match only this tag, or any tag if `None`.
+    pub tag: Option<Tag>,
+}
+
+impl RecvSpec {
+    /// Match a specific source and tag.
+    pub fn from(src: usize, tag: Tag) -> Self {
+        RecvSpec { src: Some(src), tag: Some(tag) }
+    }
+
+    /// Match any source with a specific tag (MPI_ANY_SOURCE).
+    pub fn any_source(tag: Tag) -> Self {
+        RecvSpec { src: None, tag: Some(tag) }
+    }
+
+    fn matches(&self, src: usize, tag: Tag) -> bool {
+        self.src.is_none_or(|s| s == src) && self.tag.is_none_or(|t| t == tag)
+    }
+}
+
+/// A message in flight or queued at the receiver.
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    payload: Box<dyn Any + Send>,
+    bytes: usize,
+    /// Virtual time at which the message is available at the receiver.
+    arrival: SimTime,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cond: Condvar,
+}
+
+/// The message-passing "world": one mailbox per rank, shared by reference
+/// across the PE threads of a [`parallel::Team`].
+pub struct MpWorld {
+    machine: Arc<Machine>,
+    mailboxes: Vec<Mailbox>,
+    coll: crate::collectives::CollSeq,
+}
+
+impl MpWorld {
+    /// Reserved tag space boundary: collectives use tags at or above this.
+    pub const COLLECTIVE_BASE: Tag = 0xF000_0000;
+
+    /// Create a world covering every PE of `machine`.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        let pes = machine.pes();
+        MpWorld {
+            machine,
+            mailboxes: (0..pes).map(|_| Mailbox::default()).collect(),
+            coll: crate::collectives::CollSeq::new(pes),
+        }
+    }
+
+    pub(crate) fn coll_seq(&self) -> &crate::collectives::CollSeq {
+        &self.coll
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// The machine this world charges costs against.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Blocking, eager, typed send of `data` to rank `dst` with `tag`.
+    ///
+    /// Charges sender overhead now; the message arrives at
+    /// `now + network(bytes, hops)`. Eager protocol: the sender never waits
+    /// for the receiver (send buffers are unbounded, as on the Origin2000
+    /// for the message sizes these applications use).
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or `tag` is in the collective space.
+    pub fn send<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) {
+        assert!(tag < Self::COLLECTIVE_BASE, "user tags must be < COLLECTIVE_BASE");
+        self.send_vec(ctx, dst, tag, data.to_vec());
+    }
+
+    /// As [`MpWorld::send`] but takes ownership, avoiding a copy.
+    pub fn send_vec<T: Send + 'static>(&self, ctx: &mut Ctx, dst: usize, tag: Tag, data: Vec<T>) {
+        self.send_impl(ctx, dst, tag, data);
+    }
+
+    pub(crate) fn send_impl<T: Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        tag: Tag,
+        data: Vec<T>,
+    ) {
+        let bytes = std::mem::size_of::<T>() * data.len();
+        let hops = self.machine.hops_between(ctx.pe(), dst);
+        let c = cost::msg(&self.machine.config, bytes, hops);
+        ctx.advance(c.send_overhead, TimeCat::Remote);
+        ctx.counters_mut().record_msg_sent(bytes);
+        let env = Envelope {
+            src: ctx.pe(),
+            tag,
+            payload: Box::new(data),
+            bytes,
+            arrival: ctx.now() + c.network,
+        };
+        let mb = &self.mailboxes[dst];
+        mb.queue.lock().push_back(env);
+        mb.cond.notify_all();
+    }
+
+    /// Blocking typed receive matching `spec`. Returns `(src, tag, data)`.
+    ///
+    /// Virtual-time semantics: the receiver's clock advances to the
+    /// message's arrival time if it got here early (charged as Sync), then
+    /// pays receiver overhead (Remote).
+    ///
+    /// # Panics
+    /// Panics if the matched message's payload is not a `Vec<T>`.
+    pub fn recv<T: Send + 'static>(&self, ctx: &mut Ctx, spec: RecvSpec) -> (usize, Tag, Vec<T>) {
+        let env = self.wait_match(ctx.pe(), spec);
+        self.finish_recv(ctx, env)
+    }
+
+    /// Non-blocking receive: returns the message if one matching `spec` is
+    /// already queued (regardless of virtual arrival time — probing models
+    /// a queue check, and the clock still advances to the arrival).
+    pub fn try_recv<T: Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        spec: RecvSpec,
+    ) -> Option<(usize, Tag, Vec<T>)> {
+        let mb = &self.mailboxes[ctx.pe()];
+        let env = {
+            let mut q = mb.queue.lock();
+            let idx = q.iter().position(|e| spec.matches(e.src, e.tag))?;
+            q.remove(idx).expect("index valid under lock")
+        };
+        Some(self.finish_recv(ctx, env))
+    }
+
+    fn wait_match(&self, pe: usize, spec: RecvSpec) -> Envelope {
+        let mb = &self.mailboxes[pe];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(idx) = q.iter().position(|e| spec.matches(e.src, e.tag)) {
+                return q.remove(idx).expect("index valid under lock");
+            }
+            mb.cond.wait(&mut q);
+        }
+    }
+
+    fn finish_recv<T: Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        env: Envelope,
+    ) -> (usize, Tag, Vec<T>) {
+        ctx.clock_mut().advance_to(env.arrival, TimeCat::Sync);
+        ctx.advance(self.machine.config.mp_recv_overhead, TimeCat::Remote);
+        ctx.counters_mut().msgs_recvd += 1;
+        let data = env
+            .payload
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("recv type mismatch from rank {} tag {} ({} bytes)",
+                env.src, env.tag, env.bytes));
+        (env.src, env.tag, *data)
+    }
+
+    /// Combined send-then-receive (like `MPI_Sendrecv`): eager send to `dst`
+    /// followed by a blocking receive matching `(src, recv_tag)`.
+    pub fn sendrecv<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        send_tag: Tag,
+        data: &[T],
+        src: usize,
+        recv_tag: Tag,
+    ) -> Vec<T> {
+        self.send(ctx, dst, send_tag, data);
+        let (_, _, d) = self.recv(ctx, RecvSpec::from(src, recv_tag));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineConfig;
+    use parallel::Team;
+
+    fn world_and_team(pes: usize) -> (Arc<MpWorld>, Team) {
+        let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let (w, t) = world_and_team(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                w.send(ctx, 1, 7, &[1.5f64, 2.5]);
+                let (_, _, back) = w.recv::<f64>(ctx, RecvSpec::from(1, 8));
+                back
+            } else {
+                let (src, tag, data) = w.recv::<f64>(ctx, RecvSpec::from(0, 7));
+                assert_eq!((src, tag), (0, 7));
+                let doubled: Vec<f64> = data.iter().map(|x| x * 2.0).collect();
+                w.send(ctx, 0, 8, &doubled);
+                doubled
+            }
+        });
+        assert_eq!(run.results[0], vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn receiver_waits_for_virtual_arrival() {
+        let (w, t) = world_and_team(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                ctx.compute(10_000); // sender is late
+                w.send(ctx, 1, 0, &[0u8; 100]);
+            } else {
+                let _ = w.recv::<u8>(ctx, RecvSpec::from(0, 0));
+            }
+            ctx.now()
+        });
+        // Receiver's clock must be past the sender's send time + wire time.
+        assert!(run.results[1] > 10_000);
+        assert!(run.reports[1].breakdown.sync >= 10_000);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let (w, t) = world_and_team(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                w.send(ctx, 1, 5, &[5u32]);
+                w.send(ctx, 1, 6, &[6u32]);
+                0
+            } else {
+                // Receive tag 6 first even though tag 5 arrived first.
+                let (_, _, six) = w.recv::<u32>(ctx, RecvSpec::from(0, 6));
+                let (_, _, five) = w.recv::<u32>(ctx, RecvSpec::from(0, 5));
+                assert_eq!(six, vec![6]);
+                assert_eq!(five, vec![5]);
+                1
+            }
+        });
+        assert_eq!(run.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn any_source_wildcard() {
+        let (w, t) = world_and_team(3);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                let mut sum = 0u64;
+                for _ in 0..2 {
+                    let (_, _, d) = w.recv::<u64>(ctx, RecvSpec::any_source(1));
+                    sum += d[0];
+                }
+                sum
+            } else {
+                w.send(ctx, 0, 1, &[ctx.pe() as u64]);
+                0
+            }
+        });
+        assert_eq!(run.results[0], 3);
+    }
+
+    #[test]
+    fn non_overtaking_same_src_same_tag() {
+        let (w, t) = world_and_team(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                for i in 0..10u32 {
+                    w.send(ctx, 1, 0, &[i]);
+                }
+                vec![]
+            } else {
+                (0..10)
+                    .map(|_| w.recv::<u32>(ctx, RecvSpec::from(0, 0)).2[0])
+                    .collect()
+            }
+        });
+        assert_eq!(run.results[1], (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let (w, t) = world_and_team(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 1 {
+                let r = w.try_recv::<u8>(ctx, RecvSpec::any_source(0));
+                ctx.os_barrier();
+                r.is_none()
+            } else {
+                ctx.os_barrier(); // send only after PE 1 probed
+                w.send(ctx, 1, 0, &[1u8]);
+                true
+            }
+        });
+        assert!(run.results[1]);
+    }
+
+    #[test]
+    fn counters_track_messages() {
+        let (w, t) = world_and_team(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                w.send(ctx, 1, 0, &[0u64; 16]); // 128 bytes
+            } else {
+                let _ = w.recv::<u64>(ctx, RecvSpec::from(0, 0));
+            }
+        });
+        assert_eq!(run.reports[0].counters.msgs_sent, 1);
+        assert_eq!(run.reports[0].counters.msg_bytes, 128);
+        assert_eq!(run.reports[1].counters.msgs_recvd, 1);
+    }
+
+    #[test]
+    fn sendrecv_exchanges() {
+        let (w, t) = world_and_team(2);
+        let run = t.run(|ctx| {
+            let other = 1 - ctx.pe();
+            w.sendrecv(ctx, other, 3, &[ctx.pe() as u32], other, 3)
+        });
+        assert_eq!(run.results[0], vec![1]);
+        assert_eq!(run.results[1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "COLLECTIVE_BASE")]
+    fn user_tag_in_collective_space_panics() {
+        let (w, t) = world_and_team(1);
+        t.run(|ctx| {
+            w.send(ctx, 0, MpWorld::COLLECTIVE_BASE, &[0u8]);
+        });
+    }
+}
+
+/// A pending nonblocking receive: matching is deferred until
+/// [`RecvRequest::wait`] (or a successful [`RecvRequest::test`]), so
+/// computation issued in between overlaps with the message's flight time —
+/// the classic latency-hiding idiom.
+#[must_use = "a request must be completed with wait() or test()"]
+pub struct RecvRequest<'w> {
+    world: &'w MpWorld,
+    spec: RecvSpec,
+}
+
+impl MpWorld {
+    /// Nonblocking send. With the eager protocol every send already
+    /// completes locally on return; provided for MPI-shaped code.
+    pub fn isend<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        tag: Tag,
+        data: &[T],
+    ) {
+        self.send(ctx, dst, tag, data);
+    }
+
+    /// Post a nonblocking receive matching `spec`. Nothing is charged until
+    /// completion.
+    pub fn irecv(&self, spec: RecvSpec) -> RecvRequest<'_> {
+        RecvRequest { world: self, spec }
+    }
+}
+
+impl RecvRequest<'_> {
+    /// Complete the receive, blocking if the message has not arrived.
+    pub fn wait<T: Send + 'static>(self, ctx: &mut Ctx) -> (usize, Tag, Vec<T>) {
+        self.world.recv(ctx, self.spec)
+    }
+
+    /// Check for completion without blocking; consumes the request on
+    /// success and returns it back otherwise.
+    pub fn test<T: Send + 'static>(
+        self,
+        ctx: &mut Ctx,
+    ) -> Result<(usize, Tag, Vec<T>), RecvRequest<'static>>
+    where
+        Self: 'static,
+    {
+        match self.world.try_recv(ctx, self.spec) {
+            Some(m) => Ok(m),
+            None => Err(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod nonblocking_tests {
+    use super::*;
+    use machine::{Machine, MachineConfig};
+    use parallel::Team;
+    use std::sync::Arc;
+
+    fn setup(pes: usize) -> (Arc<MpWorld>, Team) {
+        let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+    }
+
+    #[test]
+    fn irecv_overlaps_compute_with_message_flight() {
+        let (w, t) = setup(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                ctx.compute(5_000);
+                w.isend(ctx, 1, 0, &[42u64]);
+                0
+            } else {
+                // Post early, compute through the flight, complete late.
+                let req = w.irecv(RecvSpec::from(0, 0));
+                ctx.compute(5_000);
+                let before_wait = ctx.now();
+                let (_, _, d) = req.wait::<u64>(ctx);
+                assert_eq!(d, vec![42]);
+                // The 5 µs of local compute absorbed the sender's 5 µs head
+                // start: the wait itself should not stall another 5 µs.
+                (ctx.now() - before_wait) as i64
+            }
+        });
+        let wait_cost = run.results[1];
+        let cfg = MachineConfig::test_tiny();
+        assert!(
+            wait_cost <= (cfg.mp_recv_overhead + cfg.mp_net_base + 200) as i64,
+            "wait stalled too long: {wait_cost}"
+        );
+    }
+
+    #[test]
+    fn blocking_receiver_pays_the_wait_instead() {
+        let (w, t) = setup(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                ctx.compute(5_000);
+                w.send(ctx, 1, 0, &[42u64]);
+                0
+            } else {
+                let before = ctx.now();
+                let _ = w.recv::<u64>(ctx, RecvSpec::from(0, 0));
+                (ctx.now() - before) as i64
+            }
+        });
+        assert!(run.results[1] >= 5_000, "blocking recv must absorb the head start");
+    }
+}

@@ -1,0 +1,298 @@
+//! Arena-allocated octree with centre-of-mass summaries.
+
+use crate::vec3::Vec3;
+
+/// Sentinel: node has no children (it is a leaf).
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// Depth cap guarding against coincident points.
+const MAX_DEPTH: u32 = 48;
+
+/// One octree node. Children, when present, are 8 contiguous arena slots
+/// starting at `first_child`, in octant order (x minor, y, z major).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Cell centre.
+    pub center: Vec3,
+    /// Half the cell edge length.
+    pub half: f64,
+    /// Total mass below this node.
+    pub mass: f64,
+    /// Centre of mass below this node.
+    pub com: Vec3,
+    /// Arena index of the first of 8 children, or [`NO_CHILD`].
+    pub first_child: u32,
+    /// Body indices, for leaves.
+    pub bodies: Vec<u32>,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.first_child == NO_CHILD
+    }
+
+    /// Cell edge length.
+    pub fn width(&self) -> f64 {
+        2.0 * self.half
+    }
+}
+
+/// An octree over a set of point masses. The tree copies the positions and
+/// masses it was built from so force traversals are self-contained.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    /// Arena of nodes; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Positions of the bodies the tree indexes.
+    pub pos: Vec<Vec3>,
+    /// Masses of the bodies the tree indexes.
+    pub mass: Vec<f64>,
+}
+
+impl Octree {
+    /// Build an octree over `positions`/`masses` with at most `leaf_cap`
+    /// bodies per leaf (coincident points may exceed the cap at the depth
+    /// limit).
+    ///
+    /// # Panics
+    /// Panics if inputs are empty or lengths differ.
+    pub fn build(positions: &[Vec3], masses: &[f64], leaf_cap: usize) -> Octree {
+        assert!(!positions.is_empty(), "octree needs at least one body");
+        assert_eq!(positions.len(), masses.len());
+        let leaf_cap = leaf_cap.max(1);
+
+        // Bounding cube, slightly padded.
+        let mut lo = positions[0];
+        let mut hi = positions[0];
+        for p in positions {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        let center = (lo + hi) * 0.5;
+        let half = {
+            let d = hi - lo;
+            (d.x.max(d.y).max(d.z) * 0.5 * 1.0001).max(f64::MIN_POSITIVE)
+        };
+
+        let mut tree = Octree {
+            nodes: Vec::with_capacity(positions.len() * 2),
+            pos: positions.to_vec(),
+            mass: masses.to_vec(),
+        };
+        tree.nodes.push(Node {
+            center,
+            half,
+            mass: 0.0,
+            com: Vec3::ZERO,
+            first_child: NO_CHILD,
+            bodies: Vec::new(),
+        });
+        let all: Vec<u32> = (0..positions.len() as u32).collect();
+        tree.subdivide(0, all, leaf_cap, 0);
+        tree.summarize(0);
+        tree
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Number of bodies indexed.
+    pub fn num_bodies(&self) -> usize {
+        self.pos.len()
+    }
+
+    fn subdivide(&mut self, node: u32, idxs: Vec<u32>, leaf_cap: usize, depth: u32) {
+        if idxs.len() <= leaf_cap || depth >= MAX_DEPTH {
+            self.nodes[node as usize].bodies = idxs;
+            return;
+        }
+        let (center, half) = {
+            let n = &self.nodes[node as usize];
+            (n.center, n.half)
+        };
+        // Partition bodies into octants.
+        let mut buckets: [Vec<u32>; 8] = Default::default();
+        for i in idxs {
+            let p = self.pos[i as usize];
+            let oct = usize::from(p.x >= center.x)
+                | (usize::from(p.y >= center.y) << 1)
+                | (usize::from(p.z >= center.z) << 2);
+            buckets[oct].push(i);
+        }
+        let first = self.nodes.len() as u32;
+        self.nodes[node as usize].first_child = first;
+        let qh = half * 0.5;
+        for oct in 0..8 {
+            let off = Vec3::new(
+                if oct & 1 != 0 { qh } else { -qh },
+                if oct & 2 != 0 { qh } else { -qh },
+                if oct & 4 != 0 { qh } else { -qh },
+            );
+            self.nodes.push(Node {
+                center: center + off,
+                half: qh,
+                mass: 0.0,
+                com: Vec3::ZERO,
+                first_child: NO_CHILD,
+                bodies: Vec::new(),
+            });
+        }
+        for (oct, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                self.subdivide(first + oct as u32, bucket, leaf_cap, depth + 1);
+            }
+        }
+    }
+
+    /// Upward pass computing mass and centre of mass. Returns (mass, com·mass).
+    fn summarize(&mut self, node: u32) -> (f64, Vec3) {
+        let first = self.nodes[node as usize].first_child;
+        let (mass, weighted) = if first == NO_CHILD {
+            let mut m = 0.0;
+            let mut w = Vec3::ZERO;
+            for &b in &self.nodes[node as usize].bodies {
+                m += self.mass[b as usize];
+                w += self.pos[b as usize] * self.mass[b as usize];
+            }
+            (m, w)
+        } else {
+            let mut m = 0.0;
+            let mut w = Vec3::ZERO;
+            for c in first..first + 8 {
+                let (cm, cw) = self.summarize(c);
+                m += cm;
+                w += cw;
+            }
+            (m, w)
+        };
+        let n = &mut self.nodes[node as usize];
+        n.mass = mass;
+        n.com = if mass > 0.0 { weighted / mass } else { n.center };
+        (mass, weighted)
+    }
+
+    /// Body indices in canonical (depth-first, octant-order) tree order —
+    /// the traversal order costzones partitioning slices.
+    pub fn body_order(&self) -> Vec<u32> {
+        let mut order = Vec::with_capacity(self.pos.len());
+        let mut stack = vec![0u32];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            if node.is_leaf() {
+                order.extend_from_slice(&node.bodies);
+            } else {
+                // Push in reverse so octant 0 pops first.
+                for c in (node.first_child..node.first_child + 8).rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plummer::plummer;
+
+    fn build_plummer(n: usize) -> Octree {
+        let bodies = plummer(n, 11);
+        let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+        let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+        Octree::build(&pos, &mass, 4)
+    }
+
+    #[test]
+    fn root_summarises_everything() {
+        let t = build_plummer(500);
+        assert!((t.root().mass - 1.0).abs() < 1e-12);
+        // COM near origin for a centred Plummer sphere.
+        assert!(t.root().com.norm() < 1e-9);
+    }
+
+    #[test]
+    fn every_body_in_exactly_one_leaf() {
+        let t = build_plummer(300);
+        let mut seen = vec![0u32; 300];
+        for n in &t.nodes {
+            if n.is_leaf() {
+                for &b in &n.bodies {
+                    seen[b as usize] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "bodies must appear exactly once");
+    }
+
+    #[test]
+    fn bodies_lie_within_their_leaf_cell() {
+        let t = build_plummer(200);
+        for n in &t.nodes {
+            if n.is_leaf() {
+                for &b in &n.bodies {
+                    let p = t.pos[b as usize];
+                    let d = p - n.center;
+                    let tol = n.half * 1.0001 + 1e-12;
+                    assert!(
+                        d.x.abs() <= tol && d.y.abs() <= tol && d.z.abs() <= tol,
+                        "body {b} outside its cell"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_cap_respected() {
+        let t = build_plummer(400);
+        for n in &t.nodes {
+            if n.is_leaf() && !n.bodies.is_empty() {
+                assert!(n.bodies.len() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn children_mass_sums_to_parent() {
+        let t = build_plummer(300);
+        for n in &t.nodes {
+            if !n.is_leaf() {
+                let s: f64 = (n.first_child..n.first_child + 8)
+                    .map(|c| t.nodes[c as usize].mass)
+                    .sum();
+                assert!((s - n.mass).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn body_order_is_a_permutation() {
+        let t = build_plummer(250);
+        let mut order = t.body_order();
+        assert_eq!(order.len(), 250);
+        order.sort_unstable();
+        for (i, &b) in order.iter().enumerate() {
+            assert_eq!(b as usize, i);
+        }
+    }
+
+    #[test]
+    fn coincident_points_terminate() {
+        let pos = vec![Vec3::new(0.5, 0.5, 0.5); 10];
+        let mass = vec![0.1; 10];
+        let t = Octree::build(&pos, &mass, 2);
+        assert!((t.root().mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_body_tree() {
+        let t = Octree::build(&[Vec3::new(1.0, 2.0, 3.0)], &[5.0], 4);
+        assert_eq!(t.root().mass, 5.0);
+        assert_eq!(t.root().com, Vec3::new(1.0, 2.0, 3.0));
+        assert!(t.root().is_leaf());
+    }
+}

@@ -1,0 +1,108 @@
+//! Plummer-sphere initial conditions (the standard Barnes-Hut workload).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::body::Body;
+use crate::vec3::Vec3;
+
+/// Generate `n` equal-mass bodies from a Plummer model with total mass 1
+/// and scale radius 1, using Aarseth's rejection method for velocities.
+/// Deterministic for a given `seed`.
+pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mass = 1.0 / n as f64;
+    let mut bodies = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Radius from the inverse cumulative mass profile; clip the tail so
+        // the box stays bounded (standard practice: 99% mass radius).
+        let mut r;
+        loop {
+            let m: f64 = rng.gen_range(0.0..0.99);
+            r = (m.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
+            if r.is_finite() {
+                break;
+            }
+        }
+        let pos = iso_dir(&mut rng) * r;
+        // Velocity: rejection sample q = v/v_esc with density q²(1-q²)^3.5.
+        let q = loop {
+            let q: f64 = rng.gen_range(0.0..1.0);
+            let g: f64 = rng.gen_range(0.0..0.1);
+            if g < q * q * (1.0 - q * q).powf(3.5) {
+                break q;
+            }
+        };
+        let v_esc = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
+        let vel = iso_dir(&mut rng) * (q * v_esc);
+        bodies.push(Body { pos, vel, mass });
+    }
+    // Shift to the zero-momentum, zero-COM frame.
+    let total: f64 = bodies.iter().map(|b| b.mass).sum();
+    let mut com = Vec3::ZERO;
+    let mut mom = Vec3::ZERO;
+    for b in &bodies {
+        com += b.pos * b.mass;
+        mom += b.vel * b.mass;
+    }
+    let (com, vcom) = (com / total, mom / total);
+    for b in &mut bodies {
+        b.pos = b.pos - com;
+        b.vel = b.vel - vcom;
+    }
+    bodies
+}
+
+fn iso_dir(rng: &mut SmallRng) -> Vec3 {
+    // Marsaglia's method: uniform direction on the sphere.
+    loop {
+        let x: f64 = rng.gen_range(-1.0..1.0);
+        let y: f64 = rng.gen_range(-1.0..1.0);
+        let s = x * x + y * y;
+        if s < 1.0 {
+            let f = 2.0 * (1.0 - s).sqrt();
+            return Vec3::new(x * f, y * f, 1.0 - 2.0 * s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::center_of_mass;
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(plummer(100, 7), plummer(100, 7));
+        assert_ne!(plummer(100, 7), plummer(100, 8));
+    }
+
+    #[test]
+    fn total_mass_and_com() {
+        let b = plummer(1000, 42);
+        let m: f64 = b.iter().map(|x| x.mass).sum();
+        assert!((m - 1.0).abs() < 1e-12);
+        let c = center_of_mass(&b);
+        assert!(c.norm() < 1e-10, "COM should be centred: {c:?}");
+    }
+
+    #[test]
+    fn density_concentrated_in_core() {
+        let b = plummer(2000, 1);
+        let inside = b.iter().filter(|x| x.pos.norm() < 1.0).count();
+        // Plummer: ~35% of mass within the scale radius.
+        let frac = inside as f64 / b.len() as f64;
+        assert!(frac > 0.2 && frac < 0.5, "core fraction {frac}");
+    }
+
+    #[test]
+    fn velocities_bounded_by_escape() {
+        let b = plummer(500, 3);
+        for x in &b {
+            let r = x.pos.norm();
+            let v_esc = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
+            // COM shift perturbs this slightly; allow margin.
+            assert!(x.vel.norm() <= v_esc + 0.2, "v={} v_esc={v_esc}", x.vel.norm());
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Per-PE execution context.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use machine::{cost, Clock, Counters, Machine, SimTime, TimeCat};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::team::{PeReport, TeamShared};
+
+/// Everything one simulated PE needs during a team run: identity, virtual
+/// clock, counters, deterministic RNG, and team synchronisation plumbing.
+pub struct Ctx {
+    pe: usize,
+    machine: Arc<Machine>,
+    shared: Arc<TeamShared>,
+    clock: Clock,
+    counters: Counters,
+    rng: SmallRng,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        pe: usize,
+        machine: Arc<Machine>,
+        shared: Arc<TeamShared>,
+        seed: u64,
+    ) -> Self {
+        // Distinct, reproducible stream per PE: golden-ratio mixing.
+        let pe_seed = seed ^ (pe as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Ctx {
+            pe,
+            machine,
+            shared,
+            clock: Clock::new(),
+            counters: Counters::new(),
+            rng: SmallRng::seed_from_u64(pe_seed),
+        }
+    }
+
+    /// This PE's index in `0..npes`.
+    #[inline]
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// Team size.
+    #[inline]
+    pub fn npes(&self) -> usize {
+        self.machine.pes()
+    }
+
+    /// The machine model.
+    #[inline]
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Node hosting this PE.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.machine.topology.node_of(self.pe)
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Mutable access to the virtual clock (used by model runtimes to charge
+    /// operation costs).
+    #[inline]
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// Mutable access to the event counters.
+    #[inline]
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Read-only counters.
+    #[inline]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Charge `ns` of CPU computation.
+    #[inline]
+    pub fn compute(&mut self, ns: SimTime) {
+        self.clock.advance(ns, TimeCat::Busy);
+    }
+
+    /// Charge `cycles` CPU cycles of computation.
+    #[inline]
+    pub fn compute_cycles(&mut self, cycles: u64) {
+        let ns = self.machine.config.cycles_ns(cycles);
+        self.clock.advance(ns, TimeCat::Busy);
+    }
+
+    /// Charge `units` work items at `ns_per_unit` each (rounded).
+    #[inline]
+    pub fn compute_units(&mut self, units: u64, ns_per_unit: f64) {
+        let ns = (units as f64 * ns_per_unit).round() as u64;
+        self.clock.advance(ns, TimeCat::Busy);
+    }
+
+    /// Charge `ns` attributed to `cat`.
+    #[inline]
+    pub fn advance(&mut self, ns: SimTime, cat: TimeCat) {
+        self.clock.advance(ns, cat);
+    }
+
+    /// Draw a uniform `u64` from this PE's deterministic stream.
+    #[inline]
+    pub fn rng_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// The PE's deterministic RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Clock-synchronising barrier: all PEs' clocks advance to the team
+    /// maximum (waiting is charged as [`TimeCat::Sync`]) plus the machine
+    /// barrier cost.
+    pub fn barrier(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        shared.clock_slots[self.pe].store(self.clock.now(), Ordering::SeqCst);
+        shared.barrier.wait();
+        let max = shared
+            .clock_slots
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0);
+        self.clock.advance_to(max, TimeCat::Sync);
+        let cost = cost::barrier(
+            &self.machine.config,
+            self.npes(),
+            self.machine.topology.max_hops(),
+        );
+        self.clock.advance(cost, TimeCat::Sync);
+        self.counters.barriers += 1;
+        shared.barrier.wait();
+    }
+
+    /// Node-local clock-synchronising barrier: only the PEs sharing this
+    /// PE's node rendezvous, advancing their clocks to the node maximum
+    /// plus an intra-node barrier cost (no network hops). The cheap half
+    /// of hybrid (message-passing between nodes, shared memory within).
+    pub fn node_barrier(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let topo = &self.machine.topology;
+        let node = topo.node_of(self.pe);
+        shared.clock_slots[self.pe].store(self.clock.now(), Ordering::SeqCst);
+        shared.node_barriers[node].wait();
+        let max = topo
+            .pes_on_node(node)
+            .map(|pe| shared.clock_slots[pe].load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0);
+        self.clock.advance_to(max, TimeCat::Sync);
+        let pes_here = topo.pes_on_node(node).count();
+        let cost = cost::barrier(&self.machine.config, pes_here, 0);
+        self.clock.advance(cost, TimeCat::Sync);
+        self.counters.barriers += 1;
+        shared.node_barriers[node].wait();
+    }
+
+    /// An OS-level barrier with *no* clock synchronisation or cost. Used by
+    /// runtimes that model synchronisation costs themselves but still need a
+    /// real rendezvous (e.g. to publish shared structures safely).
+    pub fn os_barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Blackboard broadcast of `val` from `root` to every PE.
+    ///
+    /// Non-root PEs pass `None`. Charges a clock-sync barrier plus a
+    /// log-depth transfer of `size_of::<T>()` bytes per level.
+    ///
+    /// # Panics
+    /// Panics if the root posted no value or types mismatch.
+    pub fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, val: Option<T>) -> T {
+        let shared = Arc::clone(&self.shared);
+        if self.pe == root {
+            *shared.slots[root].lock() =
+                Some(Box::new(val.expect("root must supply a broadcast value")));
+        }
+        self.barrier();
+        let out = {
+            let guard = shared.slots[root].lock();
+            guard
+                .as_ref()
+                .expect("broadcast slot empty")
+                .downcast_ref::<T>()
+                .expect("broadcast type mismatch")
+                .clone()
+        };
+        self.charge_tree_transfer(std::mem::size_of::<T>());
+        self.barrier();
+        if self.pe == root {
+            *shared.slots[root].lock() = None;
+        }
+        out
+    }
+
+    /// Blackboard all-gather: every PE contributes `val`; returns all values
+    /// in PE order. Charges a barrier plus log-depth transfers.
+    pub fn gather_all<T: Clone + Send + 'static>(&mut self, val: T) -> Vec<T> {
+        let shared = Arc::clone(&self.shared);
+        *shared.slots[self.pe].lock() = Some(Box::new(val));
+        self.barrier();
+        let mut out = Vec::with_capacity(self.npes());
+        for slot in shared.slots.iter() {
+            let guard = slot.lock();
+            out.push(
+                guard
+                    .as_ref()
+                    .expect("gather slot empty")
+                    .downcast_ref::<T>()
+                    .expect("gather type mismatch")
+                    .clone(),
+            );
+        }
+        self.charge_tree_transfer(std::mem::size_of::<T>() * self.npes());
+        self.barrier();
+        *shared.slots[self.pe].lock() = None;
+        out
+    }
+
+    /// Blackboard all-reduce with a deterministic left fold in PE order.
+    pub fn allreduce<T, F>(&mut self, val: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let all = self.gather_all(val);
+        let mut it = all.into_iter();
+        let first = it.next().expect("allreduce on empty team");
+        it.fold(first, |acc, x| op(&acc, &x))
+    }
+
+    /// Sum-allreduce for `u64`.
+    pub fn allreduce_sum_u64(&mut self, v: u64) -> u64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    /// Max-allreduce for `u64`.
+    pub fn allreduce_max_u64(&mut self, v: u64) -> u64 {
+        self.allreduce(v, |a, b| (*a).max(*b))
+    }
+
+    /// Sum-allreduce for `f64` (deterministic PE-order fold).
+    pub fn allreduce_sum_f64(&mut self, v: f64) -> f64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    fn charge_tree_transfer(&mut self, bytes: usize) {
+        let depth = u64::from(self.machine.topology.tree_depth());
+        let per_level = self.machine.config.transfer_ns(bytes)
+            + u64::from(self.machine.topology.max_hops()) * self.machine.config.lat_hop;
+        self.clock.advance(depth * per_level, TimeCat::Remote);
+    }
+
+    pub(crate) fn into_report(self) -> PeReport {
+        PeReport {
+            pe: self.pe,
+            finish: self.clock.now(),
+            breakdown: self.clock.breakdown(),
+            counters: self.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Team;
+    use machine::MachineConfig;
+
+    fn team(pes: usize) -> Team {
+        Team::new(Arc::new(Machine::new(pes, MachineConfig::test_tiny())))
+    }
+
+    #[test]
+    fn broadcast_delivers_root_value() {
+        let run = team(4).run(|ctx| {
+            let v = if ctx.pe() == 2 { Some(99u32) } else { None };
+            ctx.broadcast(2, v)
+        });
+        assert_eq!(run.results, vec![99; 4]);
+    }
+
+    #[test]
+    fn gather_all_in_pe_order() {
+        let run = team(4).run(|ctx| ctx.gather_all(ctx.pe() as u32));
+        for r in run.results {
+            assert_eq!(r, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let run = team(5).run(|ctx| {
+            let s = ctx.allreduce_sum_u64(ctx.pe() as u64);
+            let m = ctx.allreduce_max_u64(ctx.pe() as u64);
+            (s, m)
+        });
+        for (s, m) in run.results {
+            assert_eq!(s, 1 + 2 + 3 + 4);
+            assert_eq!(m, 4);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock_or_cross() {
+        let run = team(3).run(|ctx| {
+            let mut acc = 0u64;
+            for round in 0..10u64 {
+                acc += ctx.allreduce_sum_u64(round + ctx.pe() as u64);
+            }
+            acc
+        });
+        let expected: u64 = (0..10u64).map(|r| 3 * r + 3).sum();
+        assert_eq!(run.results, vec![expected; 3]);
+    }
+
+    #[test]
+    fn barrier_charges_cost_and_counts() {
+        let run = team(2).run(|ctx| {
+            ctx.barrier();
+            ctx.barrier();
+        });
+        for rep in &run.reports {
+            assert_eq!(rep.counters.barriers, 2);
+            assert!(rep.breakdown.sync > 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_of_heap_value() {
+        let run = team(3).run(|ctx| {
+            let v = if ctx.pe() == 0 {
+                Some(vec![1u8, 2, 3])
+            } else {
+                None
+            };
+            ctx.broadcast(0, v)
+        });
+        for r in run.results {
+            assert_eq!(r, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn compute_units_rounds() {
+        let run = team(1).run(|ctx| {
+            ctx.compute_units(10, 2.5);
+            ctx.now()
+        });
+        assert_eq!(run.results[0], 25);
+    }
+}
+
+#[cfg(test)]
+mod node_barrier_tests {
+    use crate::team::Team;
+    use machine::{Machine, MachineConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn node_barrier_syncs_only_node_peers() {
+        // 4 PEs, 2 per node. PE 1 works long; its node peer PE 0 must wait,
+        // but node 1 (PEs 2,3) must not.
+        let machine = Arc::new(Machine::new(4, MachineConfig::test_tiny()));
+        let run = Team::new(machine).run(|ctx| {
+            if ctx.pe() == 1 {
+                ctx.compute(10_000);
+            }
+            ctx.node_barrier();
+            ctx.now()
+        });
+        assert!(run.results[0] >= 10_000, "node peer waits");
+        assert_eq!(run.results[0], run.results[1]);
+        assert!(run.results[2] < 10_000, "other node unaffected");
+        assert!(run.results[3] < 10_000);
+    }
+
+    #[test]
+    fn node_barrier_cheaper_than_global() {
+        let machine = Arc::new(Machine::new(16, MachineConfig::origin2000()));
+        let run = Team::new(machine).run(|ctx| {
+            let t0 = ctx.now();
+            ctx.node_barrier();
+            let node_cost = ctx.now() - t0;
+            let t1 = ctx.now();
+            ctx.barrier();
+            let global_cost = ctx.now() - t1;
+            (node_cost, global_cost)
+        });
+        for (n, g) in run.results {
+            assert!(n < g, "node barrier ({n}) must undercut global ({g})");
+        }
+    }
+
+    #[test]
+    fn repeated_node_barriers_do_not_deadlock() {
+        let machine = Arc::new(Machine::new(6, MachineConfig::test_tiny()));
+        let run = Team::new(machine).run(|ctx| {
+            for _ in 0..20 {
+                ctx.node_barrier();
+            }
+            ctx.barrier();
+            ctx.counters().barriers
+        });
+        for b in run.results {
+            assert_eq!(b, 21);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! PE-team runtime: real threads, virtual Origin2000 time.
+//!
+//! [`Team::run`] spawns one OS thread per simulated processing element (PE).
+//! Each thread receives a [`Ctx`] holding its virtual [`machine::Clock`],
+//! event [`machine::Counters`], a deterministic per-PE RNG, and access to
+//! team-wide synchronisation plumbing (clock-synchronising barriers and
+//! blackboard collectives).
+//!
+//! The three programming-model runtimes (`mp`, `shmem`, `sas`) all build on
+//! this crate: they add their own shared state (mailboxes, symmetric heap,
+//! coherence directory) but reuse the team/clock/barrier substrate, exactly
+//! as MPI, SHMEM and CC-SAS programs on the Origin2000 all ran on the same
+//! IRIX processor sets.
+
+//!
+//! ```
+//! use std::sync::Arc;
+//! use machine::{Machine, MachineConfig};
+//! use parallel::Team;
+//!
+//! let machine = Arc::new(Machine::new(4, MachineConfig::origin2000()));
+//! let run = Team::new(machine).run(|ctx| {
+//!     ctx.compute(1_000 * (ctx.pe() as u64 + 1)); // unequal work...
+//!     ctx.barrier();                              // ...absorbed as Sync time
+//!     ctx.now()
+//! });
+//! // The barrier aligned every virtual clock.
+//! assert!(run.results.windows(2).all(|w| w[0] == w[1]));
+//! ```
+
+mod ctx;
+mod element;
+mod lock;
+mod team;
+
+pub use ctx::Ctx;
+pub use element::{Element, IntElement};
+pub use lock::{SimLock, SimLockGuard};
+pub use team::{PeReport, Team, TeamRun};

@@ -1,0 +1,246 @@
+//! Team construction and execution.
+
+use std::any::Any;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Barrier};
+
+use machine::{Counters, Machine, SimTime, TimeBreakdown};
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+
+/// Per-PE outcome of a team run: final virtual time, its breakdown, and the
+/// PE's event counters.
+#[derive(Debug, Clone)]
+pub struct PeReport {
+    /// PE index.
+    pub pe: usize,
+    /// Virtual time at which this PE finished.
+    pub finish: SimTime,
+    /// Categorised time accounting.
+    pub breakdown: TimeBreakdown,
+    /// Event counters.
+    pub counters: Counters,
+}
+
+/// Result of [`Team::run`]: the per-PE closure results (indexed by PE) and
+/// the per-PE reports.
+#[derive(Debug)]
+pub struct TeamRun<R> {
+    /// Closure return values, `results[pe]`.
+    pub results: Vec<R>,
+    /// Timing / counter reports, `reports[pe]`.
+    pub reports: Vec<PeReport>,
+}
+
+impl<R> TeamRun<R> {
+    /// Simulated execution time of the whole run: the latest PE finish time.
+    pub fn sim_time(&self) -> SimTime {
+        self.reports.iter().map(|r| r.finish).max().unwrap_or(0)
+    }
+
+    /// Sum of all PEs' counters.
+    pub fn merged_counters(&self) -> Counters {
+        let mut c = Counters::new();
+        for r in &self.reports {
+            c.merge(&r.counters);
+        }
+        c
+    }
+
+    /// Sum of all PEs' time breakdowns (total CPU-time view).
+    pub fn merged_breakdown(&self) -> TimeBreakdown {
+        let mut b = TimeBreakdown::default();
+        for r in &self.reports {
+            b = b.merged(&r.breakdown);
+        }
+        b
+    }
+}
+
+/// Shared synchronisation state for one team. Internal to this crate but
+/// reachable from [`Ctx`].
+pub(crate) struct TeamShared {
+    /// Reusable OS barrier gating the clock-sync protocol.
+    pub barrier: Barrier,
+    /// Per-PE clock deposit slots for computing the barrier max.
+    pub clock_slots: Vec<AtomicU64>,
+    /// Per-PE blackboard slots for blackboard collectives.
+    pub slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
+    /// One OS barrier per node, for node-local synchronisation (hybrid
+    /// programming models synchronise within an SMP node far more cheaply
+    /// than across the machine).
+    pub node_barriers: Vec<Barrier>,
+}
+
+impl TeamShared {
+    fn new(machine: &Machine) -> Self {
+        let pes = machine.pes();
+        let topo = &machine.topology;
+        let node_barriers = (0..topo.nodes())
+            .map(|n| Barrier::new(topo.pes_on_node(n).count()))
+            .collect();
+        TeamShared {
+            barrier: Barrier::new(pes),
+            clock_slots: (0..pes).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..pes).map(|_| Mutex::new(None)).collect(),
+            node_barriers,
+        }
+    }
+}
+
+/// A team of simulated PEs bound to a [`Machine`].
+#[derive(Clone)]
+pub struct Team {
+    machine: Arc<Machine>,
+    seed: u64,
+}
+
+impl Team {
+    /// A team covering every PE of `machine`.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        Team { machine, seed: 0x5EED_0816 }
+    }
+
+    /// Set the seed for the per-PE deterministic RNGs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The machine this team runs on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Run `f` once per PE on its own OS thread and gather results.
+    ///
+    /// `f` is shared by reference across threads; per-PE mutable state lives
+    /// in the [`Ctx`]. Panics in any PE propagate.
+    pub fn run<R, F>(&self, f: F) -> TeamRun<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        let pes = self.machine.pes();
+        let shared = Arc::new(TeamShared::new(&self.machine));
+        let mut out: Vec<Option<(R, PeReport)>> = (0..pes).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(pes);
+            for (pe, slot) in out.iter_mut().enumerate() {
+                let machine = Arc::clone(&self.machine);
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                let seed = self.seed;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = Ctx::new(pe, machine, shared, seed);
+                    let r = f(&mut ctx);
+                    *slot = Some((r, ctx.into_report()));
+                }));
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(pes);
+        let mut reports = Vec::with_capacity(pes);
+        for slot in out {
+            let (r, rep) = slot.expect("PE produced no result");
+            results.push(r);
+            reports.push(rep);
+        }
+        TeamRun { results, reports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::{MachineConfig, TimeCat};
+
+    fn team(pes: usize) -> Team {
+        Team::new(Arc::new(Machine::new(pes, MachineConfig::test_tiny())))
+    }
+
+    #[test]
+    fn run_returns_per_pe_results_in_order() {
+        let t = team(4);
+        let run = t.run(|ctx| ctx.pe() * 10);
+        assert_eq!(run.results, vec![0, 10, 20, 30]);
+        assert_eq!(run.reports.len(), 4);
+        for (i, r) in run.reports.iter().enumerate() {
+            assert_eq!(r.pe, i);
+        }
+    }
+
+    #[test]
+    fn sim_time_is_max_finish() {
+        let t = team(4);
+        let run = t.run(|ctx| {
+            ctx.compute((ctx.pe() as u64 + 1) * 100);
+        });
+        assert_eq!(run.sim_time(), 400);
+        assert_eq!(run.reports[2].finish, 300);
+    }
+
+    #[test]
+    fn merged_breakdown_sums() {
+        let t = team(3);
+        let run = t.run(|ctx| ctx.compute(50));
+        assert_eq!(run.merged_breakdown().busy, 150);
+    }
+
+    #[test]
+    fn single_pe_team_works() {
+        let t = team(1);
+        let run = t.run(|ctx| {
+            ctx.barrier();
+            42
+        });
+        assert_eq!(run.results, vec![42]);
+    }
+
+    #[test]
+    fn rng_is_deterministic_across_runs() {
+        let draws = |seed: u64| {
+            Team::new(Arc::new(Machine::new(3, MachineConfig::test_tiny())))
+                .seed(seed)
+                .run(|ctx| ctx.rng_u64())
+                .results
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+        let d = draws(7);
+        assert_ne!(d[0], d[1], "per-PE streams must differ");
+    }
+
+    #[test]
+    fn sync_time_charged_while_waiting() {
+        let t = team(2);
+        let run = t.run(|ctx| {
+            if ctx.pe() == 0 {
+                ctx.compute(1_000);
+            }
+            ctx.barrier();
+        });
+        // PE 1 waited for PE 0's 1000 ns of work.
+        assert!(run.reports[1].breakdown.sync >= 1_000);
+        assert_eq!(run.reports[0].finish, run.reports[1].finish);
+    }
+
+    #[test]
+    fn advance_with_category() {
+        let t = team(1);
+        let run = t.run(|ctx| {
+            ctx.advance(25, TimeCat::Remote);
+            ctx.advance(10, TimeCat::Local);
+        });
+        let b = &run.reports[0].breakdown;
+        assert_eq!(b.remote, 25);
+        assert_eq!(b.local, 10);
+    }
+}

@@ -1,0 +1,139 @@
+//! Diffusive rebalancing of an existing partition.
+//!
+//! A local alternative to full repartitioning: overloaded parts shed
+//! boundary vertices to underloaded neighbouring parts, iteratively. Moves
+//! little data (good for adaptive codes whose imbalance grows gradually)
+//! but converges slower and cuts worse than a fresh global partition —
+//! the trade-off the PLUM papers quantify.
+
+use crate::graph::CsrGraph;
+
+/// Improve `parts` in place by up to `max_sweeps` diffusion sweeps; stop
+/// early once imbalance drops below `tolerance` (e.g. 1.05). Returns the
+/// number of vertices moved.
+pub fn diffuse(
+    g: &CsrGraph,
+    parts: &mut [u32],
+    nparts: usize,
+    tolerance: f64,
+    max_sweeps: usize,
+) -> usize {
+    assert_eq!(g.len(), parts.len());
+    let mut loads = vec![0.0f64; nparts];
+    for (v, &p) in parts.iter().enumerate() {
+        loads[p as usize] += g.vwgt[v];
+    }
+    let mean: f64 = loads.iter().sum::<f64>() / nparts as f64;
+    if mean == 0.0 {
+        return 0;
+    }
+    let mut moved = 0;
+    for _ in 0..max_sweeps {
+        let max_load = loads.iter().cloned().fold(f64::MIN, f64::max);
+        if max_load / mean <= tolerance {
+            break;
+        }
+        let mut changed = false;
+        // Deterministic sweep over vertices: move a boundary vertex from an
+        // overloaded part to its least-loaded neighbouring part if that
+        // strictly improves the pairwise balance.
+        for v in 0..g.len() {
+            let from = parts[v] as usize;
+            if loads[from] <= mean {
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            for &u in g.neighbors(v) {
+                let q = parts[u as usize] as usize;
+                if q != from && best.is_none_or(|b| loads[q] < loads[b]) {
+                    best = Some(q);
+                }
+            }
+            if let Some(to) = best {
+                let w = g.vwgt[v];
+                // Move only if it reduces the load gap.
+                if loads[from] - w >= loads[to] {
+                    loads[from] -= w;
+                    loads[to] += w;
+                    parts[v] = to as u32;
+                    moved += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::imbalance;
+
+    /// Path graph 0-1-2-...-(n-1).
+    fn path(n: usize) -> CsrGraph {
+        let lists: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                let mut l = Vec::new();
+                if v > 0 {
+                    l.push(v as u32 - 1);
+                }
+                if v + 1 < n {
+                    l.push(v as u32 + 1);
+                }
+                l
+            })
+            .collect();
+        CsrGraph::from_lists(&lists, vec![1.0; n])
+    }
+
+    #[test]
+    fn rebalances_a_skewed_path() {
+        let g = path(16);
+        // All on part 0 initially.
+        let mut parts = vec![0u32; 16];
+        parts[15] = 1; // seed part 1 so diffusion has a boundary
+        let before = imbalance(&g.vwgt, &parts, 2);
+        let moved = diffuse(&g, &mut parts, 2, 1.05, 100);
+        let after = imbalance(&g.vwgt, &parts, 2);
+        assert!(moved > 0);
+        assert!(after < before);
+        assert!(after <= 1.05 + 1e-9, "imbalance {after}");
+    }
+
+    #[test]
+    fn balanced_input_is_untouched() {
+        let g = path(8);
+        let mut parts = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let moved = diffuse(&g, &mut parts, 2, 1.05, 10);
+        assert_eq!(moved, 0);
+        assert_eq!(parts, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn moves_are_bounded_by_need() {
+        let g = path(32);
+        let mut parts = vec![0u32; 32];
+        for p in parts.iter_mut().skip(24) {
+            *p = 1;
+        }
+        let moved = diffuse(&g, &mut parts, 2, 1.1, 100);
+        // Needs to move about 8 vertices to balance 24/8 → 16/16.
+        assert!(moved <= 12, "diffusion moved too much: {moved}");
+        assert!(imbalance(&g.vwgt, &parts, 2) <= 1.1 + 1e-9);
+    }
+
+    #[test]
+    fn respects_sweep_cap() {
+        let g = path(64);
+        let mut parts = vec![0u32; 64];
+        parts[63] = 1;
+        // One sweep cannot fully rebalance a long path.
+        diffuse(&g, &mut parts, 2, 1.0, 1);
+        let after = imbalance(&g.vwgt, &parts, 2);
+        assert!(after > 1.05, "single sweep should not finish: {after}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Recursive coordinate bisection.
+
+use crate::WeightedPoint;
+
+/// Partition `points` into `nparts` parts by recursive coordinate
+/// bisection: at each level, split along the longer extent at the weighted
+/// median, dividing the part budget proportionally (so non-power-of-two
+/// part counts balance too). Returns the part id of each point.
+///
+/// # Panics
+/// Panics if `nparts` is zero.
+pub fn rcb_partition(points: &[WeightedPoint], nparts: usize) -> Vec<u32> {
+    assert!(nparts > 0, "need at least one part");
+    let mut assignment = vec![0u32; points.len()];
+    let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+    bisect(points, &mut idx, 0, nparts as u32, &mut assignment);
+    assignment
+}
+
+fn bisect(
+    points: &[WeightedPoint],
+    idx: &mut [u32],
+    first_part: u32,
+    nparts: u32,
+    out: &mut [u32],
+) {
+    if nparts == 1 || idx.is_empty() {
+        for &i in idx.iter() {
+            out[i as usize] = first_part;
+        }
+        return;
+    }
+    // Choose the axis with the larger extent.
+    let (mut min_x, mut max_x) = (f64::MAX, f64::MIN);
+    let (mut min_y, mut max_y) = (f64::MAX, f64::MIN);
+    for &i in idx.iter() {
+        let p = &points[i as usize];
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let along_x = (max_x - min_x) >= (max_y - min_y);
+    let key = |i: u32| {
+        let p = &points[i as usize];
+        if along_x {
+            p.x
+        } else {
+            p.y
+        }
+    };
+    // Deterministic ordering (ties broken by index).
+    idx.sort_unstable_by(|&a, &b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    // Split the part budget, then find the weighted split position that
+    // matches the budget ratio.
+    let left_parts = nparts / 2;
+    let right_parts = nparts - left_parts;
+    let total_w: f64 = idx.iter().map(|&i| points[i as usize].w).sum();
+    let target = total_w * left_parts as f64 / nparts as f64;
+    let mut acc = 0.0;
+    let mut split = 0;
+    for (k, &i) in idx.iter().enumerate() {
+        if acc >= target && k > 0 {
+            break;
+        }
+        acc += points[i as usize].w;
+        split = k + 1;
+    }
+    // Keep both sides non-empty when possible.
+    split = split.clamp(
+        usize::from(idx.len() > 1),
+        idx.len() - usize::from(idx.len() > 1),
+    );
+    let (left, right) = idx.split_at_mut(split);
+    bisect(points, left, first_part, left_parts, out);
+    bisect(points, right, first_part + left_parts, right_parts, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<WeightedPoint> {
+        let mut pts = Vec::new();
+        for j in 0..n {
+            for i in 0..n {
+                pts.push(WeightedPoint::new(i as f64, j as f64, 1.0));
+            }
+        }
+        pts
+    }
+
+    fn loads(assign: &[u32], pts: &[WeightedPoint], nparts: usize) -> Vec<f64> {
+        let mut l = vec![0.0; nparts];
+        for (i, &p) in assign.iter().enumerate() {
+            l[p as usize] += pts[i].w;
+        }
+        l
+    }
+
+    #[test]
+    fn uniform_grid_splits_evenly() {
+        let pts = grid(8); // 64 points
+        for nparts in [1, 2, 4, 8] {
+            let a = rcb_partition(&pts, nparts);
+            let l = loads(&a, &pts, nparts);
+            for w in &l {
+                assert_eq!(*w, 64.0 / nparts as f64, "nparts={nparts}: {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_parts_balance() {
+        let pts = grid(9); // 81 points
+        let a = rcb_partition(&pts, 3);
+        let l = loads(&a, &pts, 3);
+        assert_eq!(l, vec![27.0, 27.0, 27.0]);
+    }
+
+    #[test]
+    fn all_parts_used() {
+        let pts = grid(6);
+        for nparts in [2, 3, 5, 7] {
+            let a = rcb_partition(&pts, nparts);
+            let mut used: Vec<u32> = a.clone();
+            used.sort_unstable();
+            used.dedup();
+            assert_eq!(used.len(), nparts, "nparts={nparts}");
+            assert!(a.iter().all(|&p| (p as usize) < nparts));
+        }
+    }
+
+    #[test]
+    fn weighted_median_respects_weights() {
+        // One very heavy point on the left: with 2 parts, the heavy point
+        // should sit alone (or nearly) in its part.
+        let mut pts = grid(4);
+        pts[0].w = 100.0;
+        let a = rcb_partition(&pts, 2);
+        let l = loads(&a, &pts, 2);
+        let ratio = l[0].max(l[1]) / (l[0] + l[1]);
+        assert!(ratio < 0.95, "heavy point dominates one side: {l:?}");
+    }
+
+    #[test]
+    fn partition_is_geometric() {
+        // RCB parts are contiguous in space: for 2 parts split on x, every
+        // left-part point is left of every right-part point.
+        let pts = grid(8);
+        let a = rcb_partition(&pts, 2);
+        let max0 = pts
+            .iter()
+            .zip(&a)
+            .filter(|(_, &p)| p == 0)
+            .map(|(pt, _)| pt.x)
+            .fold(f64::MIN, f64::max);
+        let min1 = pts
+            .iter()
+            .zip(&a)
+            .filter(|(_, &p)| p == 1)
+            .map(|(pt, _)| pt.x)
+            .fold(f64::MAX, f64::min);
+        assert!(max0 <= min1);
+    }
+
+    #[test]
+    fn single_point() {
+        let pts = vec![WeightedPoint::new(0.5, 0.5, 2.0)];
+        let a = rcb_partition(&pts, 4);
+        assert_eq!(a.len(), 1);
+        assert!(a[0] < 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = grid(7);
+        assert_eq!(rcb_partition(&pts, 5), rcb_partition(&pts, 5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every point is assigned a valid part, and with unit weights no
+        /// part exceeds twice its fair share (RCB's worst case is far
+        /// better, but this guards regressions cheaply).
+        #[test]
+        fn rcb_assignment_valid(
+            xs in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 8..200),
+            nparts in 1usize..9,
+        ) {
+            let pts: Vec<WeightedPoint> =
+                xs.iter().map(|&(x, y)| WeightedPoint::new(x, y, 1.0)).collect();
+            let a = rcb_partition(&pts, nparts);
+            prop_assert_eq!(a.len(), pts.len());
+            prop_assert!(a.iter().all(|&p| (p as usize) < nparts));
+            if pts.len() >= nparts * 4 {
+                let mut loads = vec![0.0f64; nparts];
+                for (i, &p) in a.iter().enumerate() {
+                    loads[p as usize] += pts[i].w;
+                }
+                let fair = pts.len() as f64 / nparts as f64;
+                for l in loads {
+                    prop_assert!(l <= 2.0 * fair + 1.0, "load {l} vs fair {fair}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,776 @@
+//! Shared regions, the MSI directory, and the per-PE access handle.
+
+use std::any::TypeId;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use machine::{cost, Machine, TimeCat};
+use parallel::{Ctx, Element, IntElement};
+use parking_lot::Mutex;
+
+use crate::cache::{line_tag, CacheSim, Probe};
+
+/// How shared pages are assigned home nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagePolicy {
+    /// IRIX default: a page lives on the node of the first PE to touch it.
+    FirstTouch,
+    /// Ablation baseline: pages are struck round-robin across nodes.
+    RoundRobin,
+}
+
+/// Unassigned page-home sentinel.
+const NO_HOME: u32 = u32::MAX;
+
+/// Authoritative per-line coherence state (MSI).
+#[derive(Debug, Default)]
+struct LineDir {
+    /// Incremented on every invalidating write; cached copies carry the
+    /// version they loaded and are stale when it moves on.
+    version: u64,
+    /// Bitmask of PEs holding the current version.
+    sharers: u64,
+    /// A PE holds the line modified.
+    dirty: bool,
+    /// Last writer (meaningful when `dirty`).
+    owner: u32,
+}
+
+/// Lock-free mirror of (version, owner, dirty) for fast hit checks.
+#[inline]
+fn pack_meta(version: u64, owner: u32, dirty: bool) -> u64 {
+    (version << 17) | (u64::from(owner & 0xFFFF) << 1) | u64::from(dirty)
+}
+
+struct Line {
+    dir: Mutex<LineDir>,
+    meta: AtomicU64,
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line { dir: Mutex::new(LineDir::default()), meta: AtomicU64::new(pack_meta(0, 0, false)) }
+    }
+}
+
+/// One shared region: a single instance of `len` elements, with per-page
+/// homes and per-line directory state.
+pub(crate) struct RegionData {
+    id: u32,
+    type_id: TypeId,
+    len: usize,
+    words_per_line: usize,
+    words_per_page: usize,
+    storage: Box<[AtomicU64]>,
+    page_home: Box<[AtomicU32]>,
+    lines: Box<[Line]>,
+}
+
+impl RegionData {
+    #[inline]
+    fn line_of(&self, word: usize) -> usize {
+        word / self.words_per_line
+    }
+
+    #[inline]
+    fn page_of(&self, word: usize) -> usize {
+        word / self.words_per_page
+    }
+}
+
+/// The CC-SAS "world": registry of shared regions plus the paging policy.
+pub struct SasWorld {
+    machine: Arc<Machine>,
+    regions: Mutex<Vec<Arc<RegionData>>>,
+    alloc_seq: Vec<AtomicU32>,
+    policy: PagePolicy,
+}
+
+impl SasWorld {
+    /// A world with IRIX-style first-touch paging.
+    pub fn new(machine: Arc<Machine>) -> Self {
+        Self::with_paging(machine, PagePolicy::FirstTouch)
+    }
+
+    /// A world with an explicit paging policy (for the A1 ablation).
+    pub fn with_paging(machine: Arc<Machine>, policy: PagePolicy) -> Self {
+        assert!(machine.pes() <= 64, "sharer bitmask limits teams to 64 PEs");
+        let pes = machine.pes();
+        SasWorld {
+            machine,
+            regions: Mutex::new(Vec::new()),
+            alloc_seq: (0..pes).map(|_| AtomicU32::new(0)).collect(),
+            policy,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn size(&self) -> usize {
+        self.machine.pes()
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The paging policy in force.
+    pub fn policy(&self) -> PagePolicy {
+        self.policy
+    }
+
+    /// Collective allocation of a shared region of `len` elements of `T`.
+    /// Every PE must call with the same arguments, in the same sequence.
+    pub fn alloc<T: Element>(&self, ctx: &mut Ctx, len: usize) -> SasSlice<T> {
+        let idx = self.alloc_seq[ctx.pe()].fetch_add(1, Ordering::Relaxed) as usize;
+        let region = {
+            let mut regions = self.regions.lock();
+            if regions.len() <= idx {
+                debug_assert_eq!(regions.len(), idx, "allocation sequence skew");
+                regions.push(Arc::new(self.build_region(idx as u32, TypeId::of::<T>(), len)));
+            }
+            let r = Arc::clone(&regions[idx]);
+            assert_eq!(r.type_id, TypeId::of::<T>(), "shared alloc type mismatch");
+            assert_eq!(r.len, len, "shared alloc length mismatch");
+            r
+        };
+        ctx.barrier();
+        SasSlice { region, _t: PhantomData }
+    }
+
+    fn build_region(&self, id: u32, type_id: TypeId, len: usize) -> RegionData {
+        let cfg = &self.machine.config;
+        let words_per_line = (cfg.line_bytes / 8).max(1);
+        let words_per_page = (cfg.page_bytes / 8).max(1);
+        let n_lines = len.div_ceil(words_per_line).max(1);
+        let n_pages = len.div_ceil(words_per_page).max(1);
+        let nodes = self.machine.topology.nodes() as u32;
+        let page_home: Box<[AtomicU32]> = (0..n_pages)
+            .map(|p| match self.policy {
+                PagePolicy::FirstTouch => AtomicU32::new(NO_HOME),
+                PagePolicy::RoundRobin => AtomicU32::new(p as u32 % nodes),
+            })
+            .collect();
+        RegionData {
+            id,
+            type_id,
+            len,
+            words_per_line,
+            words_per_page,
+            storage: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            page_home,
+            lines: (0..n_lines).map(|_| Line::default()).collect(),
+        }
+    }
+
+    /// Per-PE access handle with a fresh cache. Create one per PE inside the
+    /// team closure.
+    pub fn pe(&self) -> SasPe {
+        let cfg = &self.machine.config;
+        SasPe {
+            machine: Arc::clone(&self.machine),
+            cache: CacheSim::new(cfg.cache_bytes, cfg.line_bytes, cfg.cache_assoc),
+        }
+    }
+
+    /// Team barrier (locks + barriers are the SAS synchronisation story).
+    pub fn barrier(&self, ctx: &mut Ctx) {
+        ctx.barrier();
+    }
+}
+
+/// Handle to a shared region of `T`. Clones alias the same region.
+pub struct SasSlice<T: Element> {
+    region: Arc<RegionData>,
+    _t: PhantomData<T>,
+}
+
+impl<T: Element> Clone for SasSlice<T> {
+    fn clone(&self) -> Self {
+        SasSlice { region: Arc::clone(&self.region), _t: PhantomData }
+    }
+}
+
+impl<T: Element> SasSlice<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.region.len
+    }
+
+    /// True if the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.region.len == 0
+    }
+
+    /// Uncosted read, for initialisation outside timed phases and for test
+    /// verification. Does not touch caches, directory, or page homes.
+    pub fn read_raw(&self, idx: usize) -> T {
+        T::from_bits(self.region.storage[idx].load(Ordering::Relaxed))
+    }
+
+    /// Uncosted write (see [`SasSlice::read_raw`]).
+    pub fn write_raw(&self, idx: usize, v: T) {
+        self.region.storage[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Explicitly home the pages covering `[start, end)` on `ctx`'s node if
+    /// still unassigned — models the parallel-initialisation idiom the
+    /// paper's SAS codes used to get first-touch placement right.
+    pub fn home_pages(&self, ctx: &Ctx, start: usize, end: usize) {
+        let node = ctx.machine().topology.node_of(ctx.pe()) as u32;
+        let r = &self.region;
+        if r.len == 0 {
+            return;
+        }
+        let first = r.page_of(start.min(r.len - 1));
+        let last = r.page_of(end.saturating_sub(1).min(r.len - 1));
+        for p in first..=last {
+            let _ = r.page_home[p].compare_exchange(
+                NO_HOME,
+                node,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// The node currently homing the page of element `idx`, if assigned.
+    pub fn home_of(&self, idx: usize) -> Option<usize> {
+        let h = self.region.page_home[self.region.page_of(idx)].load(Ordering::Relaxed);
+        (h != NO_HOME).then_some(h as usize)
+    }
+}
+
+/// A PE's window onto shared memory: owns the PE's simulated cache.
+pub struct SasPe {
+    machine: Arc<Machine>,
+    cache: CacheSim,
+}
+
+impl SasPe {
+    /// (hits, misses) seen by this PE's cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Invalidate the PE's entire cache (between experiment phases).
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Costed read of one element.
+    pub fn read<T: Element>(&mut self, ctx: &mut Ctx, s: &SasSlice<T>, idx: usize) -> T {
+        self.touch(ctx, &s.region, idx, false);
+        T::from_bits(s.region.storage[idx].load(Ordering::Relaxed))
+    }
+
+    /// Costed write of one element.
+    pub fn write<T: Element>(&mut self, ctx: &mut Ctx, s: &SasSlice<T>, idx: usize, v: T) {
+        self.touch(ctx, &s.region, idx, true);
+        s.region.storage[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Costed bulk read: one coherence access per cache line covered.
+    pub fn read_range<T: Element>(
+        &mut self,
+        ctx: &mut Ctx,
+        s: &SasSlice<T>,
+        start: usize,
+        end: usize,
+    ) -> Vec<T> {
+        self.touch_range(ctx, &s.region, start, end, false);
+        (start..end).map(|i| s.read_raw(i)).collect()
+    }
+
+    /// Costed bulk write: one coherence access per cache line covered.
+    pub fn write_range<T: Element>(
+        &mut self,
+        ctx: &mut Ctx,
+        s: &SasSlice<T>,
+        start: usize,
+        data: &[T],
+    ) {
+        self.touch_range(ctx, &s.region, start, start + data.len(), true);
+        for (i, v) in data.iter().enumerate() {
+            s.write_raw(start + i, *v);
+        }
+    }
+
+    /// Atomic fetch-add on a shared integer element (LL/SC-style: costs an
+    /// exclusive write access).
+    pub fn fadd<T: IntElement>(&mut self, ctx: &mut Ctx, s: &SasSlice<T>, idx: usize, delta: T) -> T {
+        self.touch(ctx, &s.region, idx, true);
+        let cell = &s.region.storage[idx];
+        let mut cur = cell.load(Ordering::SeqCst);
+        loop {
+            let next = T::add_bits(cur, delta.to_bits());
+            match cell.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(prev) => return T::from_bits(prev),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn touch_range(&mut self, ctx: &mut Ctx, r: &RegionData, start: usize, end: usize, write: bool) {
+        if start >= end {
+            return;
+        }
+        let first = r.line_of(start);
+        let last = r.line_of(end - 1);
+        for line in first..=last {
+            self.access_line(ctx, r, line, write);
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, ctx: &mut Ctx, r: &RegionData, word: usize, write: bool) {
+        self.access_line(ctx, r, r.line_of(word), write);
+    }
+
+    /// The heart of the model: classify one line access as hit / upgrade /
+    /// local miss / remote miss, charge it, and update coherence state.
+    fn access_line(&mut self, ctx: &mut Ctx, r: &RegionData, line: usize, write: bool) {
+        let tag = line_tag(r.id, line as u64);
+        let pe = ctx.pe();
+        let me = 1u64 << pe;
+        let l = &r.lines[line];
+
+        // Single cache probe; fast paths check the lock-free meta mirror.
+        let probe = self.cache.probe(tag);
+        if let Probe::Hit { version, dirty } = probe {
+            let meta = l.meta.load(Ordering::Acquire);
+            if !write && meta >> 17 == version {
+                ctx.counters_mut().cache_hits += 1;
+                return;
+            }
+            if write && dirty && meta == pack_meta(version, pe as u32, true) {
+                ctx.counters_mut().cache_hits += 1;
+                return;
+            }
+        }
+
+        // Slow path under the line's directory lock.
+        let mut d = l.dir.lock();
+        let cached = match probe {
+            Probe::Hit { version, .. } if version == d.version => true,
+            Probe::Hit { .. } => {
+                // Stale copy: invalidated since load. Counts as a miss.
+                self.cache.purge(tag);
+                self.cache.reclassify_stale();
+                false
+            }
+            Probe::Miss => false,
+        };
+
+        let cfg = &self.machine.config;
+        let topo = &self.machine.topology;
+        let my_node = topo.node_of(pe);
+
+        if cached && !write {
+            // Raced to the slow path but the copy is current.
+            ctx.counters_mut().cache_hits += 1;
+            return;
+        }
+
+        let mut charge_local = 0u64;
+        let mut charge_remote = 0u64;
+
+        if !cached {
+            // Fill from home (or forward from a dirty owner).
+            let home = self.home_node(r, line, my_node);
+            let hops = topo.hops(my_node, home);
+            let fill = cost::line_fill(cfg, hops);
+            if hops == 0 {
+                charge_local += fill;
+                ctx.counters_mut().misses_local += 1;
+            } else {
+                charge_remote += fill;
+                ctx.counters_mut().misses_remote += 1;
+            }
+            if d.dirty && d.owner != pe as u32 {
+                // Cache-to-cache forward from the current owner.
+                let owner_node = topo.node_of(d.owner as usize % topo.pes());
+                charge_remote +=
+                    u64::from(topo.hops(my_node, owner_node)) * cfg.lat_hop + cfg.lat_directory;
+                d.dirty = false; // home copy now clean
+            }
+        }
+
+        if write {
+            // Invalidations are distance-priced: evicting a copy from a
+            // sharer on this node is an SMP-bus operation; reaching a
+            // sharer across the machine pays network hops. (This is what
+            // makes intra-node sharing cheap for the hybrid model.)
+            let mut others = d.sharers & !me;
+            let mut invalidated = 0u32;
+            while others != 0 {
+                let q = others.trailing_zeros() as usize;
+                others &= others - 1;
+                let qn = topo.node_of(q.min(topo.pes() - 1));
+                charge_remote += cfg.lat_invalidate
+                    + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop;
+                invalidated += 1;
+            }
+            ctx.counters_mut().invalidations += u64::from(invalidated);
+            if cached {
+                ctx.counters_mut().upgrades += 1;
+                charge_remote += cfg.lat_directory;
+            }
+            d.version += 1;
+            d.sharers = me;
+            d.dirty = true;
+            d.owner = pe as u32;
+        } else {
+            d.sharers |= me;
+        }
+
+        l.meta.store(pack_meta(d.version, d.owner, d.dirty), Ordering::Release);
+        let version = d.version;
+        drop(d);
+
+        if charge_local > 0 {
+            ctx.advance(charge_local, TimeCat::Local);
+        }
+        if charge_remote > 0 {
+            ctx.advance(charge_remote, TimeCat::Remote);
+        }
+
+        if let Some(evicted) = self.cache.insert(tag, version, write) {
+            if evicted.dirty {
+                // Write the victim back to its home memory.
+                ctx.advance(cfg.lat_local_mem, TimeCat::Local);
+            }
+        }
+    }
+
+    fn home_node(&self, r: &RegionData, line: usize, my_node: usize) -> usize {
+        let word = line * r.words_per_line;
+        let page = r.page_of(word.min(r.len.saturating_sub(1)));
+        let cell = &r.page_home[page];
+        let h = cell.load(Ordering::Relaxed);
+        if h != NO_HOME {
+            return h as usize;
+        }
+        // First touch: claim for my node (CAS race loser uses winner's node).
+        match cell.compare_exchange(NO_HOME, my_node as u32, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => my_node,
+            Err(actual) => actual as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineConfig;
+    use parallel::Team;
+
+    fn setup(pes: usize) -> (Arc<SasWorld>, Team) {
+        let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+        (Arc::new(SasWorld::new(Arc::clone(&machine))), Team::new(machine))
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let (w, t) = setup(2);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<f64>(ctx, 32);
+            let mut pe = w.pe();
+            if ctx.pe() == 0 {
+                pe.write(ctx, &s, 5, 2.5);
+            }
+            w.barrier(ctx);
+            pe.read(ctx, &s, 5)
+        });
+        assert_eq!(run.results, vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn second_read_is_a_hit() {
+        let (w, t) = setup(1);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 64);
+            let mut pe = w.pe();
+            let _ = pe.read(ctx, &s, 0);
+            let t0 = ctx.now();
+            let _ = pe.read(ctx, &s, 1); // same line (words_per_line = 8)
+            (ctx.now() - t0, pe.cache_stats())
+        });
+        let (dt, (hits, misses)) = run.results[0];
+        assert_eq!(dt, 0, "line hit must be free");
+        assert!(hits >= 1);
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn write_invalidates_reader() {
+        let (w, t) = setup(2);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 8);
+            let mut pe = w.pe();
+            // Both read the line.
+            let _ = pe.read(ctx, &s, 0);
+            w.barrier(ctx);
+            if ctx.pe() == 0 {
+                pe.write(ctx, &s, 0, 7); // invalidates PE 1's copy
+            }
+            w.barrier(ctx);
+            let v = pe.read(ctx, &s, 0); // PE 1 must miss and see 7
+            (v, ctx.counters().misses_local + ctx.counters().misses_remote)
+        });
+        assert_eq!(run.results[0].0, 7);
+        assert_eq!(run.results[1].0, 7);
+        // PE 1: initial miss + post-invalidation miss.
+        assert!(run.results[1].1 >= 2, "invalidation must force a re-fetch");
+        // PE 0 performed the invalidation.
+        assert!(run.reports[0].counters.invalidations >= 1);
+    }
+
+    #[test]
+    fn write_after_own_write_is_hit() {
+        let (w, t) = setup(1);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 8);
+            let mut pe = w.pe();
+            pe.write(ctx, &s, 0, 1);
+            let t0 = ctx.now();
+            pe.write(ctx, &s, 1, 2); // same line, still exclusive
+            ctx.now() - t0
+        });
+        assert_eq!(run.results[0], 0);
+    }
+
+    #[test]
+    fn first_touch_homes_page_on_toucher() {
+        let (w, t) = setup(4); // nodes 0..2 (2 PEs per node)
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 256);
+            let mut pe = w.pe();
+            if ctx.pe() == 3 {
+                pe.write(ctx, &s, 0, 1);
+            }
+            w.barrier(ctx);
+            s.home_of(0)
+        });
+        // PE 3 lives on node 1; the page must be homed there.
+        assert_eq!(run.results[0], Some(1));
+    }
+
+    #[test]
+    fn round_robin_policy_prehomes_pages() {
+        let machine = Arc::new(Machine::new(4, MachineConfig::test_tiny()));
+        let w = Arc::new(SasWorld::with_paging(Arc::clone(&machine), PagePolicy::RoundRobin));
+        let t = Team::new(machine);
+        let run = t.run(|ctx| {
+            // words_per_page = 256/8 = 32 → pages every 32 elements.
+            let s = w.alloc::<u64>(ctx, 128);
+            (s.home_of(0), s.home_of(32), s.home_of(64))
+        });
+        assert_eq!(run.results[0], (Some(0), Some(1), Some(0)));
+    }
+
+    #[test]
+    fn remote_miss_costs_more_than_local() {
+        let (w, t) = setup(4);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 1024);
+            let mut pe = w.pe();
+            // PE 0 homes the whole region on node 0.
+            if ctx.pe() == 0 {
+                s.home_pages(ctx, 0, 1024);
+            }
+            w.barrier(ctx);
+            let t0 = ctx.now();
+            let _ = pe.read(ctx, &s, 512);
+            ctx.now() - t0
+        });
+        // PE 3 (node 1) pays more than PE 1 (node 0, same as home).
+        assert!(run.results[3] > run.results[1]);
+        assert!(run.reports[3].counters.misses_remote >= 1);
+        assert!(run.reports[1].counters.misses_local >= 1);
+    }
+
+    #[test]
+    fn fadd_is_atomic_across_pes() {
+        let (w, t) = setup(4);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 1);
+            let mut pe = w.pe();
+            for _ in 0..50 {
+                pe.fadd(ctx, &s, 0, 1u64);
+            }
+            w.barrier(ctx);
+            pe.read(ctx, &s, 0)
+        });
+        for r in run.results {
+            assert_eq!(r, 200);
+        }
+    }
+
+    #[test]
+    fn range_ops_charge_per_line_not_per_element() {
+        let (w, t) = setup(1);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 64);
+            let mut pe = w.pe();
+            let data: Vec<u64> = (0..64).collect();
+            pe.write_range(ctx, &s, 0, &data);
+            let (_, misses) = pe.cache_stats();
+            let vals = pe.read_range(ctx, &s, 0, 64);
+            (misses, vals)
+        });
+        let (misses, vals) = &run.results[0];
+        // 64 words / 8 words-per-line = 8 lines → 8 misses, not 64.
+        assert_eq!(*misses, 8);
+        assert_eq!(*vals, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn capacity_eviction_causes_refetches() {
+        let (w, t) = setup(1);
+        let run = t.run(|ctx| {
+            // Cache is 1024 B = 16 lines of 64 B; stream 64 lines.
+            let s = w.alloc::<u64>(ctx, 64 * 8);
+            let mut pe = w.pe();
+            for i in 0..(64 * 8) {
+                let _ = pe.read(ctx, &s, i);
+            }
+            // Second sweep: still misses (working set exceeds capacity).
+            let (_, m1) = pe.cache_stats();
+            for i in 0..(64 * 8) {
+                let _ = pe.read(ctx, &s, i);
+            }
+            let (_, m2) = pe.cache_stats();
+            (m1, m2 - m1)
+        });
+        let (first_sweep, second_sweep) = run.results[0];
+        assert_eq!(first_sweep, 64);
+        assert!(second_sweep > 32, "LRU streaming should keep missing");
+    }
+
+    #[test]
+    fn dirty_read_pays_forwarding() {
+        let (w, t) = setup(4);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 8);
+            let mut pe = w.pe();
+            if ctx.pe() == 0 {
+                pe.write(ctx, &s, 0, 42); // line dirty at PE 0
+            }
+            w.barrier(ctx);
+            if ctx.pe() == 3 {
+                let t0 = ctx.now();
+                let v = pe.read(ctx, &s, 0);
+                Some((v, ctx.now() - t0))
+            } else {
+                None
+            }
+        });
+        let (v, dt) = run.results[3].expect("PE 3 measured");
+        assert_eq!(v, 42);
+        let plain_fill = cost::line_fill(&MachineConfig::test_tiny(), 0);
+        assert!(dt > plain_fill, "dirty remote read must exceed a clean local fill");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use machine::MachineConfig;
+    use parallel::Team;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Against an arbitrary single-PE read/write trace, the costed view
+        /// always returns exactly what a plain array would — the cache
+        /// simulator affects *cost*, never *values*.
+        #[test]
+        fn costed_ops_match_reference_array(
+            ops in proptest::collection::vec((any::<bool>(), 0usize..96, any::<u64>()), 1..200),
+        ) {
+            let machine = Arc::new(Machine::new(1, MachineConfig::test_tiny()));
+            let w = Arc::new(SasWorld::new(Arc::clone(&machine)));
+            let ops = Arc::new(ops);
+            let run = Team::new(machine).run(|ctx| {
+                let s = w.alloc::<u64>(ctx, 96);
+                let mut pe = w.pe();
+                let mut reference = vec![0u64; 96];
+                for &(is_write, idx, val) in ops.iter() {
+                    if is_write {
+                        pe.write(ctx, &s, idx, val);
+                        reference[idx] = val;
+                    } else {
+                        let got = pe.read(ctx, &s, idx);
+                        if got != reference[idx] {
+                            return false;
+                        }
+                    }
+                }
+                (0..96).all(|i| s.read_raw(i) == reference[i])
+            });
+            prop_assert!(run.results[0]);
+        }
+
+        /// Phase-separated multi-PE writes (disjoint ranges, barrier, read
+        /// everything) always observe every write, under both paging
+        /// policies.
+        #[test]
+        fn phased_writes_always_visible(
+            pes in 2usize..6,
+            round_robin in any::<bool>(),
+            n_per in 4usize..32,
+        ) {
+            let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+            let policy = if round_robin { PagePolicy::RoundRobin } else { PagePolicy::FirstTouch };
+            let w = Arc::new(SasWorld::with_paging(Arc::clone(&machine), policy));
+            let run = Team::new(machine).run(|ctx| {
+                let n = ctx.npes() * n_per;
+                let s = w.alloc::<u64>(ctx, n);
+                let mut pe = w.pe();
+                for i in 0..n_per {
+                    let idx = ctx.pe() * n_per + i;
+                    pe.write(ctx, &s, idx, idx as u64 + 1);
+                }
+                w.barrier(ctx);
+                (0..n).map(|i| pe.read(ctx, &s, i)).collect::<Vec<u64>>()
+            });
+            let n = pes * n_per;
+            let expect: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+            for r in run.results {
+                prop_assert_eq!(&r, &expect);
+            }
+        }
+
+        /// The directory's invalidation accounting: after any interleaving
+        /// of phase-separated writes to one line, a reader still gets the
+        /// last value and the version number only ever grows.
+        #[test]
+        fn single_line_write_storm(pes in 2usize..6, rounds in 1usize..6) {
+            let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
+            let w = Arc::new(SasWorld::new(Arc::clone(&machine)));
+            let run = Team::new(machine).run(|ctx| {
+                let s = w.alloc::<u64>(ctx, 4);
+                let mut pe = w.pe();
+                for r in 0..rounds {
+                    if ctx.pe() == r % ctx.npes() {
+                        pe.write(ctx, &s, 0, (r + 1) as u64);
+                    }
+                    w.barrier(ctx);
+                    let v = pe.read(ctx, &s, 0);
+                    if v != (r + 1) as u64 {
+                        return Err(v);
+                    }
+                    w.barrier(ctx);
+                }
+                Ok(())
+            });
+            for r in run.results {
+                prop_assert_eq!(r, Ok(()));
+            }
+        }
+    }
+}

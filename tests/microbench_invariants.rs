@@ -1,0 +1,133 @@
+//! Model-level invariants measured end to end through the runtimes — the
+//! relationships that make the paper's comparison meaningful must hold for
+//! the *executed* primitives, not just the cost tables.
+
+use std::sync::Arc;
+
+use origin2k::machine::{Machine, MachineConfig};
+use origin2k::mp::{MpWorld, RecvSpec};
+use origin2k::parallel::Team;
+use origin2k::sas::SasWorld;
+use origin2k::shmem::SymWorld;
+
+fn machine(p: usize) -> Arc<Machine> {
+    Arc::new(Machine::new(p, MachineConfig::origin2000()))
+}
+
+/// Time one closure on PE 0 of a fresh 8-PE team, in virtual ns.
+fn timed<F>(f: F) -> u64
+where
+    F: Fn(&mut origin2k::parallel::Ctx) + Sync,
+{
+    let run = Team::new(machine(8)).run(|ctx| {
+        let t0 = ctx.now();
+        f(ctx);
+        ctx.barrier();
+        if ctx.pe() == 0 {
+            ctx.now() - t0
+        } else {
+            0
+        }
+    });
+    run.results[0]
+}
+
+#[test]
+fn executed_put_beats_executed_message() {
+    let m = machine(8);
+    let mpw = MpWorld::new(Arc::clone(&m));
+    let shw = SymWorld::new(Arc::clone(&m));
+    let msg_time = {
+        let run = Team::new(Arc::clone(&m)).run(|ctx| {
+            let t0 = ctx.now();
+            if ctx.pe() == 0 {
+                mpw.send(ctx, 7, 1, &[0u64; 16]);
+            } else if ctx.pe() == 7 {
+                let _ = mpw.recv::<u64>(ctx, RecvSpec::from(0, 1));
+            }
+            ctx.barrier();
+            ctx.now() - t0
+        });
+        run.results[7]
+    };
+    let put_time = {
+        let run = Team::new(m).run(|ctx| {
+            let s = shw.alloc::<u64>(ctx, 16);
+            let t0 = ctx.now();
+            if ctx.pe() == 0 {
+                s.put(ctx, 7, 0, &[0u64; 16]);
+            }
+            ctx.barrier();
+            if ctx.pe() == 0 {
+                ctx.now() - t0
+            } else {
+                0
+            }
+        });
+        run.results[0]
+    };
+    assert!(
+        put_time < msg_time,
+        "one-sided 128 B ({put_time}) must beat two-sided ({msg_time})"
+    );
+}
+
+#[test]
+fn executed_line_fetch_beats_both_explicit_models() {
+    let m = machine(8);
+    let sas = SasWorld::new(Arc::clone(&m));
+    let fetch = {
+        let run = Team::new(m).run(|ctx| {
+            let s = sas.alloc::<u64>(ctx, 64);
+            let mut pe = sas.pe();
+            if ctx.pe() == 0 {
+                for i in 0..16 {
+                    pe.write(ctx, &s, i, i as u64);
+                }
+            }
+            sas.barrier(ctx);
+            let t0 = ctx.now();
+            if ctx.pe() == 7 {
+                let _ = pe.read(ctx, &s, 0); // one dirty remote line
+            }
+            sas.barrier(ctx);
+            if ctx.pe() == 7 {
+                ctx.now() - t0
+            } else {
+                0
+            }
+        });
+        run.results[7]
+    };
+    let cfg = MachineConfig::origin2000();
+    assert!(
+        fetch < cfg.mp_send_overhead + cfg.mp_recv_overhead,
+        "a coherence fetch ({fetch}) must undercut message software overhead alone"
+    );
+    assert!(fetch > cfg.lat_local_mem, "remote fetch is not free");
+}
+
+#[test]
+fn barrier_cost_grows_sublinearly_when_executed() {
+    let mut costs = Vec::new();
+    for p in [2usize, 8, 32] {
+        let run = Team::new(machine(p)).run(|ctx| {
+            let t0 = ctx.now();
+            for _ in 0..4 {
+                ctx.barrier();
+            }
+            (ctx.now() - t0) / 4
+        });
+        costs.push(run.results[0]);
+    }
+    assert!(costs[0] < costs[1] && costs[1] < costs[2], "{costs:?}");
+    // 16x the PEs costs less than 16x the time (depth and hop span both
+    // grow logarithmically, so the product is ~log² — still sublinear).
+    assert!(costs[2] < 16 * costs[0], "sublinear growth expected: {costs:?}");
+}
+
+#[test]
+fn timed_helper_smoke() {
+    let t = timed(|ctx| ctx.compute(1_000));
+    assert!(t >= 1_000);
+}
