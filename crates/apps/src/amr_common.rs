@@ -62,7 +62,13 @@ impl Default for AmrConfig {
 impl AmrConfig {
     /// A small configuration for fast tests.
     pub fn small() -> Self {
-        AmrConfig { nx: 10, ny: 10, steps: 3, sweeps: 2, ..Self::default() }
+        AmrConfig {
+            nx: 10,
+            ny: 10,
+            steps: 3,
+            sweeps: 2,
+            ..Self::default()
+        }
     }
 
     /// The moving front: by default a planar shock crossing the unit domain
@@ -70,9 +76,17 @@ impl AmrConfig {
     /// expanding circular front centred on the domain.
     pub fn shock(&self) -> Shock {
         if self.circular {
-            Shock::Circular { cx: 0.5, cy: 0.5, r0: 0.05, speed: 0.6 }
+            Shock::Circular {
+                cx: 0.5,
+                cy: 0.5,
+                r0: 0.05,
+                speed: 0.6,
+            }
         } else {
-            Shock::Planar { x0: 0.0, speed: 1.0 }
+            Shock::Planar {
+                x0: 0.0,
+                speed: 1.0,
+            }
         }
     }
 
@@ -268,8 +282,14 @@ mod tests {
 
     #[test]
     fn remap_reduces_movement() {
-        let cfg = AmrConfig { use_remap: true, ..AmrConfig::default() };
-        let cfg_no = AmrConfig { use_remap: false, ..AmrConfig::default() };
+        let cfg = AmrConfig {
+            use_remap: true,
+            ..AmrConfig::default()
+        };
+        let cfg_no = AmrConfig {
+            use_remap: false,
+            ..AmrConfig::default()
+        };
         let with: f64 = balance_series(&cfg, 8).iter().map(|r| r.2).sum();
         let without: f64 = balance_series(&cfg_no, 8).iter().map(|r| r.2).sum();
         assert!(

@@ -90,7 +90,10 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
     let mut owner = vec![0u32; state.mesh.num_tris_total()];
     {
         let dual = dual_graph(&state.mesh);
-        ctx.compute_units((dual.len() / ctx.npes() + 1) as u64, W::PARTITION_PER_TRI_NS);
+        ctx.compute_units(
+            (dual.len() / ctx.npes() + 1) as u64,
+            W::PARTITION_PER_TRI_NS,
+        );
         let (parts, _) = partition_active(&dual, &vec![0; dual.len()], nnodes, false);
         for (i, &t) in dual.tris.iter().enumerate() {
             owner[t as usize] = parts[i];
@@ -102,7 +105,10 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
         // gather/broadcast phase exists in the hybrid (as in pure SAS).
         let before = state.mesh.num_tris_total();
         let stats = state.adapt(cfg, step);
-        assert!(state.mesh.num_tris_total() <= cap, "triangle capacity exceeded");
+        assert!(
+            state.mesh.num_tris_total() <= cap,
+            "triangle capacity exceeded"
+        );
         ctx.compute_units(
             (stats.marked_scan / ctx.npes() + 1) as u64,
             W::MARK_PER_TRI_NS,
@@ -159,7 +165,10 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
             }
         }
         let moved: usize = migr_out.iter().map(Vec::len).sum();
-        ctx.compute_units((moved / my_node_pes.len() + 1) as u64, W::MIGRATE_PER_TRI_NS);
+        ctx.compute_units(
+            (moved / my_node_pes.len() + 1) as u64,
+            W::MIGRATE_PER_TRI_NS,
+        );
         if is_leader {
             for (n, chunk) in migr_out.into_iter().enumerate() {
                 if n != my_node && !chunk.is_empty() {
@@ -187,8 +196,8 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
         let node_tris: Vec<usize> = (0..dual.len())
             .filter(|&i| parts[i] as usize == my_node)
             .collect();
-        let mine =
-            &node_tris[node_tris.len() * rank_in_node / k..node_tris.len() * (rank_in_node + 1) / k];
+        let mine = &node_tris
+            [node_tris.len() * rank_in_node / k..node_tris.len() * (rank_in_node + 1) / k];
 
         // Boundary lists, derived identically on every PE from replicated
         // data: what my node sends each remote node, and what it receives
@@ -313,7 +322,6 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
     ctx.broadcast(0, if ctx.pe() == 0 { Some(total) } else { None })
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,7 +337,10 @@ mod tests {
         let m = run(machine(8), &cfg);
         assert!(m.sim_time > 0);
         assert!(m.counters.msgs_sent > 0, "leaders must exchange messages");
-        assert!(m.counters.cache_hits > 0, "node peers share through coherence");
+        assert!(
+            m.counters.cache_hits > 0,
+            "node peers share through coherence"
+        );
         // Far fewer messages than the pure MP version.
         let mp = crate::amr_mp::run(machine(8), &cfg);
         assert!(
@@ -351,12 +362,21 @@ mod tests {
     #[test]
     fn checksum_independent_of_pe_count() {
         let cfg = AmrConfig::small();
-        assert_eq!(run(machine(2), &cfg).checksum, run(machine(8), &cfg).checksum);
+        assert_eq!(
+            run(machine(2), &cfg).checksum,
+            run(machine(8), &cfg).checksum
+        );
     }
 
     #[test]
     fn speeds_up() {
-        let cfg = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+        let cfg = AmrConfig {
+            nx: 16,
+            ny: 16,
+            steps: 3,
+            sweeps: 3,
+            ..AmrConfig::default()
+        };
         let t1 = run(machine(1), &cfg).sim_time;
         let t8 = run(machine(8), &cfg).sim_time;
         assert!(t8 < t1);

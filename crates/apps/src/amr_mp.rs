@@ -45,10 +45,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig) -> f64 {
     let mut owner = vec![0u32; state.mesh.num_tris_total()];
     {
         let dual = dual_graph(&state.mesh);
-        ctx.compute_units(
-            (dual.len() / p + 1) as u64,
-            W::PARTITION_PER_TRI_NS,
-        );
+        ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
         let pts: Vec<WeightedPoint> = dual
             .centroids
             .iter()
@@ -189,7 +186,11 @@ fn sync_field(ctx: &mut Ctx, w: &MpWorld, state: &mut ReplicatedMesh, owner: &[u
     state.field = w.bcast(
         ctx,
         0,
-        if me == 0 { state.field.clone() } else { Vec::new() },
+        if me == 0 {
+            state.field.clone()
+        } else {
+            Vec::new()
+        },
     );
 }
 
@@ -225,12 +226,21 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = AmrConfig::small();
-        assert_eq!(run(machine(3), &cfg).checksum, run(machine(3), &cfg).checksum);
+        assert_eq!(
+            run(machine(3), &cfg).checksum,
+            run(machine(3), &cfg).checksum
+        );
     }
 
     #[test]
     fn speeds_up() {
-        let cfg = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+        let cfg = AmrConfig {
+            nx: 16,
+            ny: 16,
+            steps: 3,
+            sweeps: 3,
+            ..AmrConfig::default()
+        };
         let t1 = run(machine(1), &cfg).sim_time;
         let t8 = run(machine(8), &cfg).sim_time;
         assert!(t8 < t1, "P=8 ({t8}) should beat P=1 ({t1})");

@@ -25,11 +25,7 @@ pub fn run(machine: Arc<Machine>, cfg: &AmrConfig) -> RunMetrics {
 }
 
 /// Run with an explicit paging policy (ablation A1).
-pub fn run_with_paging(
-    machine: Arc<Machine>,
-    cfg: &AmrConfig,
-    policy: PagePolicy,
-) -> RunMetrics {
+pub fn run_with_paging(machine: Arc<Machine>, cfg: &AmrConfig, policy: PagePolicy) -> RunMetrics {
     let world = SasWorld::with_paging(Arc::clone(&machine), policy);
     let team = Team::new(machine).seed(cfg.seed);
     let run = team.run(|ctx| pe_main(ctx, &world, cfg));
@@ -70,7 +66,10 @@ fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &AmrConfig) -> f64 {
         // synchronisation is needed — shared memory is always consistent.
         let before = state.mesh.num_tris_total();
         let stats = state.adapt(cfg, step);
-        assert!(state.mesh.num_tris_total() <= cap, "triangle capacity exceeded");
+        assert!(
+            state.mesh.num_tris_total() <= cap,
+            "triangle capacity exceeded"
+        );
         ctx.compute_units((stats.marked_scan / p + 1) as u64, W::MARK_PER_TRI_NS);
         ctx.compute_units((stats.new_tris / p + 1) as u64, W::ADAPT_PER_TRI_NS);
         w.barrier(ctx);
@@ -185,7 +184,10 @@ mod tests {
         assert_eq!(m.counters.msgs_sent, 0);
         assert_eq!(m.counters.puts, 0);
         assert!(m.counters.misses_remote > 0);
-        assert!(m.counters.invalidations > 0, "boundary writes must invalidate");
+        assert!(
+            m.counters.invalidations > 0,
+            "boundary writes must invalidate"
+        );
     }
 
     #[test]
@@ -201,7 +203,10 @@ mod tests {
     #[test]
     fn checksum_independent_of_pe_count() {
         let cfg = AmrConfig::small();
-        assert_eq!(run(machine(1), &cfg).checksum, run(machine(8), &cfg).checksum);
+        assert_eq!(
+            run(machine(1), &cfg).checksum,
+            run(machine(8), &cfg).checksum
+        );
     }
 
     #[test]
@@ -221,7 +226,13 @@ mod tests {
 
     #[test]
     fn speeds_up() {
-        let cfg = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+        let cfg = AmrConfig {
+            nx: 16,
+            ny: 16,
+            steps: 3,
+            sweeps: 3,
+            ..AmrConfig::default()
+        };
         let t1 = run(machine(1), &cfg).sim_time;
         let t8 = run(machine(8), &cfg).sim_time;
         assert!(t8 < t1);
@@ -241,7 +252,10 @@ mod self_schedule_tests {
     fn self_scheduling_preserves_the_answer() {
         // Jacobi values are independent of who computes which triangle.
         let static_cfg = AmrConfig::small();
-        let dyn_cfg = AmrConfig { sas_self_schedule: true, ..AmrConfig::small() };
+        let dyn_cfg = AmrConfig {
+            sas_self_schedule: true,
+            ..AmrConfig::small()
+        };
         let a = run(machine(6), &static_cfg).checksum;
         let b = run(machine(6), &dyn_cfg).checksum;
         assert_eq!(a, b);
@@ -249,7 +263,10 @@ mod self_schedule_tests {
 
     #[test]
     fn self_scheduling_costs_but_stays_sane() {
-        let dyn_cfg = AmrConfig { sas_self_schedule: true, ..AmrConfig::small() };
+        let dyn_cfg = AmrConfig {
+            sas_self_schedule: true,
+            ..AmrConfig::small()
+        };
         let r = run(machine(4), &dyn_cfg);
         let baseline = run(machine(4), &AmrConfig::small());
         // Claim traffic and lost affinity make it slower, but the same

@@ -74,7 +74,10 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
 
         // (2) Remesh (replicated metadata, distributed charge).
         let stats = state.adapt(cfg, step);
-        assert!(state.mesh.num_tris_total() <= cap, "triangle capacity exceeded");
+        assert!(
+            state.mesh.num_tris_total() <= cap,
+            "triangle capacity exceeded"
+        );
         ctx.compute_units((stats.marked_scan / p + 1) as u64, W::MARK_PER_TRI_NS);
         ctx.compute_units((stats.new_tris / p + 1) as u64, W::ADAPT_PER_TRI_NS);
         for t in owner.len()..state.mesh.num_tris_total() {
@@ -225,12 +228,21 @@ mod tests {
     #[test]
     fn checksum_independent_of_pe_count() {
         let cfg = AmrConfig::small();
-        assert_eq!(run(machine(1), &cfg).checksum, run(machine(6), &cfg).checksum);
+        assert_eq!(
+            run(machine(1), &cfg).checksum,
+            run(machine(6), &cfg).checksum
+        );
     }
 
     #[test]
     fn speeds_up() {
-        let cfg = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+        let cfg = AmrConfig {
+            nx: 16,
+            ny: 16,
+            steps: 3,
+            sweeps: 3,
+            ..AmrConfig::default()
+        };
         let t1 = run(machine(1), &cfg).sim_time;
         let t8 = run(machine(8), &cfg).sim_time;
         assert!(t8 < t1);

@@ -23,8 +23,7 @@ impl Model {
     pub const ALL: [Model; 3] = [Model::Mp, Model::Shmem, Model::Sas];
 
     /// The paper's models plus the hybrid extension.
-    pub const WITH_HYBRID: [Model; 4] =
-        [Model::Mp, Model::Shmem, Model::Sas, Model::Hybrid];
+    pub const WITH_HYBRID: [Model; 4] = [Model::Mp, Model::Shmem, Model::Sas, Model::Hybrid];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -73,16 +72,13 @@ pub struct RunMetrics {
     pub checksum: f64,
     /// App-specific size indicator (bodies, or final active triangles).
     pub problem_size: usize,
+    /// Recorded event trace, when the run executed with tracing enabled.
+    pub trace: Option<o2k_trace::Trace>,
 }
 
 impl RunMetrics {
     /// Assemble from a team run whose per-PE closures returned `checksum`.
-    pub fn collect(
-        app: App,
-        model: Model,
-        run: &TeamRun<f64>,
-        problem_size: usize,
-    ) -> RunMetrics {
+    pub fn collect(app: App, model: Model, run: &TeamRun<f64>, problem_size: usize) -> RunMetrics {
         RunMetrics {
             app,
             model,
@@ -92,6 +88,7 @@ impl RunMetrics {
             counters: run.merged_counters(),
             checksum: run.results.first().copied().unwrap_or(0.0),
             problem_size,
+            trace: run.is_traced().then(|| run.trace()),
         }
     }
 

@@ -25,14 +25,25 @@ pub struct NBodyConfig {
 
 impl Default for NBodyConfig {
     fn default() -> Self {
-        NBodyConfig { n: 2048, theta: 0.8, eps: 0.05, dt: 0.01, steps: 3, seed: 42 }
+        NBodyConfig {
+            n: 2048,
+            theta: 0.8,
+            eps: 0.05,
+            dt: 0.01,
+            steps: 3,
+            seed: 42,
+        }
     }
 }
 
 impl NBodyConfig {
     /// A small configuration for fast tests.
     pub fn small() -> Self {
-        NBodyConfig { n: 256, steps: 2, ..Self::default() }
+        NBodyConfig {
+            n: 256,
+            steps: 2,
+            ..Self::default()
+        }
     }
 
     /// The deterministic initial body set for this configuration.
@@ -99,10 +110,14 @@ pub fn flatten_tree(tree: &Octree) -> (Vec<f64>, Vec<u64>) {
         } else {
             (0, 0)
         };
-        let first = if n.is_leaf() { -1.0 } else { n.first_child as f64 };
+        let first = if n.is_leaf() {
+            -1.0
+        } else {
+            n.first_child as f64
+        };
         words.extend_from_slice(&[
-            n.center.x, n.center.y, n.center.z, n.half, n.mass, n.com.x, n.com.y, n.com.z,
-            first, off as f64, len as f64, 0.0,
+            n.center.x, n.center.y, n.center.z, n.half, n.mass, n.com.x, n.com.y, n.com.z, first,
+            off as f64, len as f64, 0.0,
         ]);
     }
     (words, leaves)

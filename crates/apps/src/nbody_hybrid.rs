@@ -32,7 +32,10 @@ const TAG_SCATTER: u32 = 24;
 
 /// Run the hybrid N-body application; returns uniform metrics.
 pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
-    assert!(cfg.n >= machine.topology.nodes(), "need bodies on every node");
+    assert!(
+        cfg.n >= machine.topology.nodes(),
+        "need bodies on every node"
+    );
     let mp = MpWorld::new(Arc::clone(&machine));
     let sas = SasWorld::new(Arc::clone(&machine));
     let team = Team::new(Arc::clone(&machine)).seed(cfg.seed);
@@ -88,7 +91,10 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &NBodyConfig) -> f6
     let my_node = topo.node_of(ctx.pe());
     let my_node_pes: Vec<usize> = topo.pes_on_node(my_node).collect();
     let k = my_node_pes.len();
-    let rank_in_node = my_node_pes.iter().position(|&q| q == ctx.pe()).expect("member");
+    let rank_in_node = my_node_pes
+        .iter()
+        .position(|&q| q == ctx.pe())
+        .expect("member");
     let is_leader = rank_in_node == 0;
     let leader_of = |n: usize| topo.pes_on_node(n).next().expect("node has a PE");
     let n = cfg.n;
@@ -179,8 +185,7 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &NBodyConfig) -> f6
             let mut merged_pos = lpos;
             let mut merged_mass = lmass;
             for q in (0..nnodes).filter(|&q| q != my_node) {
-                let (_, _, imp) =
-                    mp.recv::<[f64; 4]>(ctx, RecvSpec::from(leader_of(q), TAG_LET));
+                let (_, _, imp) = mp.recv::<[f64; 4]>(ctx, RecvSpec::from(leader_of(q), TAG_LET));
                 for it in imp {
                     merged_pos.push(Vec3::new(it[0], it[1], it[2]));
                     merged_mass.push(it[3]);
@@ -198,7 +203,10 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &NBodyConfig) -> f6
             let guarded = guard_empty(&merged_pos, &merged_mass);
             let mtree = Octree::build(&guarded.0, &guarded.1, 4);
             let (words, leaves) = flatten_tree(&mtree);
-            assert!(words.len() <= tree_cap * NODE_WORDS, "tree capacity exceeded");
+            assert!(
+                words.len() <= tree_cap * NODE_WORDS,
+                "tree capacity exceeded"
+            );
             pe.write_range(ctx, &s.tnodes, my_node * lay.tnodes, &words);
             for (i, v) in leaves.iter().enumerate() {
                 s.tleaves.write_raw(my_node * lay.tleaves + i, *v);
@@ -260,8 +268,10 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &NBodyConfig) -> f6
                 }
                 ctx.compute_units(n as u64, W::PARTITION_PER_BODY_NS);
                 let records: Vec<&[f64]> = bodies.chunks_exact(8).collect();
-                let posv: Vec<Vec3> =
-                    records.iter().map(|r| Vec3::new(r[0], r[1], r[2])).collect();
+                let posv: Vec<Vec3> = records
+                    .iter()
+                    .map(|r| Vec3::new(r[0], r[1], r[2]))
+                    .collect();
                 let wts: Vec<f64> = records.iter().map(|r| r[7].max(1.0)).collect();
                 let new_assign = orb_partition(&posv, &wts, nnodes);
                 let mut outs: Vec<Vec<f64>> = vec![Vec::new(); nnodes];
@@ -332,7 +342,12 @@ fn read_body_raw(s: &Segments, node: usize, lay: &Layout, i: usize) -> [f64; 8] 
     ]
 }
 
-fn read_node_bodies(s: &Segments, node: usize, lay: &Layout, count: usize) -> (Vec<Vec3>, Vec<f64>) {
+fn read_node_bodies(
+    s: &Segments,
+    node: usize,
+    lay: &Layout,
+    count: usize,
+) -> (Vec<Vec3>, Vec<f64>) {
     let mut pos = Vec::with_capacity(count);
     let mut mass = Vec::with_capacity(count);
     for i in 0..count {
@@ -390,7 +405,10 @@ fn walk_at(
     cfg: &NBodyConfig,
 ) -> (Vec3, u64) {
     // The leaf stream indexes the node's merged arrays: offset by mbase.
-    let shifted = WalkBase { bodies: mbase, ..*base };
+    let shifted = WalkBase {
+        bodies: mbase,
+        ..*base
+    };
     shared_tree_walk(
         ctx, pe, &s.tnodes, &s.tleaves, &s.mpos, &s.mmass, &shifted, target, cfg.theta, cfg.eps,
     )
@@ -410,7 +428,10 @@ mod tests {
         let cfg = NBodyConfig::small();
         let m = run(machine(8), &cfg);
         assert!(m.sim_time > 0);
-        assert!(m.counters.msgs_sent > 0, "leaders exchange boxes/LETs/bodies");
+        assert!(
+            m.counters.msgs_sent > 0,
+            "leaders exchange boxes/LETs/bodies"
+        );
         assert!(m.counters.cache_hits > 0, "peers walk the shared tree");
         assert_eq!(
             m.counters.misses_remote, 0,
@@ -442,7 +463,11 @@ mod tests {
 
     #[test]
     fn speeds_up() {
-        let cfg = NBodyConfig { n: 512, steps: 2, ..NBodyConfig::default() };
+        let cfg = NBodyConfig {
+            n: 512,
+            steps: 2,
+            ..NBodyConfig::default()
+        };
         let t2 = run(machine(2), &cfg).sim_time;
         let t8 = run(machine(8), &cfg).sim_time;
         assert!(t8 < t2);

@@ -52,7 +52,10 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig) -> f64 {
         .iter()
         .zip(&assign)
         .filter(|(_, &a)| a as usize == me)
-        .map(|(b, _)| BodyCost { body: *b, cost: 1.0 })
+        .map(|(b, _)| BodyCost {
+            body: *b,
+            cost: 1.0,
+        })
         .collect();
 
     for _step in 0..cfg.steps {
@@ -202,7 +205,11 @@ mod tests {
 
     #[test]
     fn more_pes_simulate_faster() {
-        let cfg = NBodyConfig { n: 512, steps: 2, ..NBodyConfig::default() };
+        let cfg = NBodyConfig {
+            n: 512,
+            steps: 2,
+            ..NBodyConfig::default()
+        };
         let t1 = run(machine(1), &cfg).sim_time;
         let t4 = run(machine(4), &cfg).sim_time;
         assert!(t4 < t1, "P=4 ({t4}) should beat P=1 ({t1})");

@@ -19,7 +19,9 @@ use parallel::{Ctx, Team};
 use sas::{PagePolicy, SasSlice, SasWorld};
 
 use crate::metrics::{App, Model, RunMetrics};
-use crate::nbody_common::{flatten_tree, read_vec3, shared_tree_walk, NBodyConfig, WalkBase, NODE_WORDS};
+use crate::nbody_common::{
+    flatten_tree, read_vec3, shared_tree_walk, NBodyConfig, WalkBase, NODE_WORDS,
+};
 use crate::workcost as W;
 
 /// Run the CC-SAS N-body application with first-touch paging.
@@ -28,11 +30,7 @@ pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
 }
 
 /// Run with an explicit paging policy (ablation A1).
-pub fn run_with_paging(
-    machine: Arc<Machine>,
-    cfg: &NBodyConfig,
-    policy: PagePolicy,
-) -> RunMetrics {
+pub fn run_with_paging(machine: Arc<Machine>, cfg: &NBodyConfig, policy: PagePolicy) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per PE");
     let world = SasWorld::with_paging(Arc::clone(&machine), policy);
     let team = Team::new(machine).seed(cfg.seed);
@@ -201,8 +199,6 @@ fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &NBodyConfig) -> f64 {
     ctx.broadcast(0, if me == 0 { Some(total) } else { None })
 }
 
-
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,7 +263,11 @@ mod tests {
 
     #[test]
     fn speeds_up() {
-        let cfg = NBodyConfig { n: 512, steps: 2, ..NBodyConfig::default() };
+        let cfg = NBodyConfig {
+            n: 512,
+            steps: 2,
+            ..NBodyConfig::default()
+        };
         let t1 = run(machine(1), &cfg).sim_time;
         let t4 = run(machine(4), &cfg).sim_time;
         assert!(t4 < t1);

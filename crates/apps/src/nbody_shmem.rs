@@ -87,7 +87,10 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> f64 {
         .iter()
         .zip(&assign)
         .filter(|(_, &a)| a as usize == me)
-        .map(|(b, _)| BodyCost { body: *b, cost: 1.0 })
+        .map(|(b, _)| BodyCost {
+            body: *b,
+            cost: 1.0,
+        })
         .collect();
 
     for _step in 0..cfg.steps {
@@ -187,8 +190,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> f64 {
 
         if me == 0 {
             let raw = s.gather.read_local(ctx, 0, BODY_WORDS * cfg.n);
-            let mut bodies: Vec<BodyCost> =
-                raw.chunks_exact(BODY_WORDS).map(decode_body).collect();
+            let mut bodies: Vec<BodyCost> = raw.chunks_exact(BODY_WORDS).map(decode_body).collect();
             // Ticket order depends on thread scheduling; restore a
             // deterministic order before partitioning.
             bodies.sort_by(|a, b| {
@@ -272,11 +274,14 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = NBodyConfig::small();
-        assert_eq!(run(machine(2), &cfg).checksum, run(machine(2), &cfg).checksum);
+        assert_eq!(
+            run(machine(2), &cfg).checksum,
+            run(machine(2), &cfg).checksum
+        );
     }
 
     #[test]
-    fn physics_close_to_mp_version(){
+    fn physics_close_to_mp_version() {
         let cfg = NBodyConfig::small();
         let sh = run(machine(4), &cfg).checksum;
         let mp = crate::nbody_mp::run(machine(4), &cfg).checksum;
@@ -286,7 +291,11 @@ mod tests {
 
     #[test]
     fn speeds_up() {
-        let cfg = NBodyConfig { n: 512, steps: 2, ..NBodyConfig::default() };
+        let cfg = NBodyConfig {
+            n: 512,
+            steps: 2,
+            ..NBodyConfig::default()
+        };
         let t1 = run(machine(1), &cfg).sim_time;
         let t4 = run(machine(4), &cfg).sim_time;
         assert!(t4 < t1);

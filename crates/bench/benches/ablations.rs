@@ -26,7 +26,10 @@ fn bench_paging(c: &mut Criterion) {
 
 fn bench_remap(c: &mut Criterion) {
     let with = AmrConfig::small();
-    let without = AmrConfig { use_remap: false, ..AmrConfig::small() };
+    let without = AmrConfig {
+        use_remap: false,
+        ..AmrConfig::small()
+    };
     c.bench_function("ablation_amr_with_remap", |b| {
         b.iter(|| apps::amr_mp::run(m(4), &with))
     });
@@ -54,7 +57,9 @@ fn bench_multilevel(c: &mut Criterion) {
     let marked: Vec<u32> = mesh.active_tris().into_iter().step_by(4).collect();
     mesh.refine(&marked);
     let dual = dual_graph(&mesh);
-    let lists: Vec<Vec<u32>> = (0..dual.len()).map(|v| dual.neighbors(v).to_vec()).collect();
+    let lists: Vec<Vec<u32>> = (0..dual.len())
+        .map(|v| dual.neighbors(v).to_vec())
+        .collect();
     let g = CsrGraph::from_lists(&lists, vec![1.0; dual.len()]);
     c.bench_function("ablation_multilevel_partition", |b| {
         b.iter(|| multilevel_partition(&g, 16))

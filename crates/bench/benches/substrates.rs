@@ -54,7 +54,9 @@ fn bench_mesh(c: &mut Criterion) {
     let mut m = AdaptiveMesh::structured(32, 32, 1.0, 1.0);
     let marked: Vec<u32> = m.active_tris().into_iter().step_by(5).collect();
     m.refine(&marked);
-    c.bench_function("dual_graph_adapted", |b| b.iter(|| dual_graph(black_box(&m))));
+    c.bench_function("dual_graph_adapted", |b| {
+        b.iter(|| dual_graph(black_box(&m)))
+    });
 }
 
 fn bench_partitioners(c: &mut Criterion) {

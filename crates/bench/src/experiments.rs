@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use apps::{App, Model};
 use apps::{AmrConfig, NBodyConfig};
+use apps::{App, Model};
 use machine::{Machine, MachineConfig};
 use mesh::adaptive::AdaptiveMesh;
 use mesh::dual::dual_graph;
@@ -18,8 +18,8 @@ use partition::{
 use sas::PagePolicy;
 
 /// All experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
-    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "a1", "a2", "a3",
+pub const EXPERIMENT_IDS: [&str; 19] = [
+    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "a1", "a2", "a3",
     "a4", "a5", "a6",
 ];
 
@@ -34,9 +34,17 @@ fn sweep_pes(quick: bool) -> Vec<usize> {
 
 fn nbody_cfg(quick: bool) -> NBodyConfig {
     if quick {
-        NBodyConfig { n: 512, steps: 2, ..NBodyConfig::default() }
+        NBodyConfig {
+            n: 512,
+            steps: 2,
+            ..NBodyConfig::default()
+        }
     } else {
-        NBodyConfig { n: 2048, steps: 3, ..NBodyConfig::default() }
+        NBodyConfig {
+            n: 2048,
+            steps: 3,
+            ..NBodyConfig::default()
+        }
     }
 }
 
@@ -44,7 +52,13 @@ fn amr_cfg(quick: bool) -> AmrConfig {
     if quick {
         AmrConfig::small()
     } else {
-        AmrConfig { nx: 32, ny: 32, steps: 5, sweeps: 5, ..AmrConfig::default() }
+        AmrConfig {
+            nx: 32,
+            ny: 32,
+            steps: 5,
+            sweeps: 5,
+            ..AmrConfig::default()
+        }
     }
 }
 
@@ -70,6 +84,7 @@ pub fn run_experiment(id: &str, quick: bool) -> String {
         "f6" => f6_balance(quick),
         "f7" => f7_traffic_structure(quick),
         "f8" => f8_cache(quick),
+        "f9" => f9_critical_path(quick),
         "a1" => a1_paging(quick),
         "a2" => a2_remap(quick),
         "a3" => a3_partitioning(quick),
@@ -86,18 +101,36 @@ fn t1_machine() -> String {
     let c = MachineConfig::origin2000();
     let rows = vec![
         vec!["CPUs per node".into(), format!("{}", c.cpus_per_node)],
-        vec!["CPU cycle".into(), format!("{} ns (250 MHz R10000)", c.cycle_ns)],
+        vec![
+            "CPU cycle".into(),
+            format!("{} ns (250 MHz R10000)", c.cycle_ns),
+        ],
         vec!["Cache line".into(), format!("{} B", c.line_bytes)],
-        vec!["Modelled cache".into(), format!("{} MB, {}-way", c.cache_bytes >> 20, c.cache_assoc)],
+        vec![
+            "Modelled cache".into(),
+            format!("{} MB, {}-way", c.cache_bytes >> 20, c.cache_assoc),
+        ],
         vec!["Cache hit".into(), format!("{} ns", c.lat_cache_hit)],
         vec!["Local memory".into(), format!("{} ns", c.lat_local_mem)],
         vec!["Per router hop".into(), format!("{} ns", c.lat_hop)],
         vec!["Directory op".into(), format!("{} ns", c.lat_directory)],
-        vec!["Link bandwidth".into(), format!("{:.2} GB/s", c.bw_bytes_per_ns)],
+        vec![
+            "Link bandwidth".into(),
+            format!("{:.2} GB/s", c.bw_bytes_per_ns),
+        ],
         vec!["Page size".into(), format!("{} KB", c.page_bytes >> 10)],
-        vec!["MPI send+recv overhead".into(), format!("{} ns", c.mp_send_overhead + c.mp_recv_overhead)],
-        vec!["SHMEM put overhead".into(), format!("{} ns", c.shmem_put_overhead)],
-        vec!["Barrier cost per tree level".into(), format!("{} ns", c.sync_hop)],
+        vec![
+            "MPI send+recv overhead".into(),
+            format!("{} ns", c.mp_send_overhead + c.mp_recv_overhead),
+        ],
+        vec![
+            "SHMEM put overhead".into(),
+            format!("{} ns", c.shmem_put_overhead),
+        ],
+        vec![
+            "Barrier cost per tree level".into(),
+            format!("{} ns", c.sync_hop),
+        ],
     ];
     format!(
         "T1: simulated Origin2000 machine parameters\n\n{}",
@@ -125,7 +158,11 @@ fn t2_effort() -> String {
 fn t3_partitioners() -> String {
     // Partition an adapted mesh (shock mid-domain) with every partitioner.
     let mut mesh = AdaptiveMesh::structured(32, 32, 1.0, 1.0);
-    let cfg = AmrConfig { nx: 32, ny: 32, ..AmrConfig::default() };
+    let cfg = AmrConfig {
+        nx: 32,
+        ny: 32,
+        ..AmrConfig::default()
+    };
     for step in 0..3 {
         mesh::indicator::adapt_step(
             &mut mesh,
@@ -142,7 +179,9 @@ fn t3_partitioners() -> String {
         .iter()
         .map(|c| WeightedPoint::new(c.x, c.y, 1.0))
         .collect();
-    let lists: Vec<Vec<u32>> = (0..dual.len()).map(|v| dual.neighbors(v).to_vec()).collect();
+    let lists: Vec<Vec<u32>> = (0..dual.len())
+        .map(|v| dual.neighbors(v).to_vec())
+        .collect();
     let g = CsrGraph::from_lists(&lists, vec![1.0; dual.len()]);
     let nparts = 16;
     let mut rows = Vec::new();
@@ -317,7 +356,13 @@ microbenchmark table of the era, doubling as a model self-check.
 // ---------------------------------------------------------------- figures
 
 fn do_sweep(app: App, quick: bool) -> SweepResult {
-    sweep_models(app, &Model::ALL, &sweep_pes(quick), &nbody_cfg(quick), &amr_cfg(quick))
+    sweep_models(
+        app,
+        &Model::ALL,
+        &sweep_pes(quick),
+        &nbody_cfg(quick),
+        &amr_cfg(quick),
+    )
 }
 
 fn f_speedup(app: App, quick: bool) -> String {
@@ -335,7 +380,13 @@ fn f_speedup(app: App, quick: bool) -> String {
         rows.push(row);
     }
     let header = cells(&[
-        "P", "MPI ms", "SHMEM ms", "CC-SAS ms", "MPI spd", "SHMEM spd", "CC-SAS spd",
+        "P",
+        "MPI ms",
+        "SHMEM ms",
+        "CC-SAS ms",
+        "MPI spd",
+        "SHMEM spd",
+        "CC-SAS spd",
     ]);
     let chart_series: Vec<(&str, Vec<f64>)> = sweep
         .series
@@ -346,7 +397,12 @@ fn f_speedup(app: App, quick: bool) -> String {
         "{id}: {} simulated execution time and speedup vs processors\n\n{}\n{}",
         app.name(),
         render(&header, &rows),
-        line_chart(&format!("{} speedup", app.name()), &sweep.pes, &chart_series, 12)
+        line_chart(
+            &format!("{} speedup", app.name()),
+            &sweep.pes,
+            &chart_series,
+            12
+        )
     )
 }
 
@@ -425,7 +481,10 @@ fn f6_balance(quick: bool) -> String {
     let cfg = amr_cfg(quick);
     let p = if quick { 8 } else { 16 };
     let with = apps::amr_common::balance_series(&cfg, p);
-    let no_cfg = AmrConfig { use_remap: false, ..cfg.clone() };
+    let no_cfg = AmrConfig {
+        use_remap: false,
+        ..cfg.clone()
+    };
     let without = apps::amr_common::balance_series(&no_cfg, p);
     let mut rows = Vec::new();
     for (step, (w, n)) in with.iter().zip(&without).enumerate() {
@@ -509,6 +568,83 @@ fn f8_cache(quick: bool) -> String {
     out
 }
 
+fn f9_critical_path(quick: bool) -> String {
+    // Event tracing plus critical-path analysis: where does the end-to-end
+    // simulated time actually go, for each application under each model?
+    // Traces are archived as Perfetto-loadable Chrome JSON next to the
+    // text outputs.
+    let p = if quick { 8 } else { 32 };
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    let out_dir = std::env::var("O2K_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let _ = std::fs::create_dir_all(&out_dir);
+
+    let was_enabled = o2k_trace::enabled();
+    o2k_trace::set_enabled(true);
+
+    let mut out = format!(
+        "F9: event traces and critical-path analysis at P={p}\n\
+         (open the archived .trace.json files in https://ui.perfetto.dev)\n"
+    );
+    for app in [App::Amr, App::NBody] {
+        for model in Model::ALL {
+            let r = apps::run_app(machine(p), app, model, &nb, &am);
+            let trace = r.trace.as_ref().expect("tracing was enabled");
+            let slug = format!(
+                "f9_{}_{}",
+                app.name().to_lowercase().replace('-', ""),
+                model.name().to_lowercase().replace(['-', '+'], "")
+            );
+            let path = format!("{out_dir}/{slug}.trace.json");
+            std::fs::write(&path, o2k_trace::chrome::to_chrome_json(trace))
+                .expect("write trace json");
+            let stats = o2k_trace::critpath::critical_path(trace);
+            out.push_str(&format!(
+                "\n--- {} / {} — {} events across {} PEs, archived to {path}\n",
+                app.name(),
+                model.name(),
+                trace.total_events(),
+                trace.pes(),
+            ));
+            out.push_str(&o2k_trace::critpath::render_table(&stats));
+            // One terminal timeline for the headline case (AMR under MPI:
+            // the send/recv storms are visible to the naked eye).
+            if matches!((app, model), (App::Amr, Model::Mp)) {
+                out.push_str(&o2k_trace::chrome::text_timeline(trace, 72));
+            }
+        }
+    }
+
+    // Per-adaptation-step communication deltas (Counters::diff): rerun the
+    // MPI AMR with a growing step budget and difference the running totals.
+    out.push_str("\nAMR / MPI communication per adaptation step (cumulative-run deltas):\n");
+    let mut rows = Vec::new();
+    let mut prev = machine::Counters::new();
+    for k in 1..=am.steps {
+        let cfg = apps::AmrConfig {
+            steps: k,
+            ..am.clone()
+        };
+        let r = apps::amr_mp::run(machine(p), &cfg);
+        let d = r.counters.diff(&prev);
+        rows.push(vec![
+            k.to_string(),
+            d.msgs_sent.to_string(),
+            format!("{}", d.msg_bytes / 1024),
+            d.barriers.to_string(),
+        ]);
+        prev = r.counters;
+    }
+    out.push_str(&render(&cells(&["step", "msgs", "KB", "barriers"]), &rows));
+
+    if !was_enabled {
+        o2k_trace::set_enabled(false);
+    }
+    // The runs above also pushed their traces to the process-wide sink;
+    // they are archived already, so drop them.
+    let _ = o2k_trace::sink_drain();
+    out
+}
+
 // -------------------------------------------------------------- ablations
 
 fn a1_paging(quick: bool) -> String {
@@ -543,17 +679,27 @@ fn a2_remap(quick: bool) -> String {
     let base = amr_cfg(quick);
     let mut rows = Vec::new();
     for (name, use_remap) in [("with PLUM remap", true), ("without remap", false)] {
-        let cfg = AmrConfig { use_remap, ..base.clone() };
+        let cfg = AmrConfig {
+            use_remap,
+            ..base.clone()
+        };
         let r = apps::amr_mp::run(machine(p), &cfg);
         let moved: f64 = apps::amr_common::balance_series(&cfg, p)
             .iter()
             .map(|s| s.2)
             .sum();
-        rows.push(vec![name.to_string(), ms(r.sim_time), format!("{moved:.0}")]);
+        rows.push(vec![
+            name.to_string(),
+            ms(r.sim_time),
+            format!("{moved:.0}"),
+        ]);
     }
     format!(
         "A2: PLUM remapping ablation (MPI AMR, P={p})\n\n{}",
-        render(&cells(&["configuration", "time ms", "elements moved"]), &rows)
+        render(
+            &cells(&["configuration", "time ms", "elements moved"]),
+            &rows
+        )
     )
 }
 
@@ -569,7 +715,11 @@ fn a3_partitioning(quick: bool) -> String {
         let busy: Vec<f64> = r.per_pe.iter().map(|b| b.busy as f64).collect();
         let max = busy.iter().cloned().fold(0.0f64, f64::max);
         let mean = busy.iter().sum::<f64>() / busy.len() as f64;
-        let scheme = if model == Model::Sas { "costzones" } else { "ORB" };
+        let scheme = if model == Model::Sas {
+            "costzones"
+        } else {
+            "ORB"
+        };
         rows.push(vec![
             format!("{} ({})", model.name(), scheme),
             ms(r.sim_time),
@@ -616,7 +766,10 @@ flat machine (0x) and erodes as remoteness grows, until at 16x the ranking
 behind the follow-up papers' cluster results: take away cheap hardware
 fine-grained access and MPI becomes competitive again.
 ",
-        render(&cells(&["hop latency", "MPI ms", "SHMEM ms", "CC-SAS ms"]), &rows)
+        render(
+            &cells(&["hop latency", "MPI ms", "SHMEM ms", "CC-SAS ms"]),
+            &rows
+        )
     )
 }
 
@@ -656,8 +809,14 @@ fn a6_self_schedule(quick: bool) -> String {
     let p = if quick { 8 } else { 16 };
     let base = amr_cfg(quick);
     let mut rows = Vec::new();
-    for (name, dynamic) in [("static blocks", false), ("self-scheduled (chunk 32)", true)] {
-        let cfg = AmrConfig { sas_self_schedule: dynamic, ..base.clone() };
+    for (name, dynamic) in [
+        ("static blocks", false),
+        ("self-scheduled (chunk 32)", true),
+    ] {
+        let cfg = AmrConfig {
+            sas_self_schedule: dynamic,
+            ..base.clone()
+        };
         let r = apps::amr_sas::run(machine(p), &cfg);
         let busy: Vec<f64> = r.per_pe.iter().map(|b| b.busy as f64).collect();
         let max = busy.iter().cloned().fold(0.0f64, f64::max);

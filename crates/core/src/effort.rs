@@ -66,7 +66,11 @@ pub fn effort_table() -> Vec<EffortRow> {
     let mut rows = Vec::with_capacity(6);
     for app in [App::NBody, App::Amr] {
         for model in Model::ALL {
-            rows.push(EffortRow { app, model, loc: count_loc(source(app, model)) });
+            rows.push(EffortRow {
+                app,
+                model,
+                loc: count_loc(source(app, model)),
+            });
         }
     }
     rows
@@ -87,7 +91,12 @@ mod tests {
         let t = effort_table();
         assert_eq!(t.len(), 6);
         for row in &t {
-            assert!(row.loc > 30, "{:?}/{:?} suspiciously small", row.app, row.model);
+            assert!(
+                row.loc > 30,
+                "{:?}/{:?} suspiciously small",
+                row.app,
+                row.model
+            );
         }
     }
 
@@ -112,7 +121,10 @@ mod tests {
             loc(App::Amr, Model::Shmem),
             loc(App::Amr, Model::Sas),
         );
-        assert!(sas < sh && sas < mp, "AMR: SAS ({sas}) vs SHMEM ({sh}) / MP ({mp})");
+        assert!(
+            sas < sh && sas < mp,
+            "AMR: SAS ({sas}) vs SHMEM ({sh}) / MP ({mp})"
+        );
         // (1.3x rather than the earlier 1.6x: the SAS source now also
         // carries the A6 self-scheduling ablation machinery.)
         assert!(

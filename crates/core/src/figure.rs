@@ -4,12 +4,7 @@
 /// Render a multi-series line chart. `xs` labels the x positions; each
 /// series is `(name, ys)`. The chart is `height` rows tall and scales y
 /// from 0 to the data maximum.
-pub fn line_chart(
-    title: &str,
-    xs: &[usize],
-    series: &[(&str, Vec<f64>)],
-    height: usize,
-) -> String {
+pub fn line_chart(title: &str, xs: &[usize], series: &[(&str, Vec<f64>)], height: usize) -> String {
     assert!(height >= 2);
     let max_y = series
         .iter()
@@ -27,7 +22,11 @@ pub fn line_chart(
             let col = xi * col_w + col_w / 2;
             let cell = &mut grid[row.min(height - 1)][col];
             // Collisions render as '*'.
-            *cell = if *cell == ' ' { marks[si % marks.len()] } else { '*' };
+            *cell = if *cell == ' ' {
+                marks[si % marks.len()]
+            } else {
+                '*'
+            };
         }
     }
     let mut out = format!("{title}  (y max = {max_y:.2})\n");
@@ -101,7 +100,10 @@ mod tests {
         let c = line_chart(
             "speedup",
             &[1, 2, 4],
-            &[("MPI", vec![1.0, 1.9, 3.5]), ("CC-SAS", vec![1.0, 2.0, 3.9])],
+            &[
+                ("MPI", vec![1.0, 1.9, 3.5]),
+                ("CC-SAS", vec![1.0, 2.0, 3.9]),
+            ],
             8,
         );
         assert!(c.contains("speedup"));

@@ -15,7 +15,7 @@ pub struct Section {
 }
 
 /// Human titles for the suite, in presentation order.
-pub const SECTION_TITLES: [(&str, &str); 18] = [
+pub const SECTION_TITLES: [(&str, &str); 19] = [
     ("t1", "Machine parameters"),
     ("t2", "Programming effort"),
     ("t3", "Partitioner quality"),
@@ -28,6 +28,7 @@ pub const SECTION_TITLES: [(&str, &str); 18] = [
     ("f6", "Load balance and data movement"),
     ("f7", "Traffic structure"),
     ("f8", "CC-SAS cache behaviour"),
+    ("f9", "Event tracing and critical path"),
     ("a1", "Ablation: page placement"),
     ("a2", "Ablation: PLUM remapping"),
     ("a3", "Ablation: costzones vs ORB"),
@@ -89,21 +90,33 @@ mod tests {
     fn titles_cover_the_suite() {
         assert_eq!(title_of("f3"), "AMR: time and speedup");
         assert_eq!(title_of("zz"), "zz");
-        assert_eq!(SECTION_TITLES.len(), 18);
+        assert_eq!(SECTION_TITLES.len(), 19);
     }
 
     #[test]
     fn assemble_orders_canonically() {
         let sections = vec![
-            Section { id: "f1".into(), body: "FIG1".into() },
-            Section { id: "t1".into(), body: "TAB1".into() },
-            Section { id: "weird".into(), body: "X".into() },
+            Section {
+                id: "f1".into(),
+                body: "FIG1".into(),
+            },
+            Section {
+                id: "t1".into(),
+                body: "TAB1".into(),
+            },
+            Section {
+                id: "weird".into(),
+                body: "X".into(),
+            },
         ];
         let r = assemble("hdr", &sections);
         let t1 = r.find("TAB1").unwrap();
         let f1 = r.find("FIG1").unwrap();
         let x = r.find("```text\nX").unwrap();
-        assert!(t1 < f1 && f1 < x, "canonical order: t1 before f1 before extras");
+        assert!(
+            t1 < f1 && f1 < x,
+            "canonical order: t1 before f1 before extras"
+        );
         assert!(r.contains("## Contents"));
         assert!(r.contains("# origin2k reproduction report"));
     }

@@ -67,7 +67,11 @@ pub fn sweep_models(
                 .collect(),
         })
         .collect();
-    SweepResult { app, pes: pes.to_vec(), series }
+    SweepResult {
+        app,
+        pes: pes.to_vec(),
+        series,
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +80,11 @@ mod tests {
 
     #[test]
     fn sweep_covers_grid_and_speedups_are_sane() {
-        let nb = NBodyConfig { n: 128, steps: 1, ..NBodyConfig::default() };
+        let nb = NBodyConfig {
+            n: 128,
+            steps: 1,
+            ..NBodyConfig::default()
+        };
         let amr = AmrConfig::small();
         let sweep = sweep_models(App::NBody, &Model::ALL, &[1, 2, 4], &nb, &amr);
         assert_eq!(sweep.series.len(), 3);
@@ -96,11 +104,7 @@ mod tests {
         let amr = AmrConfig::small();
         let sweep = sweep_models(App::Amr, &Model::ALL, &[1, 2], &nb, &amr);
         // All models agree on the checksum for AMR (bitwise, see apps).
-        let c: Vec<f64> = sweep
-            .series
-            .iter()
-            .map(|s| s.runs[1].checksum)
-            .collect();
+        let c: Vec<f64> = sweep.series.iter().map(|s| s.runs[1].checksum).collect();
         assert_eq!(c[0], c[1]);
         assert_eq!(c[1], c[2]);
     }

@@ -178,8 +178,10 @@ mod tests {
         assert_eq!(c.cpus_per_node, 2);
         assert_eq!(c.line_bytes, 128);
         assert!(c.lat_local_mem > c.lat_cache_hit);
-        assert!(c.mp_send_overhead > c.shmem_put_overhead,
-            "two-sided software overhead must exceed one-sided");
+        assert!(
+            c.mp_send_overhead > c.shmem_put_overhead,
+            "two-sided software overhead must exceed one-sided"
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ impl MsgCost {
 pub fn msg(config: &MachineConfig, bytes: usize, hops: u32) -> MsgCost {
     MsgCost {
         send_overhead: config.mp_send_overhead,
-        network: config.mp_net_base
-            + u64::from(hops) * config.lat_hop
-            + config.transfer_ns(bytes),
+        network: config.mp_net_base + u64::from(hops) * config.lat_hop + config.transfer_ns(bytes),
         recv_overhead: config.mp_recv_overhead,
     }
 }
@@ -40,17 +38,13 @@ pub fn msg(config: &MachineConfig, bytes: usize, hops: u32) -> MsgCost {
 /// One-sided put of `bytes` to a PE `hops` away: initiator overhead plus
 /// one-way network time (puts are fire-and-forget until a fence).
 pub fn put(config: &MachineConfig, bytes: usize, hops: u32) -> SimTime {
-    config.shmem_put_overhead
-        + u64::from(hops) * config.lat_hop
-        + config.transfer_ns(bytes)
+    config.shmem_put_overhead + u64::from(hops) * config.lat_hop + config.transfer_ns(bytes)
 }
 
 /// One-sided get of `bytes` from a PE `hops` away: a request/response round
 /// trip; the payload pays bandwidth on the way back.
 pub fn get(config: &MachineConfig, bytes: usize, hops: u32) -> SimTime {
-    config.shmem_get_overhead
-        + 2 * u64::from(hops) * config.lat_hop
-        + config.transfer_ns(bytes)
+    config.shmem_get_overhead + 2 * u64::from(hops) * config.lat_hop + config.transfer_ns(bytes)
 }
 
 /// Remote atomic (fetch-add, compare-swap, …): a round trip plus the

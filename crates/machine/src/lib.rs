@@ -66,10 +66,8 @@ impl Machine {
     /// Router hops between the *nodes* hosting two PEs (0 if co-resident).
     #[inline]
     pub fn hops_between(&self, pe_a: usize, pe_b: usize) -> u32 {
-        self.topology.hops(
-            self.topology.node_of(pe_a),
-            self.topology.node_of(pe_b),
-        )
+        self.topology
+            .hops(self.topology.node_of(pe_a), self.topology.node_of(pe_b))
     }
 
     /// Total number of PEs.

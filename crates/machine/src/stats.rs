@@ -102,6 +102,38 @@ impl Counters {
         }
     }
 
+    /// Counters accumulated since `earlier` was captured: field-wise
+    /// `self - earlier`, saturating at zero. Lets experiments attribute
+    /// communication to individual phases (e.g. one adaptation step) by
+    /// snapshotting the running totals before and after.
+    pub fn diff(&self, earlier: &Counters) -> Counters {
+        let mut msg_size_hist = [0u64; 5];
+        for (d, (a, b)) in msg_size_hist
+            .iter_mut()
+            .zip(self.msg_size_hist.iter().zip(earlier.msg_size_hist))
+        {
+            *d = a.saturating_sub(b);
+        }
+        Counters {
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            msg_bytes: self.msg_bytes.saturating_sub(earlier.msg_bytes),
+            msgs_recvd: self.msgs_recvd.saturating_sub(earlier.msgs_recvd),
+            puts: self.puts.saturating_sub(earlier.puts),
+            put_bytes: self.put_bytes.saturating_sub(earlier.put_bytes),
+            gets: self.gets.saturating_sub(earlier.gets),
+            get_bytes: self.get_bytes.saturating_sub(earlier.get_bytes),
+            amos: self.amos.saturating_sub(earlier.amos),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            misses_local: self.misses_local.saturating_sub(earlier.misses_local),
+            misses_remote: self.misses_remote.saturating_sub(earlier.misses_remote),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            upgrades: self.upgrades.saturating_sub(earlier.upgrades),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
+            lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
+            msg_size_hist,
+        }
+    }
+
     /// Accumulate `other` into `self` (for whole-run aggregation).
     pub fn merge(&mut self, other: &Counters) {
         self.msgs_sent += other.msgs_sent;
@@ -157,6 +189,22 @@ mod tests {
         assert_eq!(a.msg_bytes, 300);
         assert_eq!(a.cache_hits, 5);
         assert_eq!(a.misses_remote, 7);
+    }
+
+    #[test]
+    fn diff_undoes_merge() {
+        let mut before = Counters::new();
+        before.record_msg_sent(100);
+        before.cache_hits = 3;
+        let mut step = Counters::new();
+        step.record_msg_sent(5000);
+        step.misses_remote = 9;
+        step.barriers = 2;
+        let mut after = before.clone();
+        after.merge(&step);
+        assert_eq!(after.diff(&before), step);
+        // Diffing against a larger snapshot saturates instead of wrapping.
+        assert_eq!(before.diff(&after).msgs_sent, 0);
     }
 
     #[test]

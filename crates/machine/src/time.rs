@@ -184,10 +184,28 @@ mod tests {
 
     #[test]
     fn merged_adds_elementwise() {
-        let a = TimeBreakdown { busy: 1, local: 2, remote: 3, sync: 4 };
-        let b = TimeBreakdown { busy: 10, local: 20, remote: 30, sync: 40 };
+        let a = TimeBreakdown {
+            busy: 1,
+            local: 2,
+            remote: 3,
+            sync: 4,
+        };
+        let b = TimeBreakdown {
+            busy: 10,
+            local: 20,
+            remote: 30,
+            sync: 40,
+        };
         let m = a.merged(&b);
-        assert_eq!(m, TimeBreakdown { busy: 11, local: 22, remote: 33, sync: 44 });
+        assert_eq!(
+            m,
+            TimeBreakdown {
+                busy: 11,
+                local: 22,
+                remote: 33,
+                sync: 44
+            }
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl Topology {
         assert!(pes > 0, "topology needs at least one PE");
         assert!(cpus_per_node > 0, "nodes need at least one CPU");
         let nodes = pes.div_ceil(cpus_per_node);
-        Topology { pes, cpus_per_node, nodes }
+        Topology {
+            pes,
+            cpus_per_node,
+            nodes,
+        }
     }
 
     /// Total PEs.
@@ -133,7 +137,7 @@ mod tests {
         assert_eq!(t.hops(0, 1), 1); // same router (nodes 0,1 → router 0)
         assert_eq!(t.hops(0, 2), 2); // routers 0 vs 1: hamming 1 + 1
         assert_eq!(t.hops(0, 6), 3); // routers 0 vs 3: hamming 2 + 1
-        // symmetry
+                                     // symmetry
         for a in 0..8 {
             for b in 0..8 {
                 assert_eq!(t.hops(a, b), t.hops(b, a));

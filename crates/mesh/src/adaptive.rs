@@ -130,7 +130,11 @@ impl AdaptiveMesh {
     /// Corner coordinates of triangle `t`.
     pub fn tri_points(&self, t: u32) -> [Point2; 3] {
         let [a, b, c] = self.tris[t as usize];
-        [self.verts[a as usize], self.verts[b as usize], self.verts[c as usize]]
+        [
+            self.verts[a as usize],
+            self.verts[b as usize],
+            self.verts[c as usize],
+        ]
     }
 
     /// Centroid of triangle `t`.
@@ -220,7 +224,10 @@ impl AdaptiveMesh {
                     let mab = self.midpoint(a, b);
                     let mbc = self.midpoint(b, c);
                     let mac = self.midpoint(a, c);
-                    self.split(t, &[[a, mab, mac], [mab, b, mbc], [mac, mbc, c], [mab, mbc, mac]]);
+                    self.split(
+                        t,
+                        &[[a, mab, mac], [mab, b, mbc], [mac, mbc, c], [mab, mbc, mac]],
+                    );
                     report.reds += 1;
                     report.new_tris += 4;
                 }
@@ -264,10 +271,7 @@ impl AdaptiveMesh {
             .collect();
 
         // Candidate parents: every child alive and marked.
-        let mut parents: Vec<u32> = marked
-            .iter()
-            .filter_map(|&t| self.parent_of(t))
-            .collect();
+        let mut parents: Vec<u32> = marked.iter().filter_map(|&t| self.parent_of(t)).collect();
         parents.sort_unstable();
         parents.dedup();
         let mut in_set: HashSet<u32> = parents
@@ -526,8 +530,8 @@ mod tests {
     fn coarsen_blocked_by_neighbour_usage() {
         let mut m = mesh4();
         m.refine(&[0]); // red 0 + greens around it
-        // Try to coarsen only triangle 0's children: greens outside the
-        // group still use the midpoints of 0's edges → must be blocked.
+                        // Try to coarsen only triangle 0's children: greens outside the
+                        // group still use the midpoints of 0's edges → must be blocked.
         let kids: Vec<u32> = m
             .active_tris()
             .into_iter()
@@ -562,8 +566,7 @@ mod tests {
                 })
                 .collect();
             m.refine(&marked);
-            m.validate()
-                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            m.validate().unwrap_or_else(|e| panic!("step {step}: {e}"));
         }
         assert!(m.num_active() > 18);
     }
@@ -686,7 +689,10 @@ impl AdaptiveMesh {
     /// Panics if `nr` or `ntheta` is zero, `ntheta < 3`, or the radii are
     /// not `0 < r_inner < r_outer`.
     pub fn annulus(nr: usize, ntheta: usize, r_inner: f64, r_outer: f64) -> Self {
-        assert!(nr > 0 && ntheta >= 3, "annulus needs rings and >= 3 sectors");
+        assert!(
+            nr > 0 && ntheta >= 3,
+            "annulus needs rings and >= 3 sectors"
+        );
         assert!(
             r_inner > 0.0 && r_inner < r_outer,
             "annulus radii must satisfy 0 < inner < outer"
@@ -757,8 +763,7 @@ mod annulus_tests {
             }
             verts.extend([a, b, c]);
         }
-        let euler =
-            verts.len() as i64 - edges.len() as i64 + m.num_active() as i64;
+        let euler = verts.len() as i64 - edges.len() as i64 + m.num_active() as i64;
         assert_eq!(euler, 0);
     }
 
@@ -766,7 +771,12 @@ mod annulus_tests {
     fn circular_shock_sweeps_the_annulus() {
         let mut m = AdaptiveMesh::annulus(4, 24, 0.4, 1.2);
         let base = m.num_active();
-        let shock = Shock::Circular { cx: 0.0, cy: 0.0, r0: 0.4, speed: 0.2 };
+        let shock = Shock::Circular {
+            cx: 0.0,
+            cy: 0.0,
+            r0: 0.4,
+            speed: 0.2,
+        };
         for step in 0..4 {
             adapt_step(&mut m, &shock, step as f64, 0.06, 0.2, 2);
             m.validate().expect("valid during radial sweep");

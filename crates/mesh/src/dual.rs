@@ -90,7 +90,13 @@ pub fn dual_graph(mesh: &AdaptiveMesh) -> DualGraph {
     let centroids = tris.iter().map(|&t| mesh.centroid_of(t)).collect();
     let weights = tris.iter().map(|&t| mesh.area_of(t)).collect();
     let _ = index; // index retained for clarity of construction
-    DualGraph { tris, xadj, adj, centroids, weights }
+    DualGraph {
+        tris,
+        xadj,
+        adj,
+        centroids,
+        weights,
+    }
 }
 
 #[cfg(test)]

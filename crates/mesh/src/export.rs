@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn refined_levels_get_distinct_fills() {
         let mut m = AdaptiveMesh::structured(6, 6, 1.0, 1.0);
-        let shock = Shock::Planar { x0: 0.3, speed: 0.0 };
+        let shock = Shock::Planar {
+            x0: 0.3,
+            speed: 0.0,
+        };
         adapt_step(&mut m, &shock, 0.0, 0.15, 0.4, 2);
         let svg = to_svg(&m, 300.0);
         assert!(svg.contains(LEVEL_FILLS[0]));

@@ -14,7 +14,12 @@ pub enum Shock {
     /// Vertical front at `x = x0 + speed * t`.
     Planar { x0: f64, speed: f64 },
     /// Circular front of radius `r0 + speed * t` centred at `(cx, cy)`.
-    Circular { cx: f64, cy: f64, r0: f64, speed: f64 },
+    Circular {
+        cx: f64,
+        cy: f64,
+        r0: f64,
+        speed: f64,
+    },
 }
 
 impl Shock {
@@ -93,7 +98,10 @@ mod tests {
 
     #[test]
     fn planar_distance_moves_with_time() {
-        let s = Shock::Planar { x0: 0.0, speed: 1.0 };
+        let s = Shock::Planar {
+            x0: 0.0,
+            speed: 1.0,
+        };
         let p = Point2::new(0.5, 0.3);
         assert!((s.distance(&p, 0.0) - 0.5).abs() < 1e-12);
         assert!((s.distance(&p, 0.5) - 0.0).abs() < 1e-12);
@@ -102,7 +110,12 @@ mod tests {
 
     #[test]
     fn circular_distance() {
-        let s = Shock::Circular { cx: 0.0, cy: 0.0, r0: 1.0, speed: 0.5 };
+        let s = Shock::Circular {
+            cx: 0.0,
+            cy: 0.0,
+            r0: 1.0,
+            speed: 0.5,
+        };
         let p = Point2::new(2.0, 0.0);
         assert!((s.distance(&p, 0.0) - 1.0).abs() < 1e-12);
         assert!((s.distance(&p, 2.0) - 0.0).abs() < 1e-12);
@@ -111,7 +124,10 @@ mod tests {
     #[test]
     fn marking_respects_bands_and_levels() {
         let mut mesh = AdaptiveMesh::structured(8, 8, 1.0, 1.0);
-        let shock = Shock::Planar { x0: 0.25, speed: 0.0 };
+        let shock = Shock::Planar {
+            x0: 0.25,
+            speed: 0.0,
+        };
         let m = mark(&mesh, &shock, 0.0, 0.1, 0.3, 2);
         assert!(!m.refine.is_empty());
         // Base mesh: nothing to coarsen.
@@ -130,7 +146,10 @@ mod tests {
     #[test]
     fn moving_shock_refines_ahead_and_coarsens_behind() {
         let mut mesh = AdaptiveMesh::structured(8, 8, 1.0, 1.0);
-        let shock = Shock::Planar { x0: 0.0, speed: 1.0 };
+        let shock = Shock::Planar {
+            x0: 0.0,
+            speed: 1.0,
+        };
         adapt_step(&mut mesh, &shock, 0.1, 0.12, 0.3, 2);
         let after_first = mesh.num_active();
         assert!(after_first > 128);
@@ -159,7 +178,10 @@ mod tests {
     #[should_panic(expected = "coarsen band")]
     fn overlapping_bands_panic() {
         let mesh = AdaptiveMesh::structured(2, 2, 1.0, 1.0);
-        let shock = Shock::Planar { x0: 0.0, speed: 0.0 };
+        let shock = Shock::Planar {
+            x0: 0.0,
+            speed: 0.0,
+        };
         mark(&mesh, &shock, 0.0, 0.3, 0.2, 2);
     }
 }

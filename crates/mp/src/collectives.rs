@@ -25,7 +25,9 @@ pub(crate) struct CollSeq {
 
 impl CollSeq {
     pub(crate) fn new(pes: usize) -> Self {
-        CollSeq { seq: (0..pes).map(|_| AtomicU32::new(0)).collect() }
+        CollSeq {
+            seq: (0..pes).map(|_| AtomicU32::new(0)).collect(),
+        }
     }
 }
 
@@ -272,7 +274,10 @@ mod tests {
 
     fn setup(pes: usize) -> (Arc<MpWorld>, Team) {
         let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
-        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+        (
+            Arc::new(MpWorld::new(Arc::clone(&machine))),
+            Team::new(machine),
+        )
     }
 
     #[test]
@@ -369,13 +374,13 @@ mod tests {
         let (w, t) = setup(4);
         let run = t.run(|ctx| {
             // PE i sends [i*10 + d] to PE d.
-            let sends: Vec<Vec<u32>> =
-                (0..4).map(|d| vec![ctx.pe() as u32 * 10 + d as u32]).collect();
+            let sends: Vec<Vec<u32>> = (0..4)
+                .map(|d| vec![ctx.pe() as u32 * 10 + d as u32])
+                .collect();
             w.alltoallv(ctx, sends)
         });
         for (pe, r) in run.results.into_iter().enumerate() {
-            let expected: Vec<Vec<u32>> =
-                (0..4).map(|s| vec![s as u32 * 10 + pe as u32]).collect();
+            let expected: Vec<Vec<u32>> = (0..4).map(|s| vec![s as u32 * 10 + pe as u32]).collect();
             assert_eq!(r, expected);
         }
     }
@@ -514,19 +519,17 @@ impl MpWorld {
     /// Reduce-scatter: element-wise reduce `data` (length = team size ×
     /// `chunk`) across ranks, then scatter chunk `r` to rank `r`. Implemented
     /// as reduce-to-root + targeted sends (adequate at Origin2000 scales).
-    pub fn reduce_scatter<T, F>(
-        &self,
-        ctx: &mut Ctx,
-        data: Vec<T>,
-        chunk: usize,
-        op: F,
-    ) -> Vec<T>
+    pub fn reduce_scatter<T, F>(&self, ctx: &mut Ctx, data: Vec<T>, chunk: usize, op: F) -> Vec<T>
     where
         T: Clone + Send + 'static,
         F: Fn(&mut [T], &[T]),
     {
         let p = self.size();
-        assert_eq!(data.len(), p * chunk, "reduce_scatter needs npes × chunk elements");
+        assert_eq!(
+            data.len(),
+            p * chunk,
+            "reduce_scatter needs npes × chunk elements"
+        );
         let tag = self.tag_block(ctx.pe());
         let reduced = self.reduce(ctx, 0, data, op);
         if ctx.pe() == 0 {
@@ -553,7 +556,10 @@ mod scan_tests {
 
     fn setup(pes: usize) -> (Arc<MpWorld>, Team) {
         let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
-        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+        (
+            Arc::new(MpWorld::new(Arc::clone(&machine))),
+            Team::new(machine),
+        )
     }
 
     #[test]

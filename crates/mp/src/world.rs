@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use machine::{cost, Machine, SimTime, TimeCat};
-use parallel::Ctx;
+use parallel::{Ctx, Dep, EventKind};
 use parking_lot::{Condvar, Mutex};
 
 /// Message tag. User tags must stay below [`Tag::COLLECTIVE_BASE`]; the
@@ -24,12 +24,18 @@ pub struct RecvSpec {
 impl RecvSpec {
     /// Match a specific source and tag.
     pub fn from(src: usize, tag: Tag) -> Self {
-        RecvSpec { src: Some(src), tag: Some(tag) }
+        RecvSpec {
+            src: Some(src),
+            tag: Some(tag),
+        }
     }
 
     /// Match any source with a specific tag (MPI_ANY_SOURCE).
     pub fn any_source(tag: Tag) -> Self {
-        RecvSpec { src: None, tag: Some(tag) }
+        RecvSpec {
+            src: None,
+            tag: Some(tag),
+        }
     }
 
     fn matches(&self, src: usize, tag: Tag) -> bool {
@@ -43,6 +49,9 @@ struct Envelope {
     tag: Tag,
     payload: Box<dyn Any + Send>,
     bytes: usize,
+    /// Virtual time at which the sender finished injecting the message —
+    /// the wait edge a stalled receive points back to.
+    sent_at: SimTime,
     /// Virtual time at which the message is available at the receiver.
     arrival: SimTime,
 }
@@ -98,14 +107,11 @@ impl MpWorld {
     ///
     /// # Panics
     /// Panics if `dst` is out of range or `tag` is in the collective space.
-    pub fn send<T: Clone + Send + 'static>(
-        &self,
-        ctx: &mut Ctx,
-        dst: usize,
-        tag: Tag,
-        data: &[T],
-    ) {
-        assert!(tag < Self::COLLECTIVE_BASE, "user tags must be < COLLECTIVE_BASE");
+    pub fn send<T: Clone + Send + 'static>(&self, ctx: &mut Ctx, dst: usize, tag: Tag, data: &[T]) {
+        assert!(
+            tag < Self::COLLECTIVE_BASE,
+            "user tags must be < COLLECTIVE_BASE"
+        );
         self.send_vec(ctx, dst, tag, data.to_vec());
     }
 
@@ -124,13 +130,20 @@ impl MpWorld {
         let bytes = std::mem::size_of::<T>() * data.len();
         let hops = self.machine.hops_between(ctx.pe(), dst);
         let c = cost::msg(&self.machine.config, bytes, hops);
-        ctx.advance(c.send_overhead, TimeCat::Remote);
+        ctx.advance_traced(
+            c.send_overhead,
+            TimeCat::Remote,
+            EventKind::Send,
+            bytes.min(u32::MAX as usize) as u32,
+            Some(dst as u32),
+        );
         ctx.counters_mut().record_msg_sent(bytes);
         let env = Envelope {
             src: ctx.pe(),
             tag,
             payload: Box::new(data),
             bytes,
+            sent_at: ctx.now(),
             arrival: ctx.now() + c.network,
         };
         let mb = &self.mailboxes[dst];
@@ -179,19 +192,30 @@ impl MpWorld {
         }
     }
 
-    fn finish_recv<T: Send + 'static>(
-        &self,
-        ctx: &mut Ctx,
-        env: Envelope,
-    ) -> (usize, Tag, Vec<T>) {
-        ctx.clock_mut().advance_to(env.arrival, TimeCat::Sync);
-        ctx.advance(self.machine.config.mp_recv_overhead, TimeCat::Remote);
+    fn finish_recv<T: Send + 'static>(&self, ctx: &mut Ctx, env: Envelope) -> (usize, Tag, Vec<T>) {
+        ctx.wait_until_traced(
+            env.arrival,
+            EventKind::RecvWait,
+            Some(env.src as u32),
+            Some(Dep {
+                pe: env.src as u32,
+                t: env.sent_at,
+            }),
+        );
+        ctx.advance_traced(
+            self.machine.config.mp_recv_overhead,
+            TimeCat::Remote,
+            EventKind::Recv,
+            env.bytes.min(u32::MAX as usize) as u32,
+            Some(env.src as u32),
+        );
         ctx.counters_mut().msgs_recvd += 1;
-        let data = env
-            .payload
-            .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| panic!("recv type mismatch from rank {} tag {} ({} bytes)",
-                env.src, env.tag, env.bytes));
+        let data = env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!(
+                "recv type mismatch from rank {} tag {} ({} bytes)",
+                env.src, env.tag, env.bytes
+            )
+        });
         (env.src, env.tag, *data)
     }
 
@@ -220,7 +244,10 @@ mod tests {
 
     fn world_and_team(pes: usize) -> (Arc<MpWorld>, Team) {
         let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
-        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+        (
+            Arc::new(MpWorld::new(Arc::clone(&machine))),
+            Team::new(machine),
+        )
     }
 
     #[test]
@@ -430,7 +457,10 @@ mod nonblocking_tests {
 
     fn setup(pes: usize) -> (Arc<MpWorld>, Team) {
         let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
-        (Arc::new(MpWorld::new(Arc::clone(&machine))), Team::new(machine))
+        (
+            Arc::new(MpWorld::new(Arc::clone(&machine))),
+            Team::new(machine),
+        )
     }
 
     #[test]
@@ -475,6 +505,9 @@ mod nonblocking_tests {
                 (ctx.now() - before) as i64
             }
         });
-        assert!(run.results[1] >= 5_000, "blocking recv must absorb the head start");
+        assert!(
+            run.results[1] >= 5_000,
+            "blocking recv must absorb the head start"
+        );
     }
 }

@@ -13,7 +13,11 @@ pub struct Body {
 impl Body {
     /// A stationary body.
     pub fn at(pos: Vec3, mass: f64) -> Self {
-        Body { pos, vel: Vec3::ZERO, mass }
+        Body {
+            pos,
+            vel: Vec3::ZERO,
+            mass,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ mod tests {
     fn energies() {
         let bodies = vec![
             Body::at(Vec3::ZERO, 1.0),
-            Body { pos: Vec3::new(1.0, 0.0, 0.0), vel: Vec3::new(0.0, 1.0, 0.0), mass: 2.0 },
+            Body {
+                pos: Vec3::new(1.0, 0.0, 0.0),
+                vel: Vec3::new(0.0, 1.0, 0.0),
+                mass: 2.0,
+            },
         ];
         assert_eq!(kinetic_energy(&bodies), 1.0);
         assert!((potential_energy(&bodies, 0.0) + 2.0).abs() < 1e-12);

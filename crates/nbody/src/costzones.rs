@@ -75,7 +75,10 @@ mod tests {
             }
             let fair = 512 / nparts;
             for &c in &counts {
-                assert!(c.abs_diff(fair) <= fair / 4 + 2, "nparts={nparts}: {counts:?}");
+                assert!(
+                    c.abs_diff(fair) <= fair / 4 + 2,
+                    "nparts={nparts}: {counts:?}"
+                );
             }
         }
     }
@@ -105,7 +108,10 @@ mod tests {
         let a = costzones(&t, &costs, 5);
         let order = t.body_order();
         let zones: Vec<u32> = order.iter().map(|&b| a[b as usize]).collect();
-        assert!(zones.windows(2).all(|w| w[0] <= w[1]), "zones must not interleave");
+        assert!(
+            zones.windows(2).all(|w| w[0] <= w[1]),
+            "zones must not interleave"
+        );
         assert_eq!(zones[0], 0);
         assert_eq!(*zones.last().unwrap(), 4);
     }

@@ -146,9 +146,8 @@ mod tests {
     #[test]
     fn interactions_shrink_with_larger_theta() {
         let (pos, _, tree) = setup(500);
-        let count = |theta: f64| -> u64 {
-            pos.iter().map(|p| accel_at(&tree, *p, theta, 0.05).1).sum()
-        };
+        let count =
+            |theta: f64| -> u64 { pos.iter().map(|p| accel_at(&tree, *p, theta, 0.05).1).sum() };
         let (tight, loose) = (count(0.3), count(1.0));
         assert!(loose < tight, "{loose} !< {tight}");
         // And far fewer than direct N².

@@ -33,21 +33,27 @@ pub fn essential_for(tree: &Octree, target: &BBox, theta: f64) -> Vec<PseudoBody
         if node.mass == 0.0 {
             continue;
         }
-        if node.is_leaf() {
-            for &b in &node.bodies {
-                out.push(PseudoBody { pos: tree.pos[b as usize], mass: tree.mass[b as usize] });
-            }
-            continue;
-        }
         // Worst-case distance from the box to anything this node summarises:
-        // distance from the box to the node's cell (not just its COM).
+        // distance from the box to the node's cell (not just its COM). The
+        // test applies to leaves too — a well-separated leaf exports one
+        // summary, not its individual bodies.
         let cell = BBox {
             min: node.center - Vec3::new(node.half, node.half, node.half),
             max: node.center + Vec3::new(node.half, node.half, node.half),
         };
         let d = box_dist(target, &cell);
         if d > 0.0 && node.width() < theta * d {
-            out.push(PseudoBody { pos: node.com, mass: node.mass });
+            out.push(PseudoBody {
+                pos: node.com,
+                mass: node.mass,
+            });
+        } else if node.is_leaf() {
+            for &b in &node.bodies {
+                out.push(PseudoBody {
+                    pos: tree.pos[b as usize],
+                    mass: tree.mass[b as usize],
+                });
+            }
         } else {
             for c in node.first_child..node.first_child + 8 {
                 stack.push(c);
@@ -75,7 +81,10 @@ mod tests {
 
     #[test]
     fn box_dist_basics() {
-        let a = BBox { min: Vec3::ZERO, max: Vec3::new(1.0, 1.0, 1.0) };
+        let a = BBox {
+            min: Vec3::ZERO,
+            max: Vec3::new(1.0, 1.0, 1.0),
+        };
         let b = BBox {
             min: Vec3::new(3.0, 0.0, 0.0),
             max: Vec3::new(4.0, 1.0, 1.0),
@@ -101,7 +110,10 @@ mod tests {
         };
         let ess = essential_for(&tree, &target, 0.8);
         let total: f64 = ess.iter().map(|p| p.mass).sum();
-        assert!((total - 1.0).abs() < 1e-9, "summaries preserve mass: {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "summaries preserve mass: {total}"
+        );
         // And it is a real compression: fewer pseudo-bodies than bodies
         // would only fail if the box covered everything.
         assert!(ess.len() < 400);
@@ -124,8 +136,7 @@ mod tests {
         #[allow(clippy::needless_range_loop)] // rank indexes parts AND boxes
         for rank in 0..4 {
             // Local bodies.
-            let mine: Vec<usize> =
-                (0..600).filter(|&i| parts[i] as usize == rank).collect();
+            let mine: Vec<usize> = (0..600).filter(|&i| parts[i] as usize == rank).collect();
             let mut lpos: Vec<Vec3> = mine.iter().map(|&i| pos[i]).collect();
             let mut lmass: Vec<f64> = mine.iter().map(|&i| mass[i]).collect();
             // Imports from every other rank's subtree.
@@ -133,8 +144,7 @@ mod tests {
                 if other == rank {
                     continue;
                 }
-                let theirs: Vec<usize> =
-                    (0..600).filter(|&i| parts[i] as usize == other).collect();
+                let theirs: Vec<usize> = (0..600).filter(|&i| parts[i] as usize == other).collect();
                 let opos: Vec<Vec3> = theirs.iter().map(|&i| pos[i]).collect();
                 let omass: Vec<f64> = theirs.iter().map(|&i| mass[i]).collect();
                 let otree = Octree::build(&opos, &omass, 4);

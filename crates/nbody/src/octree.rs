@@ -170,7 +170,11 @@ impl Octree {
         };
         let n = &mut self.nodes[node as usize];
         n.mass = mass;
-        n.com = if mass > 0.0 { weighted / mass } else { n.center };
+        n.com = if mass > 0.0 {
+            weighted / mass
+        } else {
+            n.center
+        };
         (mass, weighted)
     }
 
@@ -225,7 +229,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "bodies must appear exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "bodies must appear exactly once"
+        );
     }
 
     #[test]

@@ -55,7 +55,14 @@ pub fn orb_partition(positions: &[Vec3], weights: &[f64], nparts: usize) -> Vec<
     assert_eq!(positions.len(), weights.len());
     let mut assignment = vec![0u32; positions.len()];
     let mut idx: Vec<u32> = (0..positions.len() as u32).collect();
-    bisect(positions, weights, &mut idx, 0, nparts as u32, &mut assignment);
+    bisect(
+        positions,
+        weights,
+        &mut idx,
+        0,
+        nparts as u32,
+        &mut assignment,
+    );
     assignment
 }
 
@@ -131,7 +138,14 @@ fn bisect(
     );
     let (l, r) = idx.split_at_mut(split);
     bisect(positions, weights, l, first_part, left_parts, out);
-    bisect(positions, weights, r, first_part + left_parts, nparts - left_parts, out);
+    bisect(
+        positions,
+        weights,
+        r,
+        first_part + left_parts,
+        nparts - left_parts,
+        out,
+    );
 }
 
 #[cfg(test)]
@@ -152,7 +166,10 @@ mod tests {
             }
             let fair = 1024 / nparts;
             for &c in &counts {
-                assert!(c.abs_diff(fair) <= fair / 4 + 2, "nparts={nparts}: {counts:?}");
+                assert!(
+                    c.abs_diff(fair) <= fair / 4 + 2,
+                    "nparts={nparts}: {counts:?}"
+                );
             }
         }
     }
@@ -189,7 +206,10 @@ mod tests {
 
     #[test]
     fn bbox_distance() {
-        let bb = BBox { min: Vec3::ZERO, max: Vec3::new(1.0, 1.0, 1.0) };
+        let bb = BBox {
+            min: Vec3::ZERO,
+            max: Vec3::new(1.0, 1.0, 1.0),
+        };
         assert_eq!(bb.dist_to(Vec3::new(0.5, 0.5, 0.5)), 0.0);
         assert_eq!(bb.dist_to(Vec3::new(2.0, 0.5, 0.5)), 1.0);
         let d = bb.dist_to(Vec3::new(2.0, 2.0, 0.5));

@@ -102,7 +102,11 @@ mod tests {
             let r = x.pos.norm();
             let v_esc = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
             // COM shift perturbs this slightly; allow margin.
-            assert!(x.vel.norm() <= v_esc + 0.2, "v={} v_esc={v_esc}", x.vel.norm());
+            assert!(
+                x.vel.norm() <= v_esc + 0.2,
+                "v={} v_esc={v_esc}",
+                x.vel.norm()
+            );
         }
     }
 }

@@ -4,19 +4,22 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use machine::{cost, Clock, Counters, Machine, SimTime, TimeCat};
+use o2k_trace::{Dep, Event, EventKind, Recorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::team::{PeReport, TeamShared};
 
 /// Everything one simulated PE needs during a team run: identity, virtual
-/// clock, counters, deterministic RNG, and team synchronisation plumbing.
+/// clock, counters, deterministic RNG, event recorder, and team
+/// synchronisation plumbing.
 pub struct Ctx {
     pe: usize,
     machine: Arc<Machine>,
     shared: Arc<TeamShared>,
     clock: Clock,
     counters: Counters,
+    recorder: Recorder,
     rng: SmallRng,
 }
 
@@ -26,6 +29,7 @@ impl Ctx {
         machine: Arc<Machine>,
         shared: Arc<TeamShared>,
         seed: u64,
+        trace: bool,
     ) -> Self {
         // Distinct, reproducible stream per PE: golden-ratio mixing.
         let pe_seed = seed ^ (pe as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -35,6 +39,7 @@ impl Ctx {
             shared,
             clock: Clock::new(),
             counters: Counters::new(),
+            recorder: Recorder::new(trace),
             rng: SmallRng::seed_from_u64(pe_seed),
         }
     }
@@ -88,30 +93,105 @@ impl Ctx {
         &self.counters
     }
 
+    /// Whether this PE is recording trace events.
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        self.recorder.is_on()
+    }
+
+    /// Record the span from `t0` to the current clock as an event.
+    /// The recorder never touches the clock, so tracing cannot perturb
+    /// simulated time.
+    #[inline]
+    fn record_span(
+        &mut self,
+        t0: SimTime,
+        kind: EventKind,
+        cat: TimeCat,
+        bytes: u32,
+        peer: Option<u32>,
+        dep: Option<Dep>,
+    ) {
+        self.recorder.record(Event {
+            pe: self.pe as u32,
+            t0,
+            t1: self.clock.now(),
+            kind,
+            cat,
+            bytes,
+            peer,
+            dep,
+        });
+    }
+
     /// Charge `ns` of CPU computation.
     #[inline]
     pub fn compute(&mut self, ns: SimTime) {
+        let t0 = self.clock.now();
         self.clock.advance(ns, TimeCat::Busy);
+        if self.recorder.is_on() {
+            self.record_span(t0, EventKind::Compute, TimeCat::Busy, 0, None, None);
+        }
     }
 
     /// Charge `cycles` CPU cycles of computation.
     #[inline]
     pub fn compute_cycles(&mut self, cycles: u64) {
         let ns = self.machine.config.cycles_ns(cycles);
-        self.clock.advance(ns, TimeCat::Busy);
+        self.compute(ns);
     }
 
     /// Charge `units` work items at `ns_per_unit` each (rounded).
     #[inline]
     pub fn compute_units(&mut self, units: u64, ns_per_unit: f64) {
         let ns = (units as f64 * ns_per_unit).round() as u64;
-        self.clock.advance(ns, TimeCat::Busy);
+        self.compute(ns);
     }
 
     /// Charge `ns` attributed to `cat`.
     #[inline]
     pub fn advance(&mut self, ns: SimTime, cat: TimeCat) {
+        let t0 = self.clock.now();
         self.clock.advance(ns, cat);
+        if self.recorder.is_on() {
+            self.record_span(t0, EventKind::Other, cat, 0, None, None);
+        }
+    }
+
+    /// Charge `ns` to `cat` and record it as a `kind` trace event carrying
+    /// `bytes` / `peer`. Model runtimes use this instead of [`Ctx::advance`]
+    /// wherever the operation has a meaningful identity in a trace.
+    #[inline]
+    pub fn advance_traced(
+        &mut self,
+        ns: SimTime,
+        cat: TimeCat,
+        kind: EventKind,
+        bytes: u32,
+        peer: Option<u32>,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.advance(ns, cat);
+        if self.recorder.is_on() {
+            self.record_span(t0, kind, cat, bytes, peer, None);
+        }
+    }
+
+    /// Advance the clock to absolute virtual time `t` (a synchronisation
+    /// wait), recording the jump — if the clock actually moves — as a
+    /// `kind` event carrying the wait edge `dep` for critical-path analysis.
+    pub fn wait_until_traced(
+        &mut self,
+        t: SimTime,
+        kind: EventKind,
+        peer: Option<u32>,
+        dep: Option<Dep>,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.advance_to(t, TimeCat::Sync);
+        if self.recorder.is_on() && self.clock.now() > t0 {
+            self.record_span(t0, kind, TimeCat::Sync, 0, peer, dep);
+        }
     }
 
     /// Draw a uniform `u64` from this PE's deterministic stream.
@@ -133,19 +213,30 @@ impl Ctx {
         let shared = Arc::clone(&self.shared);
         shared.clock_slots[self.pe].store(self.clock.now(), Ordering::SeqCst);
         shared.barrier.wait();
-        let max = shared
+        // Last arriver (lowest PE on ties): the wait edge for the critical
+        // path — everyone else's barrier wait ends when this PE shows up.
+        let (max_pe, max) = shared
             .clock_slots
             .iter()
-            .map(|s| s.load(Ordering::SeqCst))
-            .max()
-            .unwrap_or(0);
-        self.clock.advance_to(max, TimeCat::Sync);
+            .enumerate()
+            .map(|(p, s)| (p, s.load(Ordering::SeqCst)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .unwrap_or((0, 0));
+        self.wait_until_traced(
+            max,
+            EventKind::BarrierWait,
+            Some(max_pe as u32),
+            Some(Dep {
+                pe: max_pe as u32,
+                t: max,
+            }),
+        );
         let cost = cost::barrier(
             &self.machine.config,
             self.npes(),
             self.machine.topology.max_hops(),
         );
-        self.clock.advance(cost, TimeCat::Sync);
+        self.advance_traced(cost, TimeCat::Sync, EventKind::Barrier, 0, None);
         self.counters.barriers += 1;
         shared.barrier.wait();
     }
@@ -156,19 +247,28 @@ impl Ctx {
     /// of hybrid (message-passing between nodes, shared memory within).
     pub fn node_barrier(&mut self) {
         let shared = Arc::clone(&self.shared);
-        let topo = &self.machine.topology;
+        let machine = Arc::clone(&self.machine);
+        let topo = &machine.topology;
         let node = topo.node_of(self.pe);
         shared.clock_slots[self.pe].store(self.clock.now(), Ordering::SeqCst);
         shared.node_barriers[node].wait();
-        let max = topo
+        let (max_pe, max) = topo
             .pes_on_node(node)
-            .map(|pe| shared.clock_slots[pe].load(Ordering::SeqCst))
-            .max()
-            .unwrap_or(0);
-        self.clock.advance_to(max, TimeCat::Sync);
+            .map(|pe| (pe, shared.clock_slots[pe].load(Ordering::SeqCst)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .unwrap_or((0, 0));
         let pes_here = topo.pes_on_node(node).count();
+        self.wait_until_traced(
+            max,
+            EventKind::NodeBarrierWait,
+            Some(max_pe as u32),
+            Some(Dep {
+                pe: max_pe as u32,
+                t: max,
+            }),
+        );
         let cost = cost::barrier(&self.machine.config, pes_here, 0);
-        self.clock.advance(cost, TimeCat::Sync);
+        self.advance_traced(cost, TimeCat::Sync, EventKind::NodeBarrier, 0, None);
         self.counters.barriers += 1;
         shared.node_barriers[node].wait();
     }
@@ -266,15 +366,22 @@ impl Ctx {
         let depth = u64::from(self.machine.topology.tree_depth());
         let per_level = self.machine.config.transfer_ns(bytes)
             + u64::from(self.machine.topology.max_hops()) * self.machine.config.lat_hop;
-        self.clock.advance(depth * per_level, TimeCat::Remote);
+        self.advance_traced(
+            depth * per_level,
+            TimeCat::Remote,
+            EventKind::CollStep,
+            bytes.min(u32::MAX as usize) as u32,
+            None,
+        );
     }
 
-    pub(crate) fn into_report(self) -> PeReport {
+    pub(crate) fn into_report(mut self) -> PeReport {
         PeReport {
             pe: self.pe,
             finish: self.clock.now(),
             breakdown: self.clock.breakdown(),
             counters: self.counters,
+            events: self.recorder.take(),
         }
     }
 }

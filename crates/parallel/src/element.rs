@@ -117,7 +117,10 @@ mod tests {
     fn fetch_add_bits_wraps() {
         let a = i32::MAX.to_bits();
         let b = 1i32.to_bits();
-        assert_eq!(i32::from_bits(<i32 as IntElement>::add_bits(a, b)), i32::MIN);
+        assert_eq!(
+            i32::from_bits(<i32 as IntElement>::add_bits(a, b)),
+            i32::MIN
+        );
     }
 
     #[test]

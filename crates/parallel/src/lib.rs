@@ -37,3 +37,7 @@ pub use ctx::Ctx;
 pub use element::{Element, IntElement};
 pub use lock::{SimLock, SimLockGuard};
 pub use team::{PeReport, Team, TeamRun};
+
+// Re-export the tracing vocabulary so model runtimes built on `Ctx` can
+// name event kinds and dependency edges without a separate dependency.
+pub use o2k_trace::{Dep, Event, EventKind};

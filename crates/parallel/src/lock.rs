@@ -9,6 +9,7 @@
 //! virtual time.
 
 use machine::{cost, SimTime, TimeCat};
+use o2k_trace::{Dep, EventKind};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::ctx::Ctx;
@@ -20,8 +21,9 @@ use crate::ctx::Ctx;
 #[derive(Debug)]
 pub struct SimLock {
     home_node: usize,
-    /// Virtual time at which the previous holder released.
-    release_time: Mutex<SimTime>,
+    /// Virtual release time and PE of the previous holder — the wait edge
+    /// a contended acquirer's trace event points back to.
+    release: Mutex<(SimTime, u32)>,
 }
 
 /// Guard proving exclusive access. Call [`SimLockGuard::release`] with the
@@ -30,13 +32,16 @@ pub struct SimLock {
 /// release time (a conservative under-estimate used only on panic paths).
 #[must_use = "dropping the guard immediately releases the lock"]
 pub struct SimLockGuard<'a> {
-    guard: MutexGuard<'a, SimTime>,
+    guard: MutexGuard<'a, (SimTime, u32)>,
 }
 
 impl SimLock {
     /// A lock homed on `home_node`.
     pub fn new(home_node: usize) -> Self {
-        SimLock { home_node, release_time: Mutex::new(0) }
+        SimLock {
+            home_node,
+            release: Mutex::new((0, 0)),
+        }
     }
 
     /// A set of `n` locks homed round-robin across `nodes` nodes, the usual
@@ -49,14 +54,23 @@ impl SimLock {
     /// virtual clock past the previous holder's release, and charges the
     /// distance-priced acquisition cost.
     pub fn acquire<'a>(&'a self, ctx: &mut Ctx) -> SimLockGuard<'a> {
-        let guard = self.release_time.lock();
-        ctx.clock_mut().advance_to(*guard, TimeCat::Sync);
+        let guard = self.release.lock();
+        let (release_t, holder) = *guard;
+        ctx.wait_until_traced(
+            release_t,
+            EventKind::LockWait,
+            Some(holder),
+            Some(Dep {
+                pe: holder,
+                t: release_t,
+            }),
+        );
         let hops = {
             let topo = &ctx.machine().topology;
             topo.hops(topo.node_of(ctx.pe()), self.home_node.min(topo.nodes() - 1))
         };
         let c = cost::lock(&ctx.machine().config, hops);
-        ctx.advance(c, TimeCat::Remote);
+        ctx.advance_traced(c, TimeCat::Remote, EventKind::LockAcquire, 0, None);
         ctx.counters_mut().lock_acquires += 1;
         SimLockGuard { guard }
     }
@@ -65,7 +79,7 @@ impl SimLock {
 impl SimLockGuard<'_> {
     /// Release at the PE's current virtual time.
     pub fn release(mut self, ctx: &mut Ctx) {
-        *self.guard = ctx.now();
+        *self.guard = (ctx.now(), ctx.pe() as u32);
     }
 }
 
@@ -109,7 +123,10 @@ mod tests {
             g.release(ctx);
         });
         let total_sync: u64 = run.reports.iter().map(|r| r.breakdown.sync).sum();
-        assert!(total_sync >= 1_000, "second acquirer must wait out the first");
+        assert!(
+            total_sync >= 1_000,
+            "second acquirer must wait out the first"
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use parking_lot::Mutex;
 
 use crate::ctx::Ctx;
 
-/// Per-PE outcome of a team run: final virtual time, its breakdown, and the
-/// PE's event counters.
+/// Per-PE outcome of a team run: final virtual time, its breakdown, the
+/// PE's event counters, and (when tracing) its recorded events.
 #[derive(Debug, Clone)]
 pub struct PeReport {
     /// PE index.
@@ -21,6 +21,8 @@ pub struct PeReport {
     pub breakdown: TimeBreakdown,
     /// Event counters.
     pub counters: Counters,
+    /// Recorded trace events (empty unless the run was traced).
+    pub events: Vec<o2k_trace::Event>,
 }
 
 /// Result of [`Team::run`]: the per-PE closure results (indexed by PE) and
@@ -55,6 +57,17 @@ impl<R> TeamRun<R> {
             b = b.merged(&r.breakdown);
         }
         b
+    }
+
+    /// Whether any PE recorded trace events during this run.
+    pub fn is_traced(&self) -> bool {
+        self.reports.iter().any(|r| !r.events.is_empty())
+    }
+
+    /// Assemble the per-PE event streams into a [`o2k_trace::Trace`]
+    /// (empty streams if the run was untraced).
+    pub fn trace(&self) -> o2k_trace::Trace {
+        o2k_trace::Trace::new(self.reports.iter().map(|r| r.events.clone()).collect())
     }
 }
 
@@ -94,17 +107,30 @@ impl TeamShared {
 pub struct Team {
     machine: Arc<Machine>,
     seed: u64,
+    trace: bool,
 }
 
 impl Team {
     /// A team covering every PE of `machine`.
     pub fn new(machine: Arc<Machine>) -> Self {
-        Team { machine, seed: 0x5EED_0816 }
+        Team {
+            machine,
+            seed: 0x5EED_0816,
+            trace: false,
+        }
     }
 
     /// Set the seed for the per-PE deterministic RNGs.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable event tracing for runs of this team. Tracing is also enabled
+    /// globally via [`o2k_trace::set_enabled`], which additionally pushes
+    /// each run's trace to the process-wide sink.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -124,6 +150,8 @@ impl Team {
     {
         let pes = self.machine.pes();
         let shared = Arc::new(TeamShared::new(&self.machine));
+        let globally_traced = o2k_trace::enabled();
+        let trace = self.trace || globally_traced;
         let mut out: Vec<Option<(R, PeReport)>> = (0..pes).map(|_| None).collect();
 
         std::thread::scope(|scope| {
@@ -134,7 +162,7 @@ impl Team {
                 let f = &f;
                 let seed = self.seed;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = Ctx::new(pe, machine, shared, seed);
+                    let mut ctx = Ctx::new(pe, machine, shared, seed, trace);
                     let r = f(&mut ctx);
                     *slot = Some((r, ctx.into_report()));
                 }));
@@ -153,7 +181,11 @@ impl Team {
             results.push(r);
             reports.push(rep);
         }
-        TeamRun { results, reports }
+        let run = TeamRun { results, reports };
+        if globally_traced {
+            o2k_trace::sink_push(run.trace());
+        }
+        run
     }
 }
 

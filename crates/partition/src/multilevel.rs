@@ -165,7 +165,15 @@ impl WGraph {
             }
             xadj.push(adj.len());
         }
-        (WGraph { xadj, adj, ewgt, vwgt: cvwgt }, map)
+        (
+            WGraph {
+                xadj,
+                adj,
+                ewgt,
+                vwgt: cvwgt,
+            },
+            map,
+        )
     }
 }
 
@@ -240,8 +248,7 @@ fn refine(g: &WGraph, parts: &mut [u32], nparts: usize, passes: usize) {
         for v in 0..g.n() {
             let from = parts[v] as usize;
             // Connectivity of v to each adjacent part.
-            let mut conn: std::collections::HashMap<u32, f64> =
-                std::collections::HashMap::new();
+            let mut conn: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
             for (u, w) in g.neighbors(v) {
                 *conn.entry(parts[u as usize]).or_insert(0.0) += w;
             }

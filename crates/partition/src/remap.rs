@@ -66,7 +66,9 @@ pub fn remap_labels(
         }
     }
     // Unmatched new parts take any free old id (deterministically).
-    let mut free: Vec<u32> = (0..nparts as u32).filter(|&o| !old_taken[o as usize]).collect();
+    let mut free: Vec<u32> = (0..nparts as u32)
+        .filter(|&o| !old_taken[o as usize])
+        .collect();
     free.reverse();
     for slot in new_to_old.iter_mut() {
         if *slot == u32::MAX {
@@ -81,12 +83,7 @@ pub fn remap_labels(
 }
 
 /// Movement stats between two partitions with identical id spaces.
-pub fn movement(
-    old_parts: &[u32],
-    new_parts: &[u32],
-    weights: &[f64],
-    nparts: usize,
-) -> MoveStats {
+pub fn movement(old_parts: &[u32], new_parts: &[u32], weights: &[f64], nparts: usize) -> MoveStats {
     let mut total_v = 0.0;
     let mut retained = 0.0;
     let mut sent = vec![0.0f64; nparts];
@@ -105,7 +102,11 @@ pub fn movement(
         .chain(recvd.iter())
         .cloned()
         .fold(0.0f64, f64::max);
-    MoveStats { total_v, max_v, retained }
+    MoveStats {
+        total_v,
+        max_v,
+        retained,
+    }
 }
 
 #[cfg(test)]

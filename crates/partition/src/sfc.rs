@@ -58,8 +58,16 @@ fn quantise(points: &[WeightedPoint]) -> Vec<(u16, u16)> {
         max_y = max_y.max(p.y);
     }
     let scale = f64::from((1u32 << BITS) - 1);
-    let sx = if max_x > min_x { scale / (max_x - min_x) } else { 0.0 };
-    let sy = if max_y > min_y { scale / (max_y - min_y) } else { 0.0 };
+    let sx = if max_x > min_x {
+        scale / (max_x - min_x)
+    } else {
+        0.0
+    };
+    let sy = if max_y > min_y {
+        scale / (max_y - min_y)
+    } else {
+        0.0
+    };
     points
         .iter()
         .map(|p| (((p.x - min_x) * sx) as u16, ((p.y - min_y) * sy) as u16))
@@ -162,8 +170,8 @@ mod tests {
         for w in by_key.windows(2) {
             let ((x0, y0), _) = w[0];
             let ((x1, y1), _) = w[1];
-            let manhattan = (i32::from(x0) - i32::from(x1)).abs()
-                + (i32::from(y0) - i32::from(y1)).abs();
+            let manhattan =
+                (i32::from(x0) - i32::from(x1)).abs() + (i32::from(y0) - i32::from(y1)).abs();
             assert_eq!(manhattan, 1, "cells {:?} {:?} not adjacent", w[0], w[1]);
         }
     }

@@ -112,7 +112,10 @@ impl CacheSim {
             if e.valid && e.tag == tag {
                 e.used = tick;
                 self.hits += 1;
-                return Probe::Hit { version: e.version, dirty: e.dirty };
+                return Probe::Hit {
+                    version: e.version,
+                    dirty: e.dirty,
+                };
             }
         }
         self.misses += 1;
@@ -134,7 +137,13 @@ impl CacheSim {
         }
         // Free way?
         if let Some(e) = set.iter_mut().find(|e| !e.valid) {
-            *e = Entry { tag, version, dirty, used: tick, valid: true };
+            *e = Entry {
+                tag,
+                version,
+                dirty,
+                used: tick,
+                valid: true,
+            };
             return None;
         }
         // Evict LRU.
@@ -142,8 +151,17 @@ impl CacheSim {
             .iter_mut()
             .min_by_key(|e| e.used)
             .expect("non-empty set");
-        let evicted = Evicted { tag: victim.tag, dirty: victim.dirty };
-        *victim = Entry { tag, version, dirty, used: tick, valid: true };
+        let evicted = Evicted {
+            tag: victim.tag,
+            dirty: victim.dirty,
+        };
+        *victim = Entry {
+            tag,
+            version,
+            dirty,
+            used: tick,
+            valid: true,
+        };
         Some(evicted)
     }
 
@@ -197,7 +215,13 @@ mod tests {
         let t = line_tag(0, 5);
         assert_eq!(c.probe(t), Probe::Miss);
         assert_eq!(c.insert(t, 1, false), None);
-        assert_eq!(c.probe(t), Probe::Hit { version: 1, dirty: false });
+        assert_eq!(
+            c.probe(t),
+            Probe::Hit {
+                version: 1,
+                dirty: false
+            }
+        );
         assert_eq!(c.stats(), (1, 1));
     }
 
@@ -207,7 +231,13 @@ mod tests {
         let t = line_tag(0, 5);
         c.insert(t, 1, false);
         assert_eq!(c.insert(t, 2, true), None);
-        assert_eq!(c.probe(t), Probe::Hit { version: 2, dirty: true });
+        assert_eq!(
+            c.probe(t),
+            Probe::Hit {
+                version: 2,
+                dirty: true
+            }
+        );
     }
 
     #[test]
@@ -226,14 +256,22 @@ mod tests {
                 }
             }
         }
-        let [a, b, x] = same_set[..] else { panic!("need 3 colliding tags") };
+        let [a, b, x] = same_set[..] else {
+            panic!("need 3 colliding tags")
+        };
         c.insert(a, 1, true);
         c.insert(b, 1, false);
         c.probe(a); // refresh a → b becomes LRU
         let ev = c.insert(x, 1, false).expect("set overflow evicts");
         assert_eq!(ev.tag, b);
         assert!(!ev.dirty);
-        assert_eq!(c.probe(a), Probe::Hit { version: 1, dirty: true });
+        assert_eq!(
+            c.probe(a),
+            Probe::Hit {
+                version: 1,
+                dirty: true
+            }
+        );
         assert_eq!(c.probe(b), Probe::Miss);
     }
 
@@ -265,8 +303,20 @@ mod tests {
         let t1 = line_tag(1, 1);
         c.insert(t0, 5, false);
         c.insert(t1, 9, true);
-        assert_eq!(c.probe(t0), Probe::Hit { version: 5, dirty: false });
-        assert_eq!(c.probe(t1), Probe::Hit { version: 9, dirty: true });
+        assert_eq!(
+            c.probe(t0),
+            Probe::Hit {
+                version: 5,
+                dirty: false
+            }
+        );
+        assert_eq!(
+            c.probe(t1),
+            Probe::Hit {
+                version: 9,
+                dirty: true
+            }
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use machine::{cost, Machine, TimeCat};
-use parallel::{Ctx, Element, IntElement};
+use parallel::{Ctx, Element, EventKind, IntElement};
 use parking_lot::Mutex;
 
 use crate::cache::{line_tag, CacheSim, Probe};
@@ -50,7 +50,10 @@ struct Line {
 
 impl Default for Line {
     fn default() -> Self {
-        Line { dir: Mutex::new(LineDir::default()), meta: AtomicU64::new(pack_meta(0, 0, false)) }
+        Line {
+            dir: Mutex::new(LineDir::default()),
+            meta: AtomicU64::new(pack_meta(0, 0, false)),
+        }
     }
 }
 
@@ -128,7 +131,11 @@ impl SasWorld {
             let mut regions = self.regions.lock();
             if regions.len() <= idx {
                 debug_assert_eq!(regions.len(), idx, "allocation sequence skew");
-                regions.push(Arc::new(self.build_region(idx as u32, TypeId::of::<T>(), len)));
+                regions.push(Arc::new(self.build_region(
+                    idx as u32,
+                    TypeId::of::<T>(),
+                    len,
+                )));
             }
             let r = Arc::clone(&regions[idx]);
             assert_eq!(r.type_id, TypeId::of::<T>(), "shared alloc type mismatch");
@@ -136,7 +143,10 @@ impl SasWorld {
             r
         };
         ctx.barrier();
-        SasSlice { region, _t: PhantomData }
+        SasSlice {
+            region,
+            _t: PhantomData,
+        }
     }
 
     fn build_region(&self, id: u32, type_id: TypeId, len: usize) -> RegionData {
@@ -188,7 +198,10 @@ pub struct SasSlice<T: Element> {
 
 impl<T: Element> Clone for SasSlice<T> {
     fn clone(&self) -> Self {
-        SasSlice { region: Arc::clone(&self.region), _t: PhantomData }
+        SasSlice {
+            region: Arc::clone(&self.region),
+            _t: PhantomData,
+        }
     }
 }
 
@@ -299,7 +312,13 @@ impl SasPe {
 
     /// Atomic fetch-add on a shared integer element (LL/SC-style: costs an
     /// exclusive write access).
-    pub fn fadd<T: IntElement>(&mut self, ctx: &mut Ctx, s: &SasSlice<T>, idx: usize, delta: T) -> T {
+    pub fn fadd<T: IntElement>(
+        &mut self,
+        ctx: &mut Ctx,
+        s: &SasSlice<T>,
+        idx: usize,
+        delta: T,
+    ) -> T {
         self.touch(ctx, &s.region, idx, true);
         let cell = &s.region.storage[idx];
         let mut cur = cell.load(Ordering::SeqCst);
@@ -312,7 +331,14 @@ impl SasPe {
         }
     }
 
-    fn touch_range(&mut self, ctx: &mut Ctx, r: &RegionData, start: usize, end: usize, write: bool) {
+    fn touch_range(
+        &mut self,
+        ctx: &mut Ctx,
+        r: &RegionData,
+        start: usize,
+        end: usize,
+        write: bool,
+    ) {
         if start >= end {
             return;
         }
@@ -375,10 +401,12 @@ impl SasPe {
 
         let mut charge_local = 0u64;
         let mut charge_remote = 0u64;
+        let mut fill_home: Option<u32> = None;
 
         if !cached {
             // Fill from home (or forward from a dirty owner).
             let home = self.home_node(r, line, my_node);
+            fill_home = Some(home as u32);
             let hops = topo.hops(my_node, home);
             let fill = cost::line_fill(cfg, hops);
             if hops == 0 {
@@ -408,8 +436,8 @@ impl SasPe {
                 let q = others.trailing_zeros() as usize;
                 others &= others - 1;
                 let qn = topo.node_of(q.min(topo.pes() - 1));
-                charge_remote += cfg.lat_invalidate
-                    + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop;
+                charge_remote +=
+                    cfg.lat_invalidate + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop;
                 invalidated += 1;
             }
             ctx.counters_mut().invalidations += u64::from(invalidated);
@@ -425,21 +453,41 @@ impl SasPe {
             d.sharers |= me;
         }
 
-        l.meta.store(pack_meta(d.version, d.owner, d.dirty), Ordering::Release);
+        l.meta
+            .store(pack_meta(d.version, d.owner, d.dirty), Ordering::Release);
         let version = d.version;
         drop(d);
 
+        let line_bytes = cfg.line_bytes.min(u32::MAX as usize) as u32;
         if charge_local > 0 {
-            ctx.advance(charge_local, TimeCat::Local);
+            ctx.advance_traced(
+                charge_local,
+                TimeCat::Local,
+                EventKind::MissLocal,
+                line_bytes,
+                fill_home,
+            );
         }
         if charge_remote > 0 {
-            ctx.advance(charge_remote, TimeCat::Remote);
+            ctx.advance_traced(
+                charge_remote,
+                TimeCat::Remote,
+                EventKind::MissRemote,
+                line_bytes,
+                fill_home,
+            );
         }
 
         if let Some(evicted) = self.cache.insert(tag, version, write) {
             if evicted.dirty {
                 // Write the victim back to its home memory.
-                ctx.advance(cfg.lat_local_mem, TimeCat::Local);
+                ctx.advance_traced(
+                    cfg.lat_local_mem,
+                    TimeCat::Local,
+                    EventKind::Writeback,
+                    line_bytes,
+                    None,
+                );
             }
         }
     }
@@ -453,8 +501,12 @@ impl SasPe {
             return h as usize;
         }
         // First touch: claim for my node (CAS race loser uses winner's node).
-        match cell.compare_exchange(NO_HOME, my_node as u32, Ordering::Relaxed, Ordering::Relaxed)
-        {
+        match cell.compare_exchange(
+            NO_HOME,
+            my_node as u32,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
             Ok(_) => my_node,
             Err(actual) => actual as usize,
         }
@@ -469,7 +521,10 @@ mod tests {
 
     fn setup(pes: usize) -> (Arc<SasWorld>, Team) {
         let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
-        (Arc::new(SasWorld::new(Arc::clone(&machine))), Team::new(machine))
+        (
+            Arc::new(SasWorld::new(Arc::clone(&machine))),
+            Team::new(machine),
+        )
     }
 
     #[test]
@@ -518,7 +573,10 @@ mod tests {
             }
             w.barrier(ctx);
             let v = pe.read(ctx, &s, 0); // PE 1 must miss and see 7
-            (v, ctx.counters().misses_local + ctx.counters().misses_remote)
+            (
+                v,
+                ctx.counters().misses_local + ctx.counters().misses_remote,
+            )
         });
         assert_eq!(run.results[0].0, 7);
         assert_eq!(run.results[1].0, 7);
@@ -561,7 +619,10 @@ mod tests {
     #[test]
     fn round_robin_policy_prehomes_pages() {
         let machine = Arc::new(Machine::new(4, MachineConfig::test_tiny()));
-        let w = Arc::new(SasWorld::with_paging(Arc::clone(&machine), PagePolicy::RoundRobin));
+        let w = Arc::new(SasWorld::with_paging(
+            Arc::clone(&machine),
+            PagePolicy::RoundRobin,
+        ));
         let t = Team::new(machine);
         let run = t.run(|ctx| {
             // words_per_page = 256/8 = 32 → pages every 32 elements.
@@ -671,7 +732,10 @@ mod tests {
         let (v, dt) = run.results[3].expect("PE 3 measured");
         assert_eq!(v, 42);
         let plain_fill = cost::line_fill(&MachineConfig::test_tiny(), 0);
-        assert!(dt > plain_fill, "dirty remote read must exceed a clean local fill");
+        assert!(
+            dt > plain_fill,
+            "dirty remote read must exceed a clean local fill"
+        );
     }
 }
 

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use machine::{cost, Machine, TimeCat};
-use parallel::Ctx;
+use parallel::{Ctx, EventKind};
 use parking_lot::Mutex;
 
 use parallel::{Element, IntElement};
@@ -66,10 +66,18 @@ impl SymWorld {
                 let mem = (0..pes)
                     .map(|_| (0..len).map(|_| AtomicU64::new(0)).collect::<Box<[_]>>())
                     .collect();
-                regions.push(Arc::new(Region { type_id: TypeId::of::<T>(), len, mem }));
+                regions.push(Arc::new(Region {
+                    type_id: TypeId::of::<T>(),
+                    len,
+                    mem,
+                }));
             }
             let r = Arc::clone(&regions[idx]);
-            assert_eq!(r.type_id, TypeId::of::<T>(), "symmetric alloc type mismatch");
+            assert_eq!(
+                r.type_id,
+                TypeId::of::<T>(),
+                "symmetric alloc type mismatch"
+            );
             assert_eq!(r.len, len, "symmetric alloc length mismatch");
             r
         };
@@ -135,7 +143,13 @@ impl<T: Element> SymSlice<T> {
         }
         let bytes = data.len() * T::BYTES;
         let hops = self.machine.hops_between(ctx.pe(), target_pe);
-        ctx.advance(cost::put(&self.machine.config, bytes, hops), TimeCat::Remote);
+        ctx.advance_traced(
+            cost::put(&self.machine.config, bytes, hops),
+            TimeCat::Remote,
+            EventKind::Put,
+            bytes.min(u32::MAX as usize) as u32,
+            Some(target_pe as u32),
+        );
         let c = ctx.counters_mut();
         c.puts += 1;
         c.put_bytes += bytes as u64;
@@ -150,7 +164,13 @@ impl<T: Element> SymSlice<T> {
             .collect();
         let bytes = len * T::BYTES;
         let hops = self.machine.hops_between(ctx.pe(), source_pe);
-        ctx.advance(cost::get(&self.machine.config, bytes, hops), TimeCat::Remote);
+        ctx.advance_traced(
+            cost::get(&self.machine.config, bytes, hops),
+            TimeCat::Remote,
+            EventKind::Get,
+            bytes.min(u32::MAX as usize) as u32,
+            Some(source_pe as u32),
+        );
         let c = ctx.counters_mut();
         c.gets += 1;
         c.get_bytes += bytes as u64;
@@ -192,7 +212,13 @@ impl<T: Element> SymSlice<T> {
     pub fn quiet(&self, ctx: &mut Ctx) {
         std::sync::atomic::fence(Ordering::SeqCst);
         // A quiet waits for put acknowledgements: one hop-free round trip.
-        ctx.advance(self.machine.config.shmem_put_overhead, TimeCat::Remote);
+        ctx.advance_traced(
+            self.machine.config.shmem_put_overhead,
+            TimeCat::Remote,
+            EventKind::ShmemColl,
+            0,
+            None,
+        );
     }
 
     /// SHMEM broadcast: `root`'s `[offset .. offset+len]` is copied into the
@@ -218,18 +244,20 @@ impl<T: Element> SymSlice<T> {
         let hops = self.machine.topology.max_hops();
         let per_level = cost::put(&self.machine.config, bytes, hops);
         let depth = u64::from(self.machine.topology.tree_depth());
-        ctx.advance(depth * per_level, TimeCat::Remote);
+        ctx.advance_traced(
+            depth * per_level,
+            TimeCat::Remote,
+            EventKind::ShmemColl,
+            bytes.min(u32::MAX as usize) as u32,
+            None,
+        );
     }
 }
 
 impl<T: IntElement> SymSlice<T> {
     /// Remote atomic fetch-add; returns the previous value.
     pub fn fadd(&self, ctx: &mut Ctx, target_pe: usize, offset: usize, delta: T) -> T {
-        let old = atomic_bits_add(
-            &self.cells(target_pe)[offset],
-            delta.to_bits(),
-            T::add_bits,
-        );
+        let old = atomic_bits_add(&self.cells(target_pe)[offset], delta.to_bits(), T::add_bits);
         self.charge_amo(ctx, target_pe);
         T::from_bits(old)
     }
@@ -264,7 +292,13 @@ impl<T: IntElement> SymSlice<T> {
 
     fn charge_amo(&self, ctx: &mut Ctx, target_pe: usize) {
         let hops = self.machine.hops_between(ctx.pe(), target_pe);
-        ctx.advance(cost::amo(&self.machine.config, hops), TimeCat::Remote);
+        ctx.advance_traced(
+            cost::amo(&self.machine.config, hops),
+            TimeCat::Remote,
+            EventKind::Amo,
+            T::BYTES.min(u32::MAX as usize) as u32,
+            Some(target_pe as u32),
+        );
         ctx.counters_mut().amos += 1;
     }
 }
@@ -292,7 +326,10 @@ mod tests {
 
     fn setup(pes: usize) -> (Arc<SymWorld>, Team) {
         let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
-        (Arc::new(SymWorld::new(Arc::clone(&machine))), Team::new(machine))
+        (
+            Arc::new(SymWorld::new(Arc::clone(&machine))),
+            Team::new(machine),
+        )
     }
 
     #[test]
@@ -471,9 +508,7 @@ impl SymSlice<f64> {
     /// Charged as a recursive-doubling exchange (log P rounds of puts).
     pub fn sum_to_all(&self, ctx: &mut Ctx, offset: usize, len: usize) {
         let mine = self.read_local(ctx, offset, len);
-        let summed = ctx.allreduce(mine, |a, b| {
-            a.iter().zip(b).map(|(x, y)| x + y).collect()
-        });
+        let summed = ctx.allreduce(mine, |a, b| a.iter().zip(b).map(|(x, y)| x + y).collect());
         self.write_local(ctx, offset, &summed);
         self.charge_rounds(ctx, len * 8);
     }
@@ -498,8 +533,7 @@ impl<T: Element> SymSlice<T> {
     pub fn fcollect(&self, ctx: &mut Ctx, len: usize) {
         let p = ctx.machine().pes();
         assert!(self.len() >= len * p, "fcollect needs len*npes capacity");
-        let mine: Vec<u64> = self
-            .cells(ctx.pe())[..len]
+        let mine: Vec<u64> = self.cells(ctx.pe())[..len]
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
@@ -518,7 +552,13 @@ impl<T: Element> SymSlice<T> {
         let depth = u64::from(self.machine.topology.tree_depth());
         let hops = self.machine.topology.max_hops();
         let per_round = cost::put(&self.machine.config, bytes, hops);
-        ctx.advance(depth * per_round, TimeCat::Remote);
+        ctx.advance_traced(
+            depth * per_round,
+            TimeCat::Remote,
+            EventKind::ShmemColl,
+            bytes.min(u32::MAX as usize) as u32,
+            None,
+        );
     }
 }
 
@@ -530,7 +570,10 @@ mod collective_tests {
 
     fn setup(pes: usize) -> (Arc<SymWorld>, Team) {
         let machine = Arc::new(Machine::new(pes, MachineConfig::test_tiny()));
-        (Arc::new(SymWorld::new(Arc::clone(&machine))), Team::new(machine))
+        (
+            Arc::new(SymWorld::new(Arc::clone(&machine))),
+            Team::new(machine),
+        )
     }
 
     #[test]

@@ -34,6 +34,6 @@
 
 mod heap;
 
-pub use parallel::{Element, IntElement};
 pub use heap::{SymSlice, SymWorld};
+pub use parallel::{Element, IntElement};
 pub use parallel::{SimLock, SimLockGuard};

@@ -13,10 +13,19 @@ use origin2k::partition::WeightedPoint;
 use origin2k::prelude::*;
 
 fn main() {
-    let cfg = AmrConfig { nx: 32, ny: 32, steps: 6, sweeps: 4, ..AmrConfig::default() };
+    let cfg = AmrConfig {
+        nx: 32,
+        ny: 32,
+        steps: 6,
+        sweeps: 4,
+        ..AmrConfig::default()
+    };
 
     // Sequential replay of the adaptation the parallel runs perform.
-    println!("mesh evolution (shock crossing the unit square in {} steps):\n", cfg.steps);
+    println!(
+        "mesh evolution (shock crossing the unit square in {} steps):\n",
+        cfg.steps
+    );
     println!(
         "{:<5} {:>8} {:>9} {:>10} {:>11} {:>10}",
         "step", "front x", "active", "max level", "min angle°", "imbalance"

@@ -13,13 +13,25 @@ use origin2k::machine::{Machine, MachineConfig};
 use origin2k::prelude::*;
 
 fn main() {
-    let amr = AmrConfig { nx: 24, ny: 24, steps: 4, sweeps: 4, ..AmrConfig::default() };
+    let amr = AmrConfig {
+        nx: 24,
+        ny: 24,
+        steps: 4,
+        sweeps: 4,
+        ..AmrConfig::default()
+    };
     let nb = NBodyConfig::small();
     let p = 16;
 
     for (label, cfg) in [
-        ("SGI Origin2000 (hardware ccNUMA)", MachineConfig::origin2000()),
-        ("cluster of SMPs (commodity network)", MachineConfig::cluster_of_smps()),
+        (
+            "SGI Origin2000 (hardware ccNUMA)",
+            MachineConfig::origin2000(),
+        ),
+        (
+            "cluster of SMPs (commodity network)",
+            MachineConfig::cluster_of_smps(),
+        ),
     ] {
         println!("=== {label}, P = {p} ===");
         println!(

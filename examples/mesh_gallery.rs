@@ -17,7 +17,10 @@ fn main() {
 
     // Planar shock across the unit square.
     let mut square = AdaptiveMesh::structured(24, 24, 1.0, 1.0);
-    let planar = Shock::Planar { x0: 0.0, speed: 1.0 };
+    let planar = Shock::Planar {
+        x0: 0.0,
+        speed: 1.0,
+    };
     for step in 0..5 {
         let t = (step as f64 + 1.0) / 5.0;
         adapt_step(&mut square, &planar, t, 0.08, 0.22, 2);
@@ -34,7 +37,12 @@ fn main() {
 
     // Expanding circular shock through an annulus.
     let mut ring = AdaptiveMesh::annulus(6, 48, 0.35, 1.2);
-    let circular = Shock::Circular { cx: 0.0, cy: 0.0, r0: 0.35, speed: 0.17 };
+    let circular = Shock::Circular {
+        cx: 0.0,
+        cy: 0.0,
+        r0: 0.35,
+        speed: 0.17,
+    };
     for step in 0..5 {
         adapt_step(&mut ring, &circular, step as f64, 0.05, 0.16, 2);
         ring.validate().expect("conforming");

@@ -27,10 +27,18 @@ fn main() {
             format!("rank 0 sent 24 B to rank 3; clock = {} ns", ctx.now())
         } else if ctx.pe() == 3 {
             let (src, _, data) = w.recv::<f64>(ctx, RecvSpec::from(0, 7));
-            format!("rank 3 received {:?} from {src}; clock = {} ns", data, ctx.now())
+            format!(
+                "rank 3 received {:?} from {src}; clock = {} ns",
+                data,
+                ctx.now()
+            )
         } else {
             let total = w.allreduce_sum_u64(ctx, vec![ctx.pe() as u64])[0];
-            format!("rank {} joined allreduce → {total}; clock = {} ns", ctx.pe(), ctx.now())
+            format!(
+                "rank {} joined allreduce → {total}; clock = {} ns",
+                ctx.pe(),
+                ctx.now()
+            )
         }
     });
     for line in &run.results {

@@ -12,7 +12,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2048);
     let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
-    let cfg = NBodyConfig { n, steps, ..NBodyConfig::default() };
+    let cfg = NBodyConfig {
+        n,
+        steps,
+        ..NBodyConfig::default()
+    };
     let amr = AmrConfig::small(); // unused by the N-body path
     let pes = [1usize, 2, 4, 8, 16, 32];
 
@@ -41,7 +45,10 @@ fn main() {
         .iter()
         .map(|s| (s.model.name(), s.speedups()))
         .collect();
-    println!("\n{}", line_chart("N-body speedup", &sweep.pes, &series, 12));
+    println!(
+        "\n{}",
+        line_chart("N-body speedup", &sweep.pes, &series, 12)
+    );
 
     // Communication structure at the largest P.
     let last = sweep.pes.len() - 1;

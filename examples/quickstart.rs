@@ -8,8 +8,18 @@
 use origin2k::prelude::*;
 
 fn main() {
-    let nbody_cfg = NBodyConfig { n: 1024, steps: 2, ..NBodyConfig::default() };
-    let amr_cfg = AmrConfig { nx: 20, ny: 20, steps: 3, sweeps: 3, ..AmrConfig::default() };
+    let nbody_cfg = NBodyConfig {
+        n: 1024,
+        steps: 2,
+        ..NBodyConfig::default()
+    };
+    let amr_cfg = AmrConfig {
+        nx: 20,
+        ny: 20,
+        steps: 3,
+        sweeps: 3,
+        ..AmrConfig::default()
+    };
     let pes = 8;
 
     println!("origin2k quickstart — {pes} simulated PEs (Origin2000 preset)\n");
@@ -38,7 +48,12 @@ fn main() {
 
     println!("programming effort (effective source lines):");
     for row in effort_table() {
-        println!("  {:<8} {:<8} {:>5}", row.app.name(), row.model.name(), row.loc);
+        println!(
+            "  {:<8} {:<8} {:>5}",
+            row.app.name(),
+            row.model.name(),
+            row.loc
+        );
     }
     println!("\nRun `cargo run --release -p o2k-bench --bin repro -- all` for the full suite.");
 }

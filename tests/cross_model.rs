@@ -106,8 +106,7 @@ fn deterministic_end_to_end() {
                 // exactly as wall time did on the hardware; runs must agree
                 // closely but not bitwise. The hybrid shares this property.
                 Model::Sas | Model::Hybrid => {
-                    let rel = (a.sim_time as f64 - b.sim_time as f64).abs()
-                        / a.sim_time as f64;
+                    let rel = (a.sim_time as f64 - b.sim_time as f64).abs() / a.sim_time as f64;
                     assert!(rel < 0.03, "{app:?}/{model:?}: timing spread {rel}");
                 }
             }
@@ -120,7 +119,10 @@ fn circular_shock_workload_also_agrees_bitwise() {
     // The adaptation driver is geometry-agnostic: an expanding circular
     // front (a different, rotationally-symmetric refinement pattern) must
     // preserve the cross-model equivalence too.
-    let cfg = AmrConfig { circular: true, ..AmrConfig::small() };
+    let cfg = AmrConfig {
+        circular: true,
+        ..AmrConfig::small()
+    };
     let nb = NBodyConfig::small();
     let reference = run_app(machine(1), App::Amr, Model::Sas, &nb, &cfg).checksum;
     for model in Model::ALL {

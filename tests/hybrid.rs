@@ -24,8 +24,14 @@ fn hybrid_amr_matches_every_pure_model_bitwise() {
     )
     .checksum;
     for p in [2, 4, 8] {
-        let c = run_app(machine(p, MachineConfig::origin2000()), App::Amr, Model::Hybrid, &nb, &am)
-            .checksum;
+        let c = run_app(
+            machine(p, MachineConfig::origin2000()),
+            App::Amr,
+            Model::Hybrid,
+            &nb,
+            &am,
+        )
+        .checksum;
         assert_eq!(c, reference, "hybrid AMR diverged at P={p}");
     }
 }
@@ -63,14 +69,20 @@ fn hybrid_discipline_no_cross_node_coherence() {
     let am = AmrConfig::small();
     let nb = NBodyConfig::small();
     for app in [App::NBody, App::Amr] {
-        for cfg in [MachineConfig::origin2000(), MachineConfig::cluster_of_smps()] {
+        for cfg in [
+            MachineConfig::origin2000(),
+            MachineConfig::cluster_of_smps(),
+        ] {
             let r = run_app(machine(8, cfg), app, Model::Hybrid, &nb, &am);
             assert_eq!(
                 r.counters.misses_remote, 0,
                 "{app:?}: hybrid must have zero remote misses"
             );
             assert!(r.counters.msgs_sent > 0, "{app:?}: leaders must message");
-            assert!(r.counters.cache_hits > 0, "{app:?}: node-local sharing used");
+            assert!(
+                r.counters.cache_hits > 0,
+                "{app:?}: node-local sharing used"
+            );
         }
     }
 }
@@ -80,14 +92,26 @@ fn hybrid_beats_pure_fine_grained_models_on_the_cluster() {
     // The A5 headline at test scale: when cross-node coherence is
     // software-DSM priced, the hybrid stays fast while pure SHMEM/SAS pay
     // per-line prices for every boundary access.
-    let am = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+    let am = AmrConfig {
+        nx: 16,
+        ny: 16,
+        steps: 3,
+        sweeps: 3,
+        ..AmrConfig::default()
+    };
     let nb = NBodyConfig::small();
     let cfg = MachineConfig::cluster_of_smps();
     let hy = run_app(machine(16, cfg.clone()), App::Amr, Model::Hybrid, &nb, &am).sim_time;
     let sas = run_app(machine(16, cfg.clone()), App::Amr, Model::Sas, &nb, &am).sim_time;
     let sh = run_app(machine(16, cfg), App::Amr, Model::Shmem, &nb, &am).sim_time;
-    assert!(hy < sas, "hybrid ({hy}) must beat pure SAS ({sas}) on the cluster");
-    assert!(hy < sh, "hybrid ({hy}) must beat pure SHMEM ({sh}) on the cluster");
+    assert!(
+        hy < sas,
+        "hybrid ({hy}) must beat pure SAS ({sas}) on the cluster"
+    );
+    assert!(
+        hy < sh,
+        "hybrid ({hy}) must beat pure SHMEM ({sh}) on the cluster"
+    );
 }
 
 #[test]
@@ -95,8 +119,20 @@ fn hybrid_uses_far_fewer_messages_than_mp() {
     let am = AmrConfig::small();
     let nb = NBodyConfig::small();
     for app in [App::NBody, App::Amr] {
-        let hy = run_app(machine(8, MachineConfig::origin2000()), app, Model::Hybrid, &nb, &am);
-        let mp = run_app(machine(8, MachineConfig::origin2000()), app, Model::Mp, &nb, &am);
+        let hy = run_app(
+            machine(8, MachineConfig::origin2000()),
+            app,
+            Model::Hybrid,
+            &nb,
+            &am,
+        );
+        let mp = run_app(
+            machine(8, MachineConfig::origin2000()),
+            app,
+            Model::Mp,
+            &nb,
+            &am,
+        );
         assert!(
             hy.counters.msgs_sent * 2 < mp.counters.msgs_sent,
             "{app:?}: node-granularity messaging should halve message count at least ({} vs {})",
@@ -112,7 +148,13 @@ fn hybrid_stays_competitive_on_the_origin2000() {
     // node barriers while leaders exchange messages — visible as extra
     // Sync time), but on hardware ccNUMA it must still land in CC-SAS's
     // neighbourhood, well ahead of pure MPI.
-    let am = AmrConfig { nx: 16, ny: 16, steps: 2, sweeps: 6, ..AmrConfig::default() };
+    let am = AmrConfig {
+        nx: 16,
+        ny: 16,
+        steps: 2,
+        sweeps: 6,
+        ..AmrConfig::default()
+    };
     let nb = NBodyConfig::small();
     let m = machine(16, MachineConfig::origin2000());
     let hy = run_app(Arc::clone(&m), App::Amr, Model::Hybrid, &nb, &am);

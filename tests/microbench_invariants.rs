@@ -123,7 +123,10 @@ fn barrier_cost_grows_sublinearly_when_executed() {
     assert!(costs[0] < costs[1] && costs[1] < costs[2], "{costs:?}");
     // 16x the PEs costs less than 16x the time (depth and hop span both
     // grow logarithmically, so the product is ~log² — still sublinear).
-    assert!(costs[2] < 16 * costs[0], "sublinear growth expected: {costs:?}");
+    assert!(
+        costs[2] < 16 * costs[0],
+        "sublinear growth expected: {costs:?}"
+    );
 }
 
 #[test]

@@ -94,7 +94,10 @@ fn virtual_time_is_monotone_through_mixed_operations() {
         stamps
     });
     for stamps in run.results {
-        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "clock ran backwards: {stamps:?}");
+        assert!(
+            stamps.windows(2).all(|w| w[0] <= w[1]),
+            "clock ran backwards: {stamps:?}"
+        );
     }
 }
 
@@ -112,7 +115,10 @@ fn effort_table_is_stable_shape() {
     let t = origin2k::core::effort_table();
     assert_eq!(t.len(), 6);
     // AMR SAS must be the shortest AMR implementation (paper's key claim).
-    let amr: Vec<_> = t.iter().filter(|r| r.app == origin2k::apps::App::Amr).collect();
+    let amr: Vec<_> = t
+        .iter()
+        .filter(|r| r.app == origin2k::apps::App::Amr)
+        .collect();
     let sas = amr
         .iter()
         .find(|r| r.model == origin2k::apps::Model::Sas)

@@ -6,8 +6,18 @@ use origin2k::prelude::*;
 
 #[test]
 fn every_model_speeds_up_to_moderate_pe_counts() {
-    let nb = NBodyConfig { n: 1024, steps: 2, ..NBodyConfig::default() };
-    let am = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+    let nb = NBodyConfig {
+        n: 1024,
+        steps: 2,
+        ..NBodyConfig::default()
+    };
+    let am = AmrConfig {
+        nx: 16,
+        ny: 16,
+        steps: 3,
+        sweeps: 3,
+        ..AmrConfig::default()
+    };
     for app in [App::NBody, App::Amr] {
         let sweep = sweep_models(app, &Model::ALL, &[1, 4, 8], &nb, &am);
         for s in &sweep.series {
@@ -18,7 +28,12 @@ fn every_model_speeds_up_to_moderate_pe_counts() {
                 s.model,
                 sp[2]
             );
-            assert!(sp[1] > 1.5, "{app:?}/{:?}: speedup at P=4 only {:.2}", s.model, sp[1]);
+            assert!(
+                sp[1] > 1.5,
+                "{app:?}/{:?}: speedup at P=4 only {:.2}",
+                s.model,
+                sp[1]
+            );
         }
     }
 }
@@ -28,7 +43,13 @@ fn sas_wins_amr_at_scale_and_mpi_lags() {
     // The paper-family headline: for the adaptive mesh application on
     // ccNUMA hardware, CC-SAS beats SHMEM beats MPI at higher P.
     let nb = NBodyConfig::small();
-    let am = AmrConfig { nx: 24, ny: 24, steps: 4, sweeps: 4, ..AmrConfig::default() };
+    let am = AmrConfig {
+        nx: 24,
+        ny: 24,
+        steps: 4,
+        sweeps: 4,
+        ..AmrConfig::default()
+    };
     let sweep = sweep_models(App::Amr, &Model::ALL, &[16], &nb, &am);
     let t = |m: Model| sweep.series_for(m).runs[0].sim_time;
     assert!(
@@ -49,7 +70,11 @@ fn sas_wins_amr_at_scale_and_mpi_lags() {
 fn nbody_models_are_comparable_at_moderate_scale() {
     // For N-body the paper found the three models close, with SAS at least
     // competitive. Allow 25% spread.
-    let nb = NBodyConfig { n: 1024, steps: 2, ..NBodyConfig::default() };
+    let nb = NBodyConfig {
+        n: 1024,
+        steps: 2,
+        ..NBodyConfig::default()
+    };
     let am = AmrConfig::small();
     let sweep = sweep_models(App::NBody, &Model::ALL, &[8], &nb, &am);
     let times: Vec<u64> = sweep.series.iter().map(|s| s.runs[0].sim_time).collect();
@@ -64,7 +89,13 @@ fn nbody_models_are_comparable_at_moderate_scale() {
 #[test]
 fn mpi_remote_fraction_grows_faster_than_sas_on_amr() {
     let nb = NBodyConfig::small();
-    let am = AmrConfig { nx: 16, ny: 16, steps: 3, sweeps: 3, ..AmrConfig::default() };
+    let am = AmrConfig {
+        nx: 16,
+        ny: 16,
+        steps: 3,
+        sweeps: 3,
+        ..AmrConfig::default()
+    };
     let frac = |model: Model, p: usize| {
         let r = run_app(Machine::origin2000(p), App::Amr, model, &nb, &am);
         let (_, _, remote, sync) = r.breakdown().fractions();
