@@ -74,6 +74,9 @@ pub struct RunMetrics {
     pub problem_size: usize,
     /// Recorded event trace, when the run executed with tracing enabled.
     pub trace: Option<o2k_trace::Trace>,
+    /// Scheduler statistics when the run used a cooperative policy (the
+    /// fingerprint identifies the interleaving that produced this result).
+    pub sched: Option<parallel::SchedStats>,
 }
 
 impl RunMetrics {
@@ -89,6 +92,7 @@ impl RunMetrics {
             checksum: run.results.first().copied().unwrap_or(0.0),
             problem_size,
             trace: run.is_traced().then(|| run.trace()),
+            sched: run.sched.clone(),
         }
     }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use machine::Machine;
 use nbody::costzones::zones_on_order;
 use nbody::{Octree, Vec3};
-use parallel::{Ctx, Team};
+use parallel::{Ctx, SchedPolicy, Team};
 use sas::{PagePolicy, SasSlice, SasWorld};
 
 use crate::metrics::{App, Model, RunMetrics};
@@ -26,14 +26,28 @@ use crate::workcost as W;
 
 /// Run the CC-SAS N-body application with first-touch paging.
 pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
-    run_with_paging(machine, cfg, PagePolicy::FirstTouch)
+    run_with(machine, cfg, PagePolicy::FirstTouch, None)
 }
 
 /// Run with an explicit paging policy (ablation A1).
 pub fn run_with_paging(machine: Arc<Machine>, cfg: &NBodyConfig, policy: PagePolicy) -> RunMetrics {
+    run_with(machine, cfg, policy, None)
+}
+
+/// Run with an explicit paging policy and scheduling policy. `None` keeps
+/// the process default ([`parallel::sched::default_policy`]).
+pub fn run_with(
+    machine: Arc<Machine>,
+    cfg: &NBodyConfig,
+    policy: PagePolicy,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per PE");
     let world = SasWorld::with_paging(Arc::clone(&machine), policy);
-    let team = Team::new(machine).seed(cfg.seed);
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
     let run = team.run(|ctx| pe_main(ctx, &world, cfg));
     RunMetrics::collect(App::NBody, Model::Sas, &run, cfg.n)
 }

@@ -44,6 +44,9 @@ pub struct Counters {
     pub barriers: u64,
     /// Lock acquisitions.
     pub lock_acquires: u64,
+    /// Cooperative-scheduler floor handoffs at this PE's yield points
+    /// (0 under the free-running OS policy).
+    pub sched_handoffs: u64,
 
     /// Message-size histogram buckets: counts of messages with payload in
     /// [0,64), [64,512), [512,4K), [4K,32K), [32K,∞) bytes.
@@ -130,6 +133,7 @@ impl Counters {
             upgrades: self.upgrades.saturating_sub(earlier.upgrades),
             barriers: self.barriers.saturating_sub(earlier.barriers),
             lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
+            sched_handoffs: self.sched_handoffs.saturating_sub(earlier.sched_handoffs),
             msg_size_hist,
         }
     }
@@ -151,6 +155,7 @@ impl Counters {
         self.upgrades += other.upgrades;
         self.barriers += other.barriers;
         self.lock_acquires += other.lock_acquires;
+        self.sched_handoffs += other.sched_handoffs;
         for (a, b) in self.msg_size_hist.iter_mut().zip(other.msg_size_hist) {
             *a += b;
         }

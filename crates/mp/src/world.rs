@@ -146,9 +146,16 @@ impl MpWorld {
             sent_at: ctx.now(),
             arrival: ctx.now() + c.network,
         };
+        let arrival = env.arrival;
         let mb = &self.mailboxes[dst];
         mb.queue.lock().push_back(env);
         mb.cond.notify_all();
+        // Under a cooperative policy the receiver may be parked in the
+        // scheduler rather than on the condvar; wake it with the arrival
+        // time as its clock hint.
+        if let Some(cs) = ctx.coop() {
+            cs.unblock(dst, arrival, parallel::sched::BlockReason::Mailbox);
+        }
     }
 
     /// Blocking typed receive matching `spec`. Returns `(src, tag, data)`.
@@ -160,7 +167,7 @@ impl MpWorld {
     /// # Panics
     /// Panics if the matched message's payload is not a `Vec<T>`.
     pub fn recv<T: Send + 'static>(&self, ctx: &mut Ctx, spec: RecvSpec) -> (usize, Tag, Vec<T>) {
-        let env = self.wait_match(ctx.pe(), spec);
+        let env = self.wait_match(ctx, spec);
         self.finish_recv(ctx, env)
     }
 
@@ -181,14 +188,26 @@ impl MpWorld {
         Some(self.finish_recv(ctx, env))
     }
 
-    fn wait_match(&self, pe: usize, spec: RecvSpec) -> Envelope {
+    fn wait_match(&self, ctx: &mut Ctx, spec: RecvSpec) -> Envelope {
+        let pe = ctx.pe();
+        let coop = ctx.coop().cloned();
         let mb = &self.mailboxes[pe];
         let mut q = mb.queue.lock();
         loop {
             if let Some(idx) = q.iter().position(|e| spec.matches(e.src, e.tag)) {
                 return q.remove(idx).expect("index valid under lock");
             }
-            mb.cond.wait(&mut q);
+            match &coop {
+                Some(cs) => {
+                    // Park in the scheduler; the sender's unblock (after its
+                    // push) re-runs the match. The floor guarantees no send
+                    // can slip in between the check and the block.
+                    drop(q);
+                    cs.block(pe, ctx.now(), parallel::sched::BlockReason::Mailbox);
+                    q = mb.queue.lock();
+                }
+                None => mb.cond.wait(&mut q),
+            }
         }
     }
 

@@ -4,6 +4,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use machine::{cost, Clock, Counters, Machine, SimTime, TimeCat};
+use o2k_sched::CoopSched;
 use o2k_trace::{Dep, Event, EventKind, Recorder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +22,14 @@ pub struct Ctx {
     counters: Counters,
     recorder: Recorder,
     rng: SmallRng,
+    /// Count of team-wide barriers this PE has passed; two accesses with
+    /// different global epochs are separated by a barrier (used by the
+    /// race detector's happens-before approximation).
+    global_epoch: u64,
+    /// Count of node-local barriers passed.
+    node_epoch: u64,
+    /// Stack of currently-held [`SimLock`](crate::SimLock) ids.
+    locks_held: Vec<u64>,
 }
 
 impl Ctx {
@@ -41,6 +50,99 @@ impl Ctx {
             counters: Counters::new(),
             recorder: Recorder::new(trace),
             rng: SmallRng::seed_from_u64(pe_seed),
+            global_epoch: 0,
+            node_epoch: 0,
+            locks_held: Vec::new(),
+        }
+    }
+
+    /// The cooperative scheduler for this run, if the team's policy uses
+    /// one. Model runtimes use it to block/unblock around waits; plain
+    /// application code never needs it.
+    #[inline]
+    pub fn coop(&self) -> Option<&Arc<CoopSched>> {
+        self.shared.coop.as_ref()
+    }
+
+    /// Cooperative yield point: refresh this PE's virtual clock with the
+    /// scheduler and offer the floor. A no-op under [`SchedPolicy::Os`]
+    /// (one branch). Model runtimes call this at every shared-state
+    /// access so the interleaving follows virtual time, not the host.
+    ///
+    /// [`SchedPolicy::Os`]: o2k_sched::SchedPolicy::Os
+    #[inline]
+    pub fn sched_point(&mut self) {
+        if self.shared.coop.is_some() {
+            self.sched_point_slow();
+        }
+    }
+
+    #[cold]
+    fn sched_point_slow(&mut self) {
+        let now = self.clock.now();
+        let switched = match self.shared.coop.as_ref() {
+            Some(cs) => cs.yield_now(self.pe, now),
+            None => false,
+        };
+        if switched {
+            self.counters.sched_handoffs += 1;
+            if self.recorder.is_on() && o2k_trace::sched_events() {
+                self.recorder.record_instant(Event {
+                    pe: self.pe as u32,
+                    t0: now,
+                    t1: now,
+                    kind: EventKind::SchedHandoff,
+                    cat: TimeCat::Sync,
+                    bytes: 0,
+                    peer: None,
+                    dep: None,
+                });
+            }
+        }
+    }
+
+    /// Barrier-passage epochs `(global, node)` — the race detector's
+    /// ordering clock.
+    #[inline]
+    pub fn epochs(&self) -> (u64, u64) {
+        (self.global_epoch, self.node_epoch)
+    }
+
+    /// Ids of the [`SimLock`](crate::SimLock)s this PE currently holds
+    /// (lockset for race classification).
+    #[inline]
+    pub fn lockset(&self) -> &[u64] {
+        &self.locks_held
+    }
+
+    pub(crate) fn lockset_push(&mut self, id: u64) {
+        self.locks_held.push(id);
+    }
+
+    pub(crate) fn lockset_pop(&mut self, id: u64) {
+        if let Some(i) = self.locks_held.iter().rposition(|&l| l == id) {
+            self.locks_held.remove(i);
+        }
+    }
+
+    /// Team-wide rendezvous: a scheduler gate under cooperative policies,
+    /// the OS barrier otherwise.
+    fn rendezvous_global(&mut self) {
+        match self.shared.coop.as_ref() {
+            Some(cs) => cs.gate_wait(0, self.pe, self.clock.now()),
+            None => {
+                self.shared.barrier.wait();
+            }
+        }
+    }
+
+    /// Node-local rendezvous (gate `1 + node` under cooperative policies).
+    fn rendezvous_node(&mut self, node: usize) {
+        match self.shared.coop.as_ref() {
+            Some(cs) => cs.gate_wait(1 + node, self.pe, self.clock.now()),
+            None => {
+                self.shared.node_barriers[node].wait();
+            }
         }
     }
 
@@ -132,6 +234,7 @@ impl Ctx {
         if self.recorder.is_on() {
             self.record_span(t0, EventKind::Compute, TimeCat::Busy, 0, None, None);
         }
+        self.sched_point();
     }
 
     /// Charge `cycles` CPU cycles of computation.
@@ -156,6 +259,7 @@ impl Ctx {
         if self.recorder.is_on() {
             self.record_span(t0, EventKind::Other, cat, 0, None, None);
         }
+        self.sched_point();
     }
 
     /// Charge `ns` to `cat` and record it as a `kind` trace event carrying
@@ -175,6 +279,7 @@ impl Ctx {
         if self.recorder.is_on() {
             self.record_span(t0, kind, cat, bytes, peer, None);
         }
+        self.sched_point();
     }
 
     /// Advance the clock to absolute virtual time `t` (a synchronisation
@@ -192,6 +297,7 @@ impl Ctx {
         if self.recorder.is_on() && self.clock.now() > t0 {
             self.record_span(t0, kind, TimeCat::Sync, 0, peer, dep);
         }
+        self.sched_point();
     }
 
     /// Draw a uniform `u64` from this PE's deterministic stream.
@@ -210,9 +316,10 @@ impl Ctx {
     /// maximum (waiting is charged as [`TimeCat::Sync`]) plus the machine
     /// barrier cost.
     pub fn barrier(&mut self) {
+        self.global_epoch += 1;
         let shared = Arc::clone(&self.shared);
         shared.clock_slots[self.pe].store(self.clock.now(), Ordering::SeqCst);
-        shared.barrier.wait();
+        self.rendezvous_global();
         // Last arriver (lowest PE on ties): the wait edge for the critical
         // path — everyone else's barrier wait ends when this PE shows up.
         let (max_pe, max) = shared
@@ -238,7 +345,7 @@ impl Ctx {
         );
         self.advance_traced(cost, TimeCat::Sync, EventKind::Barrier, 0, None);
         self.counters.barriers += 1;
-        shared.barrier.wait();
+        self.rendezvous_global();
     }
 
     /// Node-local clock-synchronising barrier: only the PEs sharing this
@@ -246,12 +353,13 @@ impl Ctx {
     /// plus an intra-node barrier cost (no network hops). The cheap half
     /// of hybrid (message-passing between nodes, shared memory within).
     pub fn node_barrier(&mut self) {
+        self.node_epoch += 1;
         let shared = Arc::clone(&self.shared);
         let machine = Arc::clone(&self.machine);
         let topo = &machine.topology;
         let node = topo.node_of(self.pe);
         shared.clock_slots[self.pe].store(self.clock.now(), Ordering::SeqCst);
-        shared.node_barriers[node].wait();
+        self.rendezvous_node(node);
         let (max_pe, max) = topo
             .pes_on_node(node)
             .map(|pe| (pe, shared.clock_slots[pe].load(Ordering::SeqCst)))
@@ -270,14 +378,20 @@ impl Ctx {
         let cost = cost::barrier(&self.machine.config, pes_here, 0);
         self.advance_traced(cost, TimeCat::Sync, EventKind::NodeBarrier, 0, None);
         self.counters.barriers += 1;
-        shared.node_barriers[node].wait();
+        self.rendezvous_node(node);
     }
 
-    /// An OS-level barrier with *no* clock synchronisation or cost. Used by
+    /// A rendezvous with *no* clock synchronisation or cost. Used by
     /// runtimes that model synchronisation costs themselves but still need a
-    /// real rendezvous (e.g. to publish shared structures safely).
+    /// real rendezvous (e.g. to publish shared structures safely). Under a
+    /// cooperative policy this is a scheduler gate, not an OS barrier.
     pub fn os_barrier(&self) {
-        self.shared.barrier.wait();
+        match self.shared.coop.as_ref() {
+            Some(cs) => cs.gate_wait(0, self.pe, self.clock.now()),
+            None => {
+                self.shared.barrier.wait();
+            }
+        }
     }
 
     /// Blackboard broadcast of `val` from `root` to every PE.

@@ -41,3 +41,8 @@ pub use team::{PeReport, Team, TeamRun};
 // Re-export the tracing vocabulary so model runtimes built on `Ctx` can
 // name event kinds and dependency edges without a separate dependency.
 pub use o2k_trace::{Dep, Event, EventKind};
+
+// Re-export the scheduler so applications and tests can pick policies
+// (`Team::sched`) without a separate dependency.
+pub use o2k_sched as sched;
+pub use o2k_sched::{SchedPolicy, SchedStats};

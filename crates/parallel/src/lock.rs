@@ -1,18 +1,41 @@
 //! Virtual-time-aware mutual exclusion.
 //!
-//! [`SimLock`] combines a real mutex (actual mutual exclusion between PE
-//! threads) with virtual-time queueing: an acquirer's clock advances to the
-//! previous holder's release time, so lock contention shows up as
+//! [`SimLock`] combines real mutual exclusion between PE threads with
+//! virtual-time queueing: an acquirer's clock advances to the previous
+//! holder's release time, so lock contention shows up as
 //! [`machine::TimeCat::Sync`] time exactly as it would on the hardware.
-//! The acquisition *order* follows the real scheduler, but the accounting is
+//! Under the free-running [`SchedPolicy::Os`](o2k_sched::SchedPolicy::Os)
+//! policy the acquisition *order* follows the host scheduler; under a
+//! cooperative policy it follows the virtual-time schedule (waiters park
+//! in the scheduler, never on an OS primitive, so holding a `SimLock`
+//! across yield points cannot deadlock the floor). The accounting is
 //! always consistent: no PE's critical section overlaps another's in
 //! virtual time.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use machine::{cost, SimTime, TimeCat};
+use o2k_sched::{BlockReason, CoopSched};
 use o2k_trace::{Dep, EventKind};
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Condvar, Mutex};
 
 use crate::ctx::Ctx;
+
+/// Process-wide unique lock ids, for the race detector's lockset
+/// classification (two accesses guarded by the same id cannot race).
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Debug)]
+struct LockState {
+    /// Whether some PE is between acquire and release.
+    held: bool,
+    /// Virtual release time and PE of the previous holder — the wait edge
+    /// a contended acquirer's trace event points back to.
+    release: (SimTime, u32),
+    /// PEs parked in the cooperative scheduler waiting for this lock.
+    waiters: Vec<usize>,
+}
 
 /// A lock with Origin2000-style acquisition costs and virtual-time queueing.
 ///
@@ -21,18 +44,22 @@ use crate::ctx::Ctx;
 #[derive(Debug)]
 pub struct SimLock {
     home_node: usize,
-    /// Virtual release time and PE of the previous holder — the wait edge
-    /// a contended acquirer's trace event points back to.
-    release: Mutex<(SimTime, u32)>,
+    id: u64,
+    state: Mutex<LockState>,
+    /// Waiting threads under the OS policy (cooperative waiters park in
+    /// the scheduler instead).
+    cv: Condvar,
 }
 
 /// Guard proving exclusive access. Call [`SimLockGuard::release`] with the
 /// PE's context so the release time is recorded; dropping the guard without
-/// releasing keeps mutual exclusion but records the *acquire* time as the
-/// release time (a conservative under-estimate used only on panic paths).
+/// releasing (a panic path) frees the lock but leaves the previous release
+/// time in place (a conservative under-estimate).
 #[must_use = "dropping the guard immediately releases the lock"]
 pub struct SimLockGuard<'a> {
-    guard: MutexGuard<'a, (SimTime, u32)>,
+    lock: &'a SimLock,
+    coop: Option<Arc<CoopSched>>,
+    released: bool,
 }
 
 impl SimLock {
@@ -40,7 +67,13 @@ impl SimLock {
     pub fn new(home_node: usize) -> Self {
         SimLock {
             home_node,
-            release: Mutex::new((0, 0)),
+            id: NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(LockState {
+                held: false,
+                release: (0, 0),
+                waiters: Vec::new(),
+            }),
+            cv: Condvar::new(),
         }
     }
 
@@ -50,12 +83,34 @@ impl SimLock {
         (0..n).map(|i| SimLock::new(i % nodes.max(1))).collect()
     }
 
-    /// Acquire: blocks the thread until the lock is free, advances the
-    /// virtual clock past the previous holder's release, and charges the
+    /// This lock's process-wide unique id (lockset vocabulary).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Acquire: blocks until the lock is free, advances the virtual clock
+    /// past the previous holder's release, and charges the
     /// distance-priced acquisition cost.
     pub fn acquire<'a>(&'a self, ctx: &mut Ctx) -> SimLockGuard<'a> {
-        let guard = self.release.lock();
-        let (release_t, holder) = *guard;
+        let coop = ctx.coop().cloned();
+        let pe = ctx.pe();
+        let (release_t, holder) = loop {
+            let mut st = self.state.lock();
+            if !st.held {
+                st.held = true;
+                break st.release;
+            }
+            match &coop {
+                Some(cs) => {
+                    st.waiters.push(pe);
+                    drop(st);
+                    // Parked in the scheduler: the floor moves on, and the
+                    // releaser's unblock re-runs this loop.
+                    cs.block(pe, ctx.now(), BlockReason::Lock);
+                }
+                None => self.cv.wait(&mut st),
+            }
+        };
         ctx.wait_until_traced(
             release_t,
             EventKind::LockWait,
@@ -67,19 +122,61 @@ impl SimLock {
         );
         let hops = {
             let topo = &ctx.machine().topology;
-            topo.hops(topo.node_of(ctx.pe()), self.home_node.min(topo.nodes() - 1))
+            topo.hops(topo.node_of(pe), self.home_node.min(topo.nodes() - 1))
         };
         let c = cost::lock(&ctx.machine().config, hops);
         ctx.advance_traced(c, TimeCat::Remote, EventKind::LockAcquire, 0, None);
         ctx.counters_mut().lock_acquires += 1;
-        SimLockGuard { guard }
+        ctx.lockset_push(self.id);
+        SimLockGuard {
+            lock: self,
+            coop,
+            released: false,
+        }
+    }
+
+    /// Free the lock and wake waiters. `release` records the holder's
+    /// virtual release time; `None` (guard drop on a panic path) leaves
+    /// the previous one.
+    fn unlock(&self, coop: &Option<Arc<CoopSched>>, release: Option<(SimTime, u32)>) {
+        let mut st = self.state.lock();
+        st.held = false;
+        if let Some(r) = release {
+            st.release = r;
+        }
+        let hint = st.release.0;
+        let waiters = std::mem::take(&mut st.waiters);
+        drop(st);
+        match coop {
+            Some(cs) => {
+                // Wake every parked waiter; they re-contend in virtual-time
+                // order and the losers park again.
+                for w in waiters {
+                    cs.unblock(w, hint, BlockReason::Lock);
+                }
+            }
+            None => self.cv.notify_all(),
+        }
     }
 }
 
 impl SimLockGuard<'_> {
     /// Release at the PE's current virtual time.
     pub fn release(mut self, ctx: &mut Ctx) {
-        *self.guard = (ctx.now(), ctx.pe() as u32);
+        self.released = true;
+        ctx.lockset_pop(self.lock.id);
+        let coop = self.coop.take();
+        self.lock
+            .unlock(&coop, Some((ctx.now(), ctx.pe() as u32)));
+    }
+}
+
+impl Drop for SimLockGuard<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            let coop = self.coop.take();
+            self.lock.unlock(&coop, None);
+        }
     }
 }
 
@@ -136,6 +233,11 @@ mod tests {
         assert_eq!(locks[0].home_node, 0);
         assert_eq!(locks[1].home_node, 1);
         assert_eq!(locks[2].home_node, 0);
+        // Ids are unique process-wide.
+        let mut ids: Vec<u64> = locks.iter().map(|l| l.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
     }
 
     #[test]
@@ -149,5 +251,58 @@ mod tests {
             }
         });
         assert_eq!(run.reports[0].counters.lock_acquires, 3);
+    }
+
+    #[test]
+    fn coop_policy_serialises_and_orders_by_virtual_time() {
+        use o2k_sched::SchedPolicy;
+        let machine = Arc::new(Machine::new(4, MachineConfig::test_tiny()));
+        let lock = SimLock::new(0);
+        let order = parking_lot::Mutex::new(Vec::new());
+        let run = Team::new(machine).sched(SchedPolicy::Det).run(|ctx| {
+            // Stagger arrivals: PE 3 first, PE 0 last.
+            ctx.compute(100 * (4 - ctx.pe() as u64));
+            let g = lock.acquire(ctx);
+            order.lock().push(ctx.pe());
+            assert_eq!(ctx.lockset(), &[lock.id()]);
+            ctx.compute(50);
+            g.release(ctx);
+            assert!(ctx.lockset().is_empty());
+            ctx.now()
+        });
+        // Virtual-time arrival order is PE 3, 2, 1, 0 — and under the
+        // deterministic scheduler the acquisition order matches it.
+        assert_eq!(*order.lock(), vec![3, 2, 1, 0]);
+        let mut times = run.results.clone();
+        times.sort_unstable();
+        times.dedup();
+        assert_eq!(times.len(), 4, "critical sections overlap in virtual time");
+        assert!(run.sched.unwrap().switches > 0);
+    }
+
+    #[test]
+    fn guard_drop_on_panic_frees_lock_under_coop() {
+        use o2k_sched::SchedPolicy;
+        let machine = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        let lock = SimLock::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Team::new(machine).sched(SchedPolicy::Det).run(|ctx| {
+                let _g = lock.acquire(ctx);
+                if ctx.pe() == 0 {
+                    panic!("boom");
+                }
+                ctx.compute(10);
+            });
+        }));
+        // The team must unwind (not hang), and the original panic must
+        // be the one propagated.
+        let err = r.expect_err("PE panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "got {msg:?}");
     }
 }

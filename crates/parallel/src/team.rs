@@ -5,6 +5,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Barrier};
 
 use machine::{Counters, Machine, SimTime, TimeBreakdown};
+use o2k_sched::{CoopSched, SchedPolicy, SchedStats, POISON_MSG};
 use parking_lot::Mutex;
 
 use crate::ctx::Ctx;
@@ -33,6 +34,10 @@ pub struct TeamRun<R> {
     pub results: Vec<R>,
     /// Timing / counter reports, `reports[pe]`.
     pub reports: Vec<PeReport>,
+    /// Scheduler statistics (policy, switch count, schedule fingerprint)
+    /// when the run used a cooperative policy; `None` under
+    /// [`SchedPolicy::Os`].
+    pub sched: Option<SchedStats>,
 }
 
 impl<R> TeamRun<R> {
@@ -84,10 +89,15 @@ pub(crate) struct TeamShared {
     /// programming models synchronise within an SMP node far more cheaply
     /// than across the machine).
     pub node_barriers: Vec<Barrier>,
+    /// Cooperative scheduler when the team runs under a virtual-time
+    /// policy; `None` under [`SchedPolicy::Os`] (free-running threads).
+    /// When set, rendezvous go through scheduler gates instead of the OS
+    /// barriers above.
+    pub coop: Option<Arc<CoopSched>>,
 }
 
 impl TeamShared {
-    fn new(machine: &Machine) -> Self {
+    fn new(machine: &Machine, coop: Option<Arc<CoopSched>>) -> Self {
         let pes = machine.pes();
         let topo = &machine.topology;
         let node_barriers = (0..topo.nodes())
@@ -98,6 +108,24 @@ impl TeamShared {
             clock_slots: (0..pes).map(|_| AtomicU64::new(0)).collect(),
             slots: (0..pes).map(|_| Mutex::new(None)).collect(),
             node_barriers,
+            coop,
+        }
+    }
+}
+
+/// Poisons the cooperative scheduler if the PE thread unwinds, so blocked
+/// peers wake and unwind too instead of hanging the join.
+struct PoisonOnPanic {
+    coop: Option<Arc<CoopSched>>,
+    pe: usize,
+}
+
+impl Drop for PoisonOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(cs) = &self.coop {
+                cs.poison(self.pe);
+            }
         }
     }
 }
@@ -108,21 +136,34 @@ pub struct Team {
     machine: Arc<Machine>,
     seed: u64,
     trace: bool,
+    sched: SchedPolicy,
 }
 
 impl Team {
-    /// A team covering every PE of `machine`.
+    /// A team covering every PE of `machine`. The scheduling policy
+    /// defaults to [`o2k_sched::default_policy`] (`O2K_SCHED` env var or
+    /// [`SchedPolicy::Os`]).
     pub fn new(machine: Arc<Machine>) -> Self {
         Team {
             machine,
             seed: 0x5EED_0816,
             trace: false,
+            sched: o2k_sched::default_policy(),
         }
     }
 
     /// Set the seed for the per-PE deterministic RNGs.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the scheduling policy for this team's runs (see
+    /// [`SchedPolicy`]). [`SchedPolicy::Det`] makes runs bitwise
+    /// reproducible; `Explore`/`BoundedPreempt` replay seeded
+    /// interleavings for race hunting.
+    pub fn sched(mut self, policy: SchedPolicy) -> Self {
+        self.sched = policy;
         self
     }
 
@@ -149,7 +190,17 @@ impl Team {
         F: Fn(&mut Ctx) -> R + Sync,
     {
         let pes = self.machine.pes();
-        let shared = Arc::new(TeamShared::new(&self.machine));
+        let coop = match self.sched {
+            SchedPolicy::Os => None,
+            policy => {
+                let topo = &self.machine.topology;
+                // Gate 0 is the team-wide rendezvous; gate 1+n is node n's.
+                let mut gates = vec![pes];
+                gates.extend((0..topo.nodes()).map(|n| topo.pes_on_node(n).count()));
+                Some(Arc::new(CoopSched::new(pes, policy, gates)))
+            }
+        };
+        let shared = Arc::new(TeamShared::new(&self.machine, coop.clone()));
         let globally_traced = o2k_trace::enabled();
         let trace = self.trace || globally_traced;
         let mut out: Vec<Option<(R, PeReport)>> = (0..pes).map(|_| None).collect();
@@ -159,18 +210,47 @@ impl Team {
             for (pe, slot) in out.iter_mut().enumerate() {
                 let machine = Arc::clone(&self.machine);
                 let shared = Arc::clone(&shared);
+                let coop = coop.clone();
                 let f = &f;
                 let seed = self.seed;
                 handles.push(scope.spawn(move || {
+                    let guard = PoisonOnPanic {
+                        coop: coop.clone(),
+                        pe,
+                    };
+                    if let Some(cs) = &coop {
+                        cs.register(pe);
+                    }
                     let mut ctx = Ctx::new(pe, machine, shared, seed, trace);
                     let r = f(&mut ctx);
+                    if let Some(cs) = &coop {
+                        cs.finish(pe, ctx.now());
+                    }
+                    drop(guard);
                     *slot = Some((r, ctx.into_report()));
                 }));
             }
+            // Join everyone. Under a cooperative policy a panicking PE
+            // poisons the scheduler and its peers unwind with POISON_MSG;
+            // propagate the *original* panic, not a secondary one.
+            let mut first: Option<Box<dyn Any + Send>> = None;
+            let mut first_is_secondary = false;
             for h in handles {
                 if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
+                    let secondary = payload
+                        .downcast_ref::<String>()
+                        .is_some_and(|s| s.contains(POISON_MSG))
+                        || payload
+                            .downcast_ref::<&str>()
+                            .is_some_and(|s| s.contains(POISON_MSG));
+                    if first.is_none() || (first_is_secondary && !secondary) {
+                        first = Some(payload);
+                        first_is_secondary = secondary;
+                    }
                 }
+            }
+            if let Some(payload) = first {
+                std::panic::resume_unwind(payload);
             }
         });
 
@@ -181,7 +261,11 @@ impl Team {
             results.push(r);
             reports.push(rep);
         }
-        let run = TeamRun { results, reports };
+        let run = TeamRun {
+            results,
+            reports,
+            sched: coop.map(|cs| cs.stats()),
+        };
         if globally_traced {
             o2k_trace::sink_push(run.trace());
         }

@@ -49,8 +49,10 @@
 //! ```
 
 pub mod cache;
+pub mod race;
 mod world;
 
 pub use cache::CacheSim;
 pub use parallel::{Element, IntElement, SimLock, SimLockGuard};
+pub use race::{AccessClass, RaceKind, RaceReport};
 pub use world::{PagePolicy, SasPe, SasSlice, SasWorld};

@@ -10,6 +10,7 @@ use parallel::{Ctx, Element, EventKind, IntElement};
 use parking_lot::Mutex;
 
 use crate::cache::{line_tag, CacheSim, Probe};
+use crate::race::{AccessClass, RaceDetector, RaceReport};
 
 /// How shared pages are assigned home nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,8 @@ pub(crate) struct RegionData {
     storage: Box<[AtomicU64]>,
     page_home: Box<[AtomicU32]>,
     lines: Box<[Line]>,
+    /// Race detector shared across the world's regions, when enabled.
+    races: Option<Arc<RaceDetector>>,
 }
 
 impl RegionData {
@@ -88,6 +91,7 @@ pub struct SasWorld {
     regions: Mutex<Vec<Arc<RegionData>>>,
     alloc_seq: Vec<AtomicU32>,
     policy: PagePolicy,
+    races: Option<Arc<RaceDetector>>,
 }
 
 impl SasWorld {
@@ -105,7 +109,21 @@ impl SasWorld {
             regions: Mutex::new(Vec::new()),
             alloc_seq: (0..pes).map(|_| AtomicU32::new(0)).collect(),
             policy,
+            races: None,
         }
+    }
+
+    /// Enable the happens-before race detector (see [`crate::race`]). Call
+    /// before any allocation; regions allocated earlier are not monitored.
+    pub fn detect_races(mut self) -> Self {
+        self.races = Some(Arc::new(RaceDetector::new(self.machine.pes())));
+        self
+    }
+
+    /// Conflicts flagged so far (empty unless built with
+    /// [`SasWorld::detect_races`]).
+    pub fn race_reports(&self) -> Vec<RaceReport> {
+        self.races.as_ref().map_or_else(Vec::new, |r| r.reports())
     }
 
     /// Number of PEs.
@@ -171,6 +189,7 @@ impl SasWorld {
             storage: (0..len).map(|_| AtomicU64::new(0)).collect(),
             page_home,
             lines: (0..n_lines).map(|_| Line::default()).collect(),
+            races: self.races.clone(),
         }
     }
 
@@ -274,13 +293,13 @@ impl SasPe {
 
     /// Costed read of one element.
     pub fn read<T: Element>(&mut self, ctx: &mut Ctx, s: &SasSlice<T>, idx: usize) -> T {
-        self.touch(ctx, &s.region, idx, false);
+        self.touch(ctx, &s.region, idx, AccessClass::Read);
         T::from_bits(s.region.storage[idx].load(Ordering::Relaxed))
     }
 
     /// Costed write of one element.
     pub fn write<T: Element>(&mut self, ctx: &mut Ctx, s: &SasSlice<T>, idx: usize, v: T) {
-        self.touch(ctx, &s.region, idx, true);
+        self.touch(ctx, &s.region, idx, AccessClass::Write);
         s.region.storage[idx].store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -292,7 +311,7 @@ impl SasPe {
         start: usize,
         end: usize,
     ) -> Vec<T> {
-        self.touch_range(ctx, &s.region, start, end, false);
+        self.touch_range(ctx, &s.region, start, end, AccessClass::Read);
         (start..end).map(|i| s.read_raw(i)).collect()
     }
 
@@ -304,7 +323,7 @@ impl SasPe {
         start: usize,
         data: &[T],
     ) {
-        self.touch_range(ctx, &s.region, start, start + data.len(), true);
+        self.touch_range(ctx, &s.region, start, start + data.len(), AccessClass::Write);
         for (i, v) in data.iter().enumerate() {
             s.write_raw(start + i, *v);
         }
@@ -319,7 +338,7 @@ impl SasPe {
         idx: usize,
         delta: T,
     ) -> T {
-        self.touch(ctx, &s.region, idx, true);
+        self.touch(ctx, &s.region, idx, AccessClass::Atomic);
         let cell = &s.region.storage[idx];
         let mut cur = cell.load(Ordering::SeqCst);
         loop {
@@ -337,7 +356,7 @@ impl SasPe {
         r: &RegionData,
         start: usize,
         end: usize,
-        write: bool,
+        class: AccessClass,
     ) {
         if start >= end {
             return;
@@ -345,18 +364,44 @@ impl SasPe {
         let first = r.line_of(start);
         let last = r.line_of(end - 1);
         for line in first..=last {
-            self.access_line(ctx, r, line, write);
+            // Representative word: the first word of the span in this line.
+            let word = start.max(line * r.words_per_line);
+            self.access_line(ctx, r, line, word, class);
         }
     }
 
     #[inline]
-    fn touch(&mut self, ctx: &mut Ctx, r: &RegionData, word: usize, write: bool) {
-        self.access_line(ctx, r, r.line_of(word), write);
+    fn touch(&mut self, ctx: &mut Ctx, r: &RegionData, word: usize, class: AccessClass) {
+        self.access_line(ctx, r, r.line_of(word), word, class);
     }
 
     /// The heart of the model: classify one line access as hit / upgrade /
     /// local miss / remote miss, charge it, and update coherence state.
-    fn access_line(&mut self, ctx: &mut Ctx, r: &RegionData, line: usize, write: bool) {
+    fn access_line(
+        &mut self,
+        ctx: &mut Ctx,
+        r: &RegionData,
+        line: usize,
+        word: usize,
+        class: AccessClass,
+    ) {
+        // Coherence events are scheduler yield points: under a cooperative
+        // policy the virtual-time order (not the host scheduler) decides
+        // every directory race, including first-touch page claims.
+        ctx.sched_point();
+        if let Some(rd) = &r.races {
+            rd.record(
+                r.id,
+                line,
+                word,
+                class,
+                ctx.pe(),
+                ctx.machine().topology.node_of(ctx.pe()),
+                ctx.epochs(),
+                ctx.lockset(),
+            );
+        }
+        let write = class != AccessClass::Read;
         let tag = line_tag(r.id, line as u64);
         let pe = ctx.pe();
         let me = 1u64 << pe;
@@ -735,6 +780,125 @@ mod tests {
         assert!(
             dt > plain_fill,
             "dirty remote read must exceed a clean local fill"
+        );
+    }
+
+    /// Regression for the schedule-dependent first-touch race: when several
+    /// PEs touch a fresh page "simultaneously", the page home used to be
+    /// whichever thread the host OS ran first. Under the deterministic
+    /// scheduler the claim is decided by virtual-time order, so repeated
+    /// runs agree on homes — and therefore on the local/remote miss split.
+    #[test]
+    fn first_touch_is_deterministic_under_det_sched() {
+        use parallel::SchedPolicy;
+        let observe = || {
+            let machine = Arc::new(Machine::new(4, MachineConfig::test_tiny()));
+            let w = Arc::new(SasWorld::new(Arc::clone(&machine)));
+            let run = Team::new(machine).sched(SchedPolicy::Det).run(|ctx| {
+                let s = w.alloc::<u64>(ctx, 256);
+                let mut pe = w.pe();
+                // Every PE races to touch every page with zero staggering.
+                for page in 0..8 {
+                    let _ = pe.read(ctx, &s, page * 32);
+                }
+                w.barrier(ctx);
+                let homes: Vec<_> = (0..8).map(|p| s.home_of(p * 32)).collect();
+                (homes, ctx.counters().misses_local, ctx.counters().misses_remote)
+            });
+            run.results
+        };
+        let a = observe();
+        let b = observe();
+        assert_eq!(a, b, "page homes / miss splits must be schedule-independent");
+    }
+
+    #[test]
+    fn race_detector_flags_unordered_writes_not_barriered_ones() {
+        use parallel::SchedPolicy;
+        let machine = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        let w = Arc::new(SasWorld::new(Arc::clone(&machine)).detect_races());
+        Team::new(Arc::clone(&machine))
+            .sched(SchedPolicy::Det)
+            .run(|ctx| {
+                let racy = w.alloc::<u64>(ctx, 8);
+                let safe = w.alloc::<u64>(ctx, 8);
+                let mut pe = w.pe();
+                // Unordered: both PEs write the same word, same epoch.
+                pe.write(ctx, &racy, 0, ctx.pe() as u64);
+                // Ordered: PE 0 writes, barrier, PE 1 writes.
+                if ctx.pe() == 0 {
+                    pe.write(ctx, &safe, 0, 1);
+                }
+                w.barrier(ctx);
+                if ctx.pe() == 1 {
+                    pe.write(ctx, &safe, 0, 2);
+                }
+            });
+        let reports = w.race_reports();
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.kind == crate::race::RaceKind::DataRace && r.region == 0),
+            "unordered same-word writes must be flagged: {reports:?}"
+        );
+        assert!(
+            reports.iter().all(|r| r.region != 1),
+            "barrier-separated writes must not be flagged: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn race_detector_lockset_and_atomics_suppress_reports() {
+        use parallel::{SchedPolicy, SimLock};
+        let machine = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        let w = Arc::new(SasWorld::new(Arc::clone(&machine)).detect_races());
+        let lock = SimLock::new(0);
+        Team::new(Arc::clone(&machine))
+            .sched(SchedPolicy::Det)
+            .run(|ctx| {
+                let counters = w.alloc::<u64>(ctx, 8);
+                let guarded = w.alloc::<u64>(ctx, 8);
+                let mut pe = w.pe();
+                // Atomic RMWs never race with each other.
+                let _ = pe.fadd(ctx, &counters, 0, 1u64);
+                // Lock-guarded writes share a lockset.
+                let g = lock.acquire(ctx);
+                let v = pe.read(ctx, &guarded, 0);
+                pe.write(ctx, &guarded, 0, v + 1);
+                g.release(ctx);
+            });
+        assert!(
+            w.race_reports().is_empty(),
+            "atomics and common locks must suppress reports: {:?}",
+            w.race_reports()
+        );
+    }
+
+    #[test]
+    fn race_detector_distinguishes_false_sharing() {
+        use parallel::SchedPolicy;
+        let machine = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        let w = Arc::new(SasWorld::new(Arc::clone(&machine)).detect_races());
+        Team::new(Arc::clone(&machine))
+            .sched(SchedPolicy::Det)
+            .run(|ctx| {
+                let s = w.alloc::<u64>(ctx, 8);
+                let mut pe = w.pe();
+                // Distinct words of one line (words_per_line = 8).
+                pe.write(ctx, &s, ctx.pe(), 1);
+            });
+        let reports = w.race_reports();
+        assert!(
+            reports
+                .iter()
+                .any(|r| r.kind == crate::race::RaceKind::FalseSharing),
+            "per-PE words in one line must flag false sharing: {reports:?}"
+        );
+        assert!(
+            reports
+                .iter()
+                .all(|r| r.kind != crate::race::RaceKind::DataRace),
+            "distinct words are not a data race: {reports:?}"
         );
     }
 }

@@ -71,11 +71,15 @@ pub enum EventKind {
     MissRemote,
     /// Dirty-line writeback on eviction.
     Writeback,
+    /// Cooperative-scheduler floor handoff (instant marker, `t1 == t0`):
+    /// the PE yielded here and another PE ran before it resumed. Only
+    /// recorded when [`set_sched_events`] is on.
+    SchedHandoff,
 }
 
 impl EventKind {
     /// Every kind, for tabulation.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::Compute,
         EventKind::Other,
         EventKind::BarrierWait,
@@ -95,6 +99,7 @@ impl EventKind {
         EventKind::MissLocal,
         EventKind::MissRemote,
         EventKind::Writeback,
+        EventKind::SchedHandoff,
     ];
 
     /// Stable display name (also used as the Perfetto slice name).
@@ -119,6 +124,7 @@ impl EventKind {
             EventKind::MissLocal => "miss_local",
             EventKind::MissRemote => "miss_remote",
             EventKind::Writeback => "writeback",
+            EventKind::SchedHandoff => "sched_handoff",
         }
     }
 
@@ -162,7 +168,9 @@ pub struct Event {
     pub pe: u32,
     /// Span start (virtual ns).
     pub t0: SimTime,
-    /// Span end (virtual ns); `t1 > t0` for every recorded event.
+    /// Span end (virtual ns); `t1 > t0` for every recorded span. The one
+    /// exception is [`EventKind::SchedHandoff`], an instant marker with
+    /// `t1 == t0` recorded via [`Recorder::record_instant`].
     pub t1: SimTime,
     /// Semantic label.
     pub kind: EventKind,
@@ -240,6 +248,16 @@ impl Recorder {
         }
     }
 
+    /// Record an instant marker (`t1 == t0` is kept, never coalesced).
+    /// Used for [`EventKind::SchedHandoff`] scheduler events.
+    #[inline]
+    pub fn record_instant(&mut self, ev: Event) {
+        if let Recorder::On(events) = self {
+            debug_assert!(ev.t1 == ev.t0, "instant events have no duration");
+            events.push(ev);
+        }
+    }
+
     /// Take the recorded events, leaving the recorder `Off`.
     pub fn take(&mut self) -> Vec<Event> {
         match std::mem::take(self) {
@@ -306,7 +324,14 @@ impl Trace {
                 if e.pe as usize != pe {
                     return Err(format!("PE {pe} event {i} tagged pe={}", e.pe));
                 }
-                if e.t1 <= e.t0 {
+                let instant = e.kind == EventKind::SchedHandoff;
+                if instant && e.t1 != e.t0 {
+                    return Err(format!(
+                        "PE {pe} event {i} sched_handoff with duration [{}, {}]",
+                        e.t0, e.t1
+                    ));
+                }
+                if !instant && e.t1 <= e.t0 {
                     return Err(format!("PE {pe} event {i} empty span [{}, {}]", e.t0, e.t1));
                 }
                 if e.t0 < prev_end {
@@ -329,6 +354,7 @@ impl Trace {
 // per-experiment code changes needed.
 
 static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+static SCHED_EVENTS: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Vec<Trace>> = Mutex::new(Vec::new());
 
 /// Enable or disable tracing process-wide (in addition to any per-`Team`
@@ -340,6 +366,18 @@ pub fn set_enabled(on: bool) {
 /// Whether process-wide tracing is on.
 pub fn enabled() -> bool {
     GLOBAL_ENABLED.load(Ordering::SeqCst)
+}
+
+/// Also record [`EventKind::SchedHandoff`] instants at cooperative
+/// scheduler switches. Off by default: a deterministic CC-SAS run can
+/// switch at nearly every miss, which would dominate exported traces.
+pub fn set_sched_events(on: bool) {
+    SCHED_EVENTS.store(on, Ordering::SeqCst);
+}
+
+/// Whether scheduler handoff instants are being recorded.
+pub fn sched_events() -> bool {
+    SCHED_EVENTS.load(Ordering::SeqCst)
 }
 
 /// Deposit a finished trace for later collection (called by the team
@@ -444,6 +482,33 @@ mod tests {
         let drained = sink_drain();
         assert!(!drained.is_empty());
         assert!(sink_drain().is_empty());
+    }
+
+    #[test]
+    fn sched_handoff_instants_validate_and_record() {
+        let mut r = Recorder::new(true);
+        r.record(ev(0, 0, 10, EventKind::Compute, TimeCat::Busy));
+        r.record_instant(ev(0, 10, 10, EventKind::SchedHandoff, TimeCat::Sync));
+        r.record(ev(0, 10, 20, EventKind::Compute, TimeCat::Busy));
+        let evs = r.take();
+        assert_eq!(evs.len(), 3, "instant kept, computes not merged across it");
+        let t = Trace::new(vec![evs]);
+        assert!(t.validate().is_ok(), "{:?}", t.validate());
+        // Instants contribute no time.
+        assert_eq!(t.pe_breakdown(0).busy, 20);
+        assert_eq!(t.pe_breakdown(0).sync, 0);
+    }
+
+    #[test]
+    fn validate_rejects_nonzero_duration_handoff() {
+        let t = Trace::new(vec![vec![ev(
+            0,
+            0,
+            5,
+            EventKind::SchedHandoff,
+            TimeCat::Sync,
+        )]]);
+        assert!(t.validate().is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub use mesh;
 pub use mp;
 pub use nbody;
 pub use o2k_core as core;
+pub use o2k_sched as sched;
 pub use parallel;
 pub use partition;
 pub use sas;
@@ -45,5 +46,6 @@ pub mod prelude {
     pub use apps::{run_app, AmrConfig, App, Model, NBodyConfig, RunMetrics};
     pub use machine::{Machine, MachineConfig};
     pub use o2k_core::{effort_table, sweep_models};
+    pub use o2k_sched::SchedPolicy;
     pub use parallel::Team;
 }

@@ -90,28 +90,60 @@ fn deterministic_end_to_end() {
     let nb = NBodyConfig::small();
     let am = AmrConfig::small();
     for app in [App::NBody, App::Amr] {
-        for model in Model::ALL {
+        for model in Model::WITH_HYBRID {
             let a = run_app(machine(4), app, model, &nb, &am);
             let b = run_app(machine(4), app, model, &nb, &am);
             // Physics is always exactly reproducible.
             assert_eq!(a.checksum, b.checksum, "{app:?}/{model:?}");
             match model {
                 // Message and one-sided costs are interleaving-independent:
-                // exact timing determinism.
+                // exact timing determinism under any scheduling policy.
                 Model::Mp | Model::Shmem => {
                     assert_eq!(a.sim_time, b.sim_time, "{app:?}/{model:?}")
                 }
-                // Coherence cost accounting depends on real thread
-                // interleaving (who shares a line when a writer hits it),
-                // exactly as wall time did on the hardware; runs must agree
-                // closely but not bitwise. The hybrid shares this property.
-                Model::Sas | Model::Hybrid => {
+                // Coherence cost accounting depends on thread interleaving
+                // (who shares a line when a writer hits it). Under the
+                // deterministic scheduler the interleaving is pinned to
+                // virtual-time order, so SAS runs repeat *bitwise* — times,
+                // per-PE breakdowns, counters, and schedule fingerprint.
+                Model::Sas => {
+                    let (a, b) = sas_det_pair(app, &nb, &am);
+                    assert_eq!(a.checksum, b.checksum, "{app:?}/SAS det");
+                    assert_eq!(a.sim_time, b.sim_time, "{app:?}/SAS det");
+                    assert_eq!(a.per_pe, b.per_pe, "{app:?}/SAS det");
+                    assert_eq!(a.counters, b.counters, "{app:?}/SAS det");
+                    assert_eq!(a.sched, b.sched, "{app:?}/SAS det fingerprint");
+                }
+                // The hybrid's SAS half still runs under the process-default
+                // policy here (no per-run policy plumbing yet), so only a
+                // tolerance bound holds under free-running OS threads.
+                Model::Hybrid => {
                     let rel = (a.sim_time as f64 - b.sim_time as f64).abs() / a.sim_time as f64;
                     assert!(rel < 0.03, "{app:?}/{model:?}: timing spread {rel}");
                 }
             }
         }
     }
+}
+
+/// Two identical-config CC-SAS runs pinned to the deterministic scheduler.
+fn sas_det_pair(app: App, nb: &NBodyConfig, am: &AmrConfig) -> (RunMetrics, RunMetrics) {
+    use origin2k::sas::PagePolicy;
+    let go = || match app {
+        App::NBody => origin2k::apps::nbody_sas::run_with(
+            machine(4),
+            nb,
+            PagePolicy::FirstTouch,
+            Some(SchedPolicy::Det),
+        ),
+        App::Amr => origin2k::apps::amr_sas::run_with(
+            machine(4),
+            am,
+            PagePolicy::FirstTouch,
+            Some(SchedPolicy::Det),
+        ),
+    };
+    (go(), go())
 }
 
 #[test]
