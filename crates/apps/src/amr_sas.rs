@@ -288,7 +288,12 @@ mod self_schedule_tests {
             ..AmrConfig::small()
         };
         // Pin the schedule so the bound is stable run to run.
-        let r = run_with(machine(4), &dyn_cfg, PagePolicy::FirstTouch, Some(SchedPolicy::Det));
+        let r = run_with(
+            machine(4),
+            &dyn_cfg,
+            PagePolicy::FirstTouch,
+            Some(SchedPolicy::Det),
+        );
         let baseline = run_with(
             machine(4),
             &AmrConfig::small(),
@@ -315,8 +320,14 @@ mod self_schedule_tests {
             sas_self_schedule: true,
             ..AmrConfig::small()
         };
-        let go =
-            || run_with(machine(4), &dyn_cfg, PagePolicy::FirstTouch, Some(SchedPolicy::Det));
+        let go = || {
+            run_with(
+                machine(4),
+                &dyn_cfg,
+                PagePolicy::FirstTouch,
+                Some(SchedPolicy::Det),
+            )
+        };
         let (a, b) = (go(), go());
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(a.sim_time, b.sim_time);
@@ -332,8 +343,12 @@ mod self_schedule_tests {
             sas_self_schedule: true,
             ..AmrConfig::small()
         };
-        let det =
-            run_with(machine(4), &dyn_cfg, PagePolicy::FirstTouch, Some(SchedPolicy::Det));
+        let det = run_with(
+            machine(4),
+            &dyn_cfg,
+            PagePolicy::FirstTouch,
+            Some(SchedPolicy::Det),
+        );
         let e7 = run_with(
             machine(4),
             &dyn_cfg,

@@ -77,6 +77,9 @@ pub struct RunMetrics {
     /// Scheduler statistics when the run used a cooperative policy (the
     /// fingerprint identifies the interleaving that produced this result).
     pub sched: Option<parallel::SchedStats>,
+    /// Interconnect contention statistics when the machine ran with
+    /// [`machine::ContentionMode::Queued`].
+    pub net: Option<parallel::NetStats>,
 }
 
 impl RunMetrics {
@@ -92,7 +95,8 @@ impl RunMetrics {
             checksum: run.results.first().copied().unwrap_or(0.0),
             problem_size,
             trace: run.is_traced().then(|| run.trace()),
-            sched: run.sched.clone(),
+            sched: run.sched,
+            net: run.net.as_ref().map(|n| n.stats()),
         }
     }
 

@@ -18,9 +18,9 @@ use partition::{
 use sas::PagePolicy;
 
 /// All experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 20] = [
+pub const EXPERIMENT_IDS: [&str; 21] = [
     "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "a1", "a2", "a3",
-    "a4", "a5", "a6", "s1",
+    "a4", "a5", "a6", "s1", "n1",
 ];
 
 /// Processor sweep used by the figure experiments.
@@ -66,6 +66,17 @@ fn machine(p: usize) -> Arc<Machine> {
     Arc::new(Machine::new(p, MachineConfig::origin2000()))
 }
 
+/// Same machine, but with the interconnect contention model switched on.
+fn machine_queued(p: usize) -> Arc<Machine> {
+    Arc::new(Machine::new(
+        p,
+        MachineConfig {
+            contention: machine::ContentionMode::Queued,
+            ..MachineConfig::origin2000()
+        },
+    ))
+}
+
 /// Run one experiment by id; `quick` shrinks problem sizes and sweeps.
 ///
 /// # Panics
@@ -92,6 +103,7 @@ pub fn run_experiment(id: &str, quick: bool) -> String {
         "a5" => a5_hybrid(quick),
         "a6" => a6_self_schedule(quick),
         "s1" => s1_scheduler_policies(quick),
+        "n1" => n1_contention(quick),
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -617,7 +629,11 @@ fn f9_critical_path(quick: bool) -> String {
 
     // Per-adaptation-step communication deltas (Counters::diff): rerun the
     // MPI AMR with a growing step budget and difference the running totals.
-    out.push_str("\nAMR / MPI communication per adaptation step (cumulative-run deltas):\n");
+    // Run on a contention-enabled machine so the network-queueing column is
+    // live — it attributes queueing delay to the step that incurred it.
+    out.push_str(
+        "\nAMR / MPI communication per adaptation step (cumulative-run deltas,\ncontention model on):\n",
+    );
     let mut rows = Vec::new();
     let mut prev = machine::Counters::new();
     for k in 1..=am.steps {
@@ -625,17 +641,21 @@ fn f9_critical_path(quick: bool) -> String {
             steps: k,
             ..am.clone()
         };
-        let r = apps::amr_mp::run(machine(p), &cfg);
+        let r = apps::amr_mp::run(machine_queued(p), &cfg);
         let d = r.counters.diff(&prev);
         rows.push(vec![
             k.to_string(),
             d.msgs_sent.to_string(),
             format!("{}", d.msg_bytes / 1024),
             d.barriers.to_string(),
+            format!("{}", d.net_queued_ns / 1000),
         ]);
         prev = r.counters;
     }
-    out.push_str(&render(&cells(&["step", "msgs", "KB", "barriers"]), &rows));
+    out.push_str(&render(
+        &cells(&["step", "msgs", "KB", "barriers", "net queue µs"]),
+        &rows,
+    ));
 
     if !was_enabled {
         o2k_trace::set_enabled(false);
@@ -873,7 +893,13 @@ fn s1_scheduler_policies(quick: bool) -> String {
         ("det (run 2)", &det_b),
         ("explore:1", &go(SchedPolicy::Explore { seed: 1 })),
         ("explore:2", &go(SchedPolicy::Explore { seed: 2 })),
-        ("bp:1:64", &go(SchedPolicy::BoundedPreempt { seed: 1, budget: 64 })),
+        (
+            "bp:1:64",
+            &go(SchedPolicy::BoundedPreempt {
+                seed: 1,
+                budget: 64,
+            }),
+        ),
     ] {
         let s = r.sched.expect("cooperative policies report stats");
         fingerprints.push(s.fingerprint);
@@ -903,6 +929,176 @@ fn s1_scheduler_policies(quick: bool) -> String {
         ),
         total = fingerprints.len(),
     )
+}
+
+fn n1_contention(quick: bool) -> String {
+    use machine::ContentionMode;
+    use mp::MpWorld;
+    use parallel::Team;
+    use sas::SasWorld;
+
+    // Contention sweep: the same traffic on the analytic (uncontended)
+    // machine and on the queueing interconnect model. Each transfer is
+    // routed hop-by-hop over the hypercube; a busy link delays it, so
+    // concentrated traffic pays where the analytic model charges a
+    // load-independent latency.
+    let pes: Vec<usize> = if quick {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 16, 32, 64]
+    };
+    let mach = |p: usize, mode: ContentionMode| -> Arc<Machine> {
+        match mode {
+            ContentionMode::Off => machine(p),
+            ContentionMode::Queued => machine_queued(p),
+        }
+    };
+
+    // (a) MPI personalised all-to-all: every PE sends a chunk to every
+    // other PE — the bisection-stressing pattern.
+    let words = if quick { 512 } else { 2048 };
+    let alltoall = |p: usize, mode: ContentionMode| {
+        let m = mach(p, mode);
+        let mpw = MpWorld::new(Arc::clone(&m));
+        Team::new(Arc::clone(&m)).run(move |ctx| {
+            let sends: Vec<Vec<u64>> = (0..p).map(|_| vec![7u64; words]).collect();
+            let r = mpw.alltoallv(ctx, sends);
+            r.len() as u64
+        })
+    };
+
+    // (b) CC-SAS hotspot: every PE reads lines homed (and dirtied) on
+    // node 0, so every fill converges on node 0's router ports.
+    let lines = 256usize; // 16 u64 per 128 B line
+    let hotspot = |p: usize, mode: ContentionMode| {
+        let m = mach(p, mode);
+        let sasw = SasWorld::new(Arc::clone(&m));
+        Team::new(Arc::clone(&m)).run(move |ctx| {
+            let sh = sasw.alloc::<u64>(ctx, lines * 16);
+            let mut pe = sasw.pe();
+            if ctx.pe() == 0 {
+                sh.home_pages(ctx, 0, lines * 16);
+                for l in 0..lines {
+                    pe.write(ctx, &sh, l * 16, l as u64);
+                }
+            }
+            sasw.barrier(ctx);
+            let mut acc = 0u64;
+            for l in 0..lines {
+                acc = acc.wrapping_add(pe.read(ctx, &sh, l * 16));
+            }
+            acc
+        })
+    };
+
+    let mut out =
+        String::from("N1: interconnect contention sweep — analytic (off) vs queueing (queued)\n");
+    let mut queued_series: Vec<(&str, Vec<u64>)> = Vec::new();
+    let a2a_label = format!("MPI all-to-all, {} B chunks", words * 8);
+    let hot_label = format!("CC-SAS hotspot, {lines} lines homed on node 0");
+    for (name, bench) in [
+        (
+            a2a_label.as_str(),
+            &alltoall as &dyn Fn(usize, ContentionMode) -> parallel::TeamRun<u64>,
+        ),
+        (hot_label.as_str(), &hotspot),
+    ] {
+        let mut rows = Vec::new();
+        let mut qns = Vec::new();
+        for &p in &pes {
+            let off = bench(p, ContentionMode::Off);
+            let q = bench(p, ContentionMode::Queued);
+            assert!(off.net.is_none(), "off mode must not build a NetSim");
+            let stats = q
+                .net
+                .as_ref()
+                .expect("queued mode reports NetStats")
+                .stats();
+            assert!(
+                q.sim_time() >= off.sim_time(),
+                "{name}: queueing can only add delay (P={p})"
+            );
+            qns.push(stats.queued_ns);
+            rows.push(vec![
+                p.to_string(),
+                ms(off.sim_time()),
+                ms(q.sim_time()),
+                x2(q.sim_time() as f64 / off.sim_time().max(1) as f64),
+                format!("{}", stats.queued_ns / 1000),
+                stats.active_links.to_string(),
+                format!("{}", stats.max_link_queued_ns / 1000),
+            ]);
+        }
+        // The acceptance property: queueing delay grows with P.
+        assert!(
+            qns.windows(2).all(|w| w[0] <= w[1]) && qns[qns.len() - 1] > qns[0],
+            "{name}: total queueing delay must grow with P ({qns:?})"
+        );
+        out.push('\n');
+        out.push_str(&format!("{name}:\n"));
+        out.push_str(&render(
+            &cells(&[
+                "P",
+                "off ms",
+                "queued ms",
+                "slowdown",
+                "queue µs",
+                "links hit",
+                "worst link µs",
+            ]),
+            &rows,
+        ));
+        queued_series.push((name, qns));
+    }
+    let chart: Vec<(&str, Vec<f64>)> = queued_series
+        .iter()
+        .map(|(n, v)| (*n, v.iter().map(|&x| x as f64 / 1000.0).collect()))
+        .collect();
+    out.push('\n');
+    out.push_str(&line_chart("total queueing delay (µs)", &pes, &chart, 10));
+
+    // (c) Both applications under all three models, off vs queued, at a
+    // fixed P: how much does the analytic model understate by ignoring
+    // contention on real adaptive traffic?
+    let p = if quick { 8 } else { 32 };
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    let mut rows = Vec::new();
+    for app in [App::NBody, App::Amr] {
+        for model in Model::ALL {
+            let off = apps::run_app(machine(p), app, model, &nb, &am);
+            let q = apps::run_app(machine_queued(p), app, model, &nb, &am);
+            let s = q.net.expect("queued run reports NetStats");
+            rows.push(vec![
+                format!("{} / {}", app.name(), model.name()),
+                ms(off.sim_time),
+                ms(q.sim_time),
+                x2(q.sim_time as f64 / off.sim_time.max(1) as f64),
+                format!("{}", s.queued_ns / 1000),
+            ]);
+        }
+    }
+    out.push_str(&format!(
+        "\nApplications at P={p}, off vs queued:\n{}",
+        render(
+            &cells(&["workload", "off ms", "queued ms", "slowdown", "queue µs"]),
+            &rows
+        )
+    ));
+
+    // Hotspot anatomy at the largest swept P: per-link occupancy report and
+    // utilization histogram from the CC-SAS hotspot run.
+    let top_p = *pes.last().expect("sweep is non-empty");
+    let q = hotspot(top_p, ContentionMode::Queued);
+    let net = q.net.as_ref().expect("queued mode reports NetStats");
+    let hist = net.utilization_hist(q.sim_time());
+    out.push_str(&format!(
+        "\nCC-SAS hotspot anatomy at P={top_p}:\n{}\nlink utilization histogram (busy fraction deciles, links per bin):\n  {:?}\n\
+         The hot links are node 0's router ports — every fill crosses them,\n\
+         so their occupancy, not the per-hop latency, sets the service rate.\n",
+        net.hotspot_report(5),
+        hist,
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -938,5 +1134,14 @@ mod tests {
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
         run_experiment("zzz", true);
+    }
+
+    #[test]
+    fn n1_contention_renders_and_grows() {
+        // The experiment itself asserts queueing delay grows with P and
+        // that off-mode runs never build a NetSim.
+        let out = run_experiment("n1", true);
+        assert!(out.contains("queued ms"), "missing sweep table:\n{out}");
+        assert!(out.contains("hotspot anatomy"), "missing report:\n{out}");
     }
 }

@@ -1,5 +1,41 @@
 //! Machine configuration: latency, bandwidth and cache parameters.
 
+/// Whether transfers contend for interconnect links.
+///
+/// Under [`ContentionMode::Off`] every operation is priced by the
+/// uncontended analytic formulas in [`crate::cost`] exactly as before the
+/// contention model existed — bitwise identical results. Under
+/// [`ContentionMode::Queued`] the runtimes additionally route each
+/// transfer through `o2k-net`'s per-link busy-until queueing model and add
+/// the accrued queueing delay on top of the analytic cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentionMode {
+    /// Uncontended analytic costs only (the historical behaviour).
+    #[default]
+    Off,
+    /// Hop-by-hop link queueing on top of the analytic costs.
+    Queued,
+}
+
+impl ContentionMode {
+    /// Parse `"off"` / `"queued"` (as accepted by `repro --contention`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(ContentionMode::Off),
+            "queued" => Some(ContentionMode::Queued),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ContentionMode::Off => "off",
+            ContentionMode::Queued => "queued",
+        }
+    }
+}
+
 /// Parameters of the simulated ccNUMA machine.
 ///
 /// The [`MachineConfig::origin2000`] preset follows publicly documented
@@ -62,6 +98,10 @@ pub struct MachineConfig {
     pub sync_hop: u64,
     /// Uncontended lock acquire/release cost.
     pub lock_overhead: u64,
+
+    // --- interconnect contention ---
+    /// Whether transfers queue on shared links (see [`ContentionMode`]).
+    pub contention: ContentionMode,
 }
 
 impl MachineConfig {
@@ -88,6 +128,7 @@ impl MachineConfig {
             shmem_amo_overhead: 300,
             sync_hop: 400,
             lock_overhead: 240,
+            contention: ContentionMode::Off,
         }
     }
 
@@ -140,6 +181,7 @@ impl MachineConfig {
             shmem_amo_overhead: 10,
             sync_hop: 8,
             lock_overhead: 6,
+            contention: ContentionMode::Off,
         }
     }
 
@@ -215,5 +257,24 @@ mod tests {
     fn cycles_to_ns() {
         let c = MachineConfig::origin2000();
         assert_eq!(c.cycles_ns(10), 40);
+    }
+
+    #[test]
+    fn contention_defaults_off_everywhere() {
+        assert_eq!(MachineConfig::origin2000().contention, ContentionMode::Off);
+        assert_eq!(MachineConfig::test_tiny().contention, ContentionMode::Off);
+        assert_eq!(
+            MachineConfig::cluster_of_smps().contention,
+            ContentionMode::Off
+        );
+        assert_eq!(ContentionMode::default(), ContentionMode::Off);
+    }
+
+    #[test]
+    fn contention_mode_round_trips() {
+        for m in [ContentionMode::Off, ContentionMode::Queued] {
+            assert_eq!(ContentionMode::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(ContentionMode::parse("sometimes"), None);
     }
 }

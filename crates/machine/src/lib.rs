@@ -31,7 +31,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use config::MachineConfig;
+pub use config::{ContentionMode, MachineConfig};
 pub use stats::Counters;
 pub use time::{Clock, SimTime, TimeBreakdown, TimeCat};
 pub use topology::Topology;

@@ -48,6 +48,14 @@ pub struct Counters {
     /// (0 under the free-running OS policy).
     pub sched_handoffs: u64,
 
+    // --- interconnect contention (nonzero only under ContentionMode::Queued) ---
+    /// Transfers this PE routed through the contended fabric.
+    pub net_transfers: u64,
+    /// Directed links those transfers traversed (hops + bristle ports).
+    pub net_links: u64,
+    /// Queueing delay this PE's transfers accrued on occupied links (ns).
+    pub net_queued_ns: u64,
+
     /// Message-size histogram buckets: counts of messages with payload in
     /// [0,64), [64,512), [512,4K), [4K,32K), [32K,∞) bytes.
     pub msg_size_hist: [u64; 5],
@@ -134,6 +142,9 @@ impl Counters {
             barriers: self.barriers.saturating_sub(earlier.barriers),
             lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
             sched_handoffs: self.sched_handoffs.saturating_sub(earlier.sched_handoffs),
+            net_transfers: self.net_transfers.saturating_sub(earlier.net_transfers),
+            net_links: self.net_links.saturating_sub(earlier.net_links),
+            net_queued_ns: self.net_queued_ns.saturating_sub(earlier.net_queued_ns),
             msg_size_hist,
         }
     }
@@ -156,6 +167,9 @@ impl Counters {
         self.barriers += other.barriers;
         self.lock_acquires += other.lock_acquires;
         self.sched_handoffs += other.sched_handoffs;
+        self.net_transfers += other.net_transfers;
+        self.net_links += other.net_links;
+        self.net_queued_ns += other.net_queued_ns;
         for (a, b) in self.msg_size_hist.iter_mut().zip(other.msg_size_hist) {
             *a += b;
         }
@@ -205,6 +219,9 @@ mod tests {
         step.record_msg_sent(5000);
         step.misses_remote = 9;
         step.barriers = 2;
+        step.net_transfers = 4;
+        step.net_links = 12;
+        step.net_queued_ns = 777;
         let mut after = before.clone();
         after.merge(&step);
         assert_eq!(after.diff(&before), step);

@@ -227,6 +227,32 @@ mod proptests {
             }
         }
 
+        /// `max_hops` bounds every pair's distance, is attained whenever the
+        /// router count is a power of two (so the far corner of the cube is
+        /// populated), and never decreases as the machine grows.
+        #[test]
+        fn max_hops_is_a_tight_monotone_bound(pes in 1usize..256, cpn in 1usize..5) {
+            let t = Topology::new(pes, cpn);
+            let n = t.nodes();
+            let mx = t.max_hops();
+            let mut widest = 0;
+            for a in 0..n {
+                for b in 0..n {
+                    let h = t.hops(a, b);
+                    prop_assert!(h <= mx, "hops({a},{b})={h} > max_hops={mx}");
+                    widest = widest.max(h);
+                }
+            }
+            let routers = n.div_ceil(2);
+            if routers.is_power_of_two() {
+                prop_assert_eq!(widest, mx, "bound not attained at {n} nodes");
+            }
+            if pes > 1 {
+                let smaller = Topology::new(pes - 1, cpn);
+                prop_assert!(smaller.max_hops() <= mx, "max_hops not monotone at {pes}");
+            }
+        }
+
         /// Every PE belongs to exactly one node, and node enumeration
         /// round-trips.
         #[test]

@@ -138,13 +138,16 @@ impl MpWorld {
             Some(dst as u32),
         );
         ctx.counters_mut().record_msg_sent(bytes);
+        // Under ContentionMode::Queued the message additionally queues on
+        // occupied fabric links, pushing its arrival out; 0 otherwise.
+        let net_delay = ctx.net_delay_to_pe(dst, bytes);
         let env = Envelope {
             src: ctx.pe(),
             tag,
             payload: Box::new(data),
             bytes,
             sent_at: ctx.now(),
-            arrival: ctx.now() + c.network,
+            arrival: ctx.now() + c.network + net_delay,
         };
         let arrival = env.arrival;
         let mb = &self.mailboxes[dst];

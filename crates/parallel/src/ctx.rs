@@ -64,6 +64,44 @@ impl Ctx {
         self.shared.coop.as_ref()
     }
 
+    /// The interconnect contention model, present iff the machine runs
+    /// with [`machine::ContentionMode::Queued`].
+    #[inline]
+    pub fn net(&self) -> Option<&Arc<o2k_net::NetSim>> {
+        self.shared.net.as_ref()
+    }
+
+    /// Queueing delay for moving `bytes` from this PE's node to the node
+    /// hosting `dst_pe`, departing now. Returns 0 (and routes nothing)
+    /// under [`machine::ContentionMode::Off`]; otherwise occupies every
+    /// link on the path and accounts the transfer in this PE's counters.
+    /// Model runtimes add the returned delay on top of the analytic cost,
+    /// so off-mode arithmetic is bitwise unchanged.
+    #[inline]
+    pub fn net_delay_to_pe(&mut self, dst_pe: usize, bytes: usize) -> SimTime {
+        if self.shared.net.is_none() {
+            return 0;
+        }
+        let dst_node = self.machine.topology.node_of(dst_pe);
+        self.net_delay_to_node(dst_node, bytes)
+    }
+
+    /// As [`Ctx::net_delay_to_pe`], but to an explicit node (cache-line
+    /// homes, tree roots).
+    pub fn net_delay_to_node(&mut self, dst_node: usize, bytes: usize) -> SimTime {
+        let Some(net) = self.shared.net.as_ref().map(Arc::clone) else {
+            return 0;
+        };
+        let src_node = self.machine.topology.node_of(self.pe);
+        let r = net.route(self.pe as u32, src_node, dst_node, bytes, self.clock.now());
+        if r.links > 0 {
+            self.counters.net_transfers += 1;
+            self.counters.net_links += u64::from(r.links);
+            self.counters.net_queued_ns += r.delay;
+        }
+        r.delay
+    }
+
     /// Cooperative yield point: refresh this PE's virtual clock with the
     /// scheduler and offer the floor. A no-op under [`SchedPolicy::Os`]
     /// (one branch). Model runtimes call this at every shared-state
@@ -480,8 +518,11 @@ impl Ctx {
         let depth = u64::from(self.machine.topology.tree_depth());
         let per_level = self.machine.config.transfer_ns(bytes)
             + u64::from(self.machine.topology.max_hops()) * self.machine.config.lat_hop;
+        // Under contention the blackboard tree's root (node 0) is where
+        // every PE's contribution funnels; model that fan-in hotspot.
+        let delay = self.net_delay_to_node(0, bytes);
         self.advance_traced(
-            depth * per_level,
+            depth * per_level + delay,
             TimeCat::Remote,
             EventKind::CollStep,
             bytes.min(u32::MAX as usize) as u32,

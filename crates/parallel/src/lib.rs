@@ -46,3 +46,9 @@ pub use o2k_trace::{Dep, Event, EventKind};
 // (`Team::sched`) without a separate dependency.
 pub use o2k_sched as sched;
 pub use o2k_sched::{SchedPolicy, SchedStats};
+
+// Re-export the interconnect contention model so applications and
+// experiments can read `TeamRun::net` stats and hotspot reports without a
+// separate dependency. The model activates when the machine's
+// [`machine::ContentionMode`] is `Queued`.
+pub use o2k_net::{LinkHot, NetSim, NetStats};

@@ -166,8 +166,7 @@ impl SimLockGuard<'_> {
         self.released = true;
         ctx.lockset_pop(self.lock.id);
         let coop = self.coop.take();
-        self.lock
-            .unlock(&coop, Some((ctx.now(), ctx.pe() as u32)));
+        self.lock.unlock(&coop, Some((ctx.now(), ctx.pe() as u32)));
     }
 }
 

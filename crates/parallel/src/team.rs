@@ -4,7 +4,8 @@ use std::any::Any;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Barrier};
 
-use machine::{Counters, Machine, SimTime, TimeBreakdown};
+use machine::{ContentionMode, Counters, Machine, SimTime, TimeBreakdown};
+use o2k_net::NetSim;
 use o2k_sched::{CoopSched, SchedPolicy, SchedStats, POISON_MSG};
 use parking_lot::Mutex;
 
@@ -38,6 +39,10 @@ pub struct TeamRun<R> {
     /// when the run used a cooperative policy; `None` under
     /// [`SchedPolicy::Os`].
     pub sched: Option<SchedStats>,
+    /// The interconnect contention model, populated when the machine ran
+    /// with [`ContentionMode::Queued`]; query it for [`NetSim::stats`],
+    /// hotspot reports and utilization histograms.
+    pub net: Option<Arc<NetSim>>,
 }
 
 impl<R> TeamRun<R> {
@@ -70,9 +75,17 @@ impl<R> TeamRun<R> {
     }
 
     /// Assemble the per-PE event streams into a [`o2k_trace::Trace`]
-    /// (empty streams if the run was untraced).
+    /// (empty streams if the run was untraced). When the run was both
+    /// traced and contended, recorded link-occupancy spans ride along as
+    /// interconnect tracks.
     pub fn trace(&self) -> o2k_trace::Trace {
-        o2k_trace::Trace::new(self.reports.iter().map(|r| r.events.clone()).collect())
+        let mut t = o2k_trace::Trace::new(self.reports.iter().map(|r| r.events.clone()).collect());
+        if let Some(net) = &self.net {
+            let (names, spans) = net.spans();
+            t.link_names = names;
+            t.link_spans = spans;
+        }
+        t
     }
 }
 
@@ -94,6 +107,10 @@ pub(crate) struct TeamShared {
     /// When set, rendezvous go through scheduler gates instead of the OS
     /// barriers above.
     pub coop: Option<Arc<CoopSched>>,
+    /// Interconnect contention model, present iff the machine config says
+    /// [`ContentionMode::Queued`]. One instance per run: its per-link
+    /// occupancy state *is* the run's contention history.
+    pub net: Option<Arc<NetSim>>,
 }
 
 impl TeamShared {
@@ -103,12 +120,17 @@ impl TeamShared {
         let node_barriers = (0..topo.nodes())
             .map(|n| Barrier::new(topo.pes_on_node(n).count()))
             .collect();
+        let net = match machine.config.contention {
+            ContentionMode::Off => None,
+            ContentionMode::Queued => Some(Arc::new(NetSim::new(topo, &machine.config))),
+        };
         TeamShared {
             barrier: Barrier::new(pes),
             clock_slots: (0..pes).map(|_| AtomicU64::new(0)).collect(),
             slots: (0..pes).map(|_| Mutex::new(None)).collect(),
             node_barriers,
             coop,
+            net,
         }
     }
 }
@@ -203,6 +225,11 @@ impl Team {
         let shared = Arc::new(TeamShared::new(&self.machine, coop.clone()));
         let globally_traced = o2k_trace::enabled();
         let trace = self.trace || globally_traced;
+        if trace {
+            if let Some(net) = &shared.net {
+                net.set_record_spans(true);
+            }
+        }
         let mut out: Vec<Option<(R, PeReport)>> = (0..pes).map(|_| None).collect();
 
         std::thread::scope(|scope| {
@@ -265,6 +292,7 @@ impl Team {
             results,
             reports,
             sched: coop.map(|cs| cs.stats()),
+            net: shared.net.clone(),
         };
         if globally_traced {
             o2k_trace::sink_push(run.trace());

@@ -74,13 +74,17 @@ struct AccessRec {
 
 /// Shared detector state, attached to every region of a world built with
 /// [`crate::SasWorld::detect_races`].
+/// Per-(region, line): each PE's most recent access.
+type LineMap = HashMap<(u32, usize), Vec<Option<AccessRec>>>;
+/// Deduplication key: (region, line, pe a, pe b, kind).
+type SeenKey = (u32, usize, usize, usize, RaceKind);
+
 #[derive(Debug)]
 pub(crate) struct RaceDetector {
     npes: usize,
-    /// Per-(region, line): each PE's most recent access.
-    lines: Mutex<HashMap<(u32, usize), Vec<Option<AccessRec>>>>,
+    lines: Mutex<LineMap>,
     reports: Mutex<Vec<RaceReport>>,
-    seen: Mutex<HashSet<(u32, usize, usize, usize, RaceKind)>>,
+    seen: Mutex<HashSet<SeenKey>>,
 }
 
 impl RaceDetector {
@@ -128,8 +132,7 @@ impl RaceDetector {
                 continue;
             }
             let Some(o) = slot else { continue };
-            let ordered = o.gepoch != rec.gepoch
-                || (o.node == rec.node && o.nepoch != rec.nepoch);
+            let ordered = o.gepoch != rec.gepoch || (o.node == rec.node && o.nepoch != rec.nepoch);
             if ordered {
                 continue;
             }

@@ -323,7 +323,13 @@ impl SasPe {
         start: usize,
         data: &[T],
     ) {
-        self.touch_range(ctx, &s.region, start, start + data.len(), AccessClass::Write);
+        self.touch_range(
+            ctx,
+            &s.region,
+            start,
+            start + data.len(),
+            AccessClass::Write,
+        );
         for (i, v) in data.iter().enumerate() {
             s.write_raw(start + i, *v);
         }
@@ -458,14 +464,17 @@ impl SasPe {
                 charge_local += fill;
                 ctx.counters_mut().misses_local += 1;
             } else {
-                charge_remote += fill;
+                // Under ContentionMode::Queued the line payload also queues
+                // on the fabric links between home and requester.
+                charge_remote += fill + ctx.net_delay_to_node(home, cfg.line_bytes);
                 ctx.counters_mut().misses_remote += 1;
             }
             if d.dirty && d.owner != pe as u32 {
                 // Cache-to-cache forward from the current owner.
                 let owner_node = topo.node_of(d.owner as usize % topo.pes());
-                charge_remote +=
-                    u64::from(topo.hops(my_node, owner_node)) * cfg.lat_hop + cfg.lat_directory;
+                charge_remote += u64::from(topo.hops(my_node, owner_node)) * cfg.lat_hop
+                    + cfg.lat_directory
+                    + ctx.net_delay_to_node(owner_node, cfg.line_bytes);
                 d.dirty = false; // home copy now clean
             }
         }
@@ -481,8 +490,11 @@ impl SasPe {
                 let q = others.trailing_zeros() as usize;
                 others &= others - 1;
                 let qn = topo.node_of(q.min(topo.pes() - 1));
-                charge_remote +=
-                    cfg.lat_invalidate + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop;
+                // An invalidation is a small coherence packet; cross-node
+                // ones traverse (and queue on) the same fabric links.
+                charge_remote += cfg.lat_invalidate
+                    + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop
+                    + ctx.net_delay_to_node(qn, 8);
                 invalidated += 1;
             }
             ctx.counters_mut().invalidations += u64::from(invalidated);
@@ -803,13 +815,20 @@ mod tests {
                 }
                 w.barrier(ctx);
                 let homes: Vec<_> = (0..8).map(|p| s.home_of(p * 32)).collect();
-                (homes, ctx.counters().misses_local, ctx.counters().misses_remote)
+                (
+                    homes,
+                    ctx.counters().misses_local,
+                    ctx.counters().misses_remote,
+                )
             });
             run.results
         };
         let a = observe();
         let b = observe();
-        assert_eq!(a, b, "page homes / miss splits must be schedule-independent");
+        assert_eq!(
+            a, b,
+            "page homes / miss splits must be schedule-independent"
+        );
     }
 
     #[test]

@@ -409,13 +409,15 @@ impl CoopSched {
     /// registered and this PE is picked to run.
     pub fn register(&self, pe: usize) {
         let mut inner = self.inner.lock();
-        assert_eq!(inner.status[pe], Status::Unstarted, "PE {pe} registered twice");
+        assert_eq!(
+            inner.status[pe],
+            Status::Unstarted,
+            "PE {pe} registered twice"
+        );
         inner.status[pe] = Status::Runnable;
         inner.registered += 1;
-        if inner.registered == self.npes {
-            if !self.hand_off(&mut inner, pe) {
-                return;
-            }
+        if inner.registered == self.npes && !self.hand_off(&mut inner, pe) {
+            return;
         }
         self.wait_for_floor(inner, pe);
     }
@@ -584,11 +586,7 @@ mod tests {
     #[test]
     fn bounded_preempt_with_zero_budget_is_det() {
         let (a, _) = run_logged(SchedPolicy::Det, 4, 25);
-        let (b, _) = run_logged(
-            SchedPolicy::BoundedPreempt { seed: 9, budget: 0 },
-            4,
-            25,
-        );
+        let (b, _) = run_logged(SchedPolicy::BoundedPreempt { seed: 9, budget: 0 }, 4, 25);
         assert_eq!(a, b);
     }
 
@@ -706,7 +704,10 @@ mod tests {
             };
             (h0.join(), h1.join())
         });
-        assert!(result.0.is_err() && result.1.is_err(), "both PEs must unwind");
+        assert!(
+            result.0.is_err() && result.1.is_err(),
+            "both PEs must unwind"
+        );
     }
 
     #[test]

@@ -143,8 +143,9 @@ impl<T: Element> SymSlice<T> {
         }
         let bytes = data.len() * T::BYTES;
         let hops = self.machine.hops_between(ctx.pe(), target_pe);
+        let net_delay = ctx.net_delay_to_pe(target_pe, bytes);
         ctx.advance_traced(
-            cost::put(&self.machine.config, bytes, hops),
+            cost::put(&self.machine.config, bytes, hops) + net_delay,
             TimeCat::Remote,
             EventKind::Put,
             bytes.min(u32::MAX as usize) as u32,
@@ -164,8 +165,11 @@ impl<T: Element> SymSlice<T> {
             .collect();
         let bytes = len * T::BYTES;
         let hops = self.machine.hops_between(ctx.pe(), source_pe);
+        // A get's payload flows source→initiator; the queueing model routes
+        // in that direction (the request hop rides the same links).
+        let net_delay = ctx.net_delay_to_pe(source_pe, bytes);
         ctx.advance_traced(
-            cost::get(&self.machine.config, bytes, hops),
+            cost::get(&self.machine.config, bytes, hops) + net_delay,
             TimeCat::Remote,
             EventKind::Get,
             bytes.min(u32::MAX as usize) as u32,
@@ -244,8 +248,11 @@ impl<T: Element> SymSlice<T> {
         let hops = self.machine.topology.max_hops();
         let per_level = cost::put(&self.machine.config, bytes, hops);
         let depth = u64::from(self.machine.topology.tree_depth());
+        // The binomial tree is rooted at the root PE's node: model the
+        // fan-out contention at that funnel.
+        let net_delay = ctx.net_delay_to_node(self.machine.topology.node_of(root), bytes);
         ctx.advance_traced(
-            depth * per_level,
+            depth * per_level + net_delay,
             TimeCat::Remote,
             EventKind::ShmemColl,
             bytes.min(u32::MAX as usize) as u32,
@@ -292,8 +299,9 @@ impl<T: IntElement> SymSlice<T> {
 
     fn charge_amo(&self, ctx: &mut Ctx, target_pe: usize) {
         let hops = self.machine.hops_between(ctx.pe(), target_pe);
+        let net_delay = ctx.net_delay_to_pe(target_pe, T::BYTES);
         ctx.advance_traced(
-            cost::amo(&self.machine.config, hops),
+            cost::amo(&self.machine.config, hops) + net_delay,
             TimeCat::Remote,
             EventKind::Amo,
             T::BYTES.min(u32::MAX as usize) as u32,
@@ -552,8 +560,11 @@ impl<T: Element> SymSlice<T> {
         let depth = u64::from(self.machine.topology.tree_depth());
         let hops = self.machine.topology.max_hops();
         let per_round = cost::put(&self.machine.config, bytes, hops);
+        // All-to-all reduction trees funnel through node 0 in our cost
+        // model; charge that link's queueing under contention.
+        let net_delay = ctx.net_delay_to_node(0, bytes);
         ctx.advance_traced(
-            depth * per_round,
+            depth * per_round + net_delay,
             TimeCat::Remote,
             EventKind::ShmemColl,
             bytes.min(u32::MAX as usize) as u32,

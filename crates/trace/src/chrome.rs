@@ -73,6 +73,43 @@ pub fn to_chrome_json(trace: &Trace) -> String {
             out.push_str("}}");
         }
     }
+    // Interconnect link occupancy (o2k-net, ContentionMode::Queued) renders
+    // as a second process: one track per link that carried traffic.
+    if !trace.link_spans.is_empty() {
+        let mut used: Vec<bool> = vec![false; trace.link_names.len()];
+        for s in &trace.link_spans {
+            if let Some(u) = used.get_mut(s.link as usize) {
+                *u = true;
+            }
+        }
+        out.push_str(
+            ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+             \"args\":{\"name\":\"interconnect\"}}",
+        );
+        for (link, name) in trace.link_names.iter().enumerate() {
+            if used[link] {
+                out.push_str(&format!(
+                    ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{link},\
+                     \"args\":{{\"name\":\"{name}\"}}}}"
+                ));
+            }
+        }
+        for s in &trace.link_spans {
+            let dur = s.t1 - s.t0;
+            out.push_str(&format!(
+                ",\n{{\"name\":\"xfer\",\"cat\":\"link\",\"ph\":\"X\",\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"bytes\":{},\"pe\":{}}}}}",
+                s.t0 / 1000,
+                s.t0 % 1000,
+                dur / 1000,
+                dur % 1000,
+                s.link,
+                s.bytes,
+                s.pe,
+            ));
+        }
+    }
     out.push_str("\n]}\n");
     out
 }
@@ -268,6 +305,41 @@ mod tests {
         )]]);
         let _ = text_timeline(&t0, 10);
         let _ = text_timeline(&t, 10);
+    }
+
+    #[test]
+    fn link_spans_export_as_their_own_process() {
+        use crate::LinkSpan;
+        let mut t = sample();
+        t.link_names = vec!["node0→rtr0".into(), "rtr0→node1".into()];
+        t.link_spans = vec![
+            LinkSpan {
+                link: 1,
+                t0: 10,
+                t1: 1510,
+                bytes: 64,
+                pe: 0,
+            },
+            LinkSpan {
+                link: 1,
+                t0: 1510,
+                t1: 3010,
+                bytes: 64,
+                pe: 1,
+            },
+        ];
+        let json = to_chrome_json(&t);
+        assert!(json.contains("\"name\":\"interconnect\""), "{json}");
+        assert!(json.contains("rtr0→node1"));
+        assert!(
+            !json.contains("node0→rtr0"),
+            "links without traffic get no track"
+        );
+        assert!(json.contains("\"pid\":1,\"tid\":1"));
+        assert!(json.contains("\"ts\":1.510,\"dur\":1.500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // PE tracks are untouched by link data.
+        assert!(json.contains("\"name\":\"PE 0\""));
     }
 
     #[test]

@@ -267,17 +267,44 @@ impl Recorder {
     }
 }
 
+/// One occupancy interval of a directed interconnect link, produced by the
+/// `o2k-net` contention model when span recording is enabled. Unlike
+/// [`Event`]s these live on *link* timelines, not PE timelines, and are
+/// exported as a separate process in the Chrome JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpan {
+    /// Link id (index into [`Trace::link_names`]).
+    pub link: u32,
+    /// Occupancy start (virtual ns).
+    pub t0: SimTime,
+    /// Occupancy end (virtual ns); always `t1 > t0`.
+    pub t1: SimTime,
+    /// Payload bytes of the transfer holding the link.
+    pub bytes: u32,
+    /// PE that issued the transfer.
+    pub pe: u32,
+}
+
 /// A complete team trace: one clock-ordered event list per PE.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// `per_pe[pe]` is PE `pe`'s event list, ordered by time.
     pub per_pe: Vec<Vec<Event>>,
+    /// Display names of interconnect links, indexed by [`LinkSpan::link`].
+    /// Empty unless the run recorded link occupancy.
+    pub link_names: Vec<String>,
+    /// Link occupancy intervals in routing order (not sorted per link).
+    pub link_spans: Vec<LinkSpan>,
 }
 
 impl Trace {
     /// Assemble from per-PE event lists (indexed by PE).
     pub fn new(per_pe: Vec<Vec<Event>>) -> Self {
-        Trace { per_pe }
+        Trace {
+            per_pe,
+            link_names: Vec::new(),
+            link_spans: Vec::new(),
+        }
     }
 
     /// Number of PEs.

@@ -35,6 +35,7 @@ pub use mesh;
 pub use mp;
 pub use nbody;
 pub use o2k_core as core;
+pub use o2k_net as net;
 pub use o2k_sched as sched;
 pub use parallel;
 pub use partition;

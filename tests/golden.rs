@@ -106,7 +106,9 @@ mod t3 {
             .iter()
             .map(|c| WeightedPoint::new(c.x, c.y, 1.0))
             .collect();
-        let lists: Vec<Vec<u32>> = (0..dual.len()).map(|v| dual.neighbors(v).to_vec()).collect();
+        let lists: Vec<Vec<u32>> = (0..dual.len())
+            .map(|v| dual.neighbors(v).to_vec())
+            .collect();
         let g = CsrGraph::from_lists(&lists, vec![1.0; dual.len()]);
         let mut out = Vec::new();
         let mut eval = |name: &'static str, parts: &[u32]| {
@@ -233,6 +235,75 @@ fn repro_f2_is_bitwise_identical_under_det() {
 
 fn origin2k_bench_f2() -> String {
     o2k_bench::run_experiment("f2", true)
+}
+
+// ------------------------------------------ contention-model determinism
+
+/// The Origin2000 machine with the interconnect queueing model on.
+fn queued_machine(p: usize) -> std::sync::Arc<Machine> {
+    use origin2k::machine::ContentionMode;
+    std::sync::Arc::new(Machine::new(
+        p,
+        MachineConfig {
+            contention: ContentionMode::Queued,
+            ..MachineConfig::origin2000()
+        },
+    ))
+}
+
+/// Contention changes *when* transfers complete, never *whether* the run
+/// is reproducible: under the deterministic scheduler, two queued-mode
+/// runs agree bitwise — simulated times, merged counters, per-link
+/// network statistics, and the schedule fingerprint.
+#[test]
+fn queued_contention_is_bitwise_reproducible_under_det() {
+    pin_det();
+    let nb = NBodyConfig::small();
+    let am = AmrConfig::small();
+    for app in [App::NBody, App::Amr] {
+        for model in Model::ALL {
+            let a = run_app(queued_machine(4), app, model, &nb, &am);
+            let b = run_app(queued_machine(4), app, model, &nb, &am);
+            let tag = format!("{}/{}", app.name(), model.name());
+            assert_eq!(a.sim_time, b.sim_time, "{tag}: sim time must repeat");
+            assert_eq!(a.counters, b.counters, "{tag}: counters must repeat");
+            assert_eq!(a.net, b.net, "{tag}: NetStats must repeat");
+            assert_eq!(a.sched, b.sched, "{tag}: schedule fingerprint must repeat");
+            let net = a.net.expect("queued mode reports NetStats");
+            assert!(net.transfers > 0, "{tag}: remote traffic must be routed");
+        }
+    }
+}
+
+/// Off-mode runs never construct the network simulator, and the queued
+/// model only ever adds delay relative to the analytic costs (the physics
+/// checksum is identical either way).
+#[test]
+fn queued_contention_only_adds_delay() {
+    pin_det();
+    let nb = NBodyConfig::small();
+    let am = AmrConfig::small();
+    for app in [App::NBody, App::Amr] {
+        for model in Model::ALL {
+            let off = run_app(machine(4), app, model, &nb, &am);
+            let q = run_app(queued_machine(4), app, model, &nb, &am);
+            let tag = format!("{}/{}", app.name(), model.name());
+            assert!(
+                off.net.is_none(),
+                "{tag}: off mode must not report NetStats"
+            );
+            assert!(
+                q.sim_time >= off.sim_time,
+                "{tag}: queueing can only slow a run ({} -> {})",
+                off.sim_time,
+                q.sim_time
+            );
+            assert_eq!(
+                q.checksum, off.checksum,
+                "{tag}: contention must not move physics"
+            );
+        }
+    }
 }
 
 // ------------------------------------------------------------- harvest

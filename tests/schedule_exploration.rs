@@ -274,7 +274,56 @@ fn race_detector_catches_seeded_unbarriered_writes() {
             caught += 1;
         }
     }
-    assert_eq!(caught, 8, "the unsynchronised write must be flagged on every seed");
+    assert_eq!(
+        caught, 8,
+        "the unsynchronised write must be flagged on every seed"
+    );
+}
+
+/// Interconnect contention under schedule exploration: the queueing model
+/// keys every delay off the deterministic virtual-time order, so each seed
+/// replays bitwise (times, counters, and per-link NetStats), and the
+/// physics never moves no matter how traffic is interleaved on the links.
+#[test]
+fn queued_contention_replays_and_keeps_physics_under_exploration() {
+    use origin2k::machine::ContentionMode;
+    let cfg = amr_step_cfg();
+    let qm = || {
+        Arc::new(Machine::new(
+            4,
+            MachineConfig {
+                contention: ContentionMode::Queued,
+                ..MachineConfig::origin2000()
+            },
+        ))
+    };
+    let run = |policy| {
+        origin2k::apps::amr_sas::run_with(qm(), &cfg, PagePolicy::FirstTouch, Some(policy))
+    };
+    let reference = run(SchedPolicy::Det);
+    let again = run(SchedPolicy::Det);
+    assert_eq!(
+        reference.sim_time, again.sim_time,
+        "det must repeat bitwise"
+    );
+    assert_eq!(reference.counters, again.counters);
+    assert_eq!(reference.net, again.net, "det must repeat NetStats bitwise");
+    assert_eq!(reference.sched, again.sched);
+    let net = reference.net.expect("queued mode reports NetStats");
+    assert!(net.transfers > 0, "the step must route remote traffic");
+    for seed in 0..25u64 {
+        let r = run(SchedPolicy::Explore { seed });
+        assert_eq!(
+            r.checksum, reference.checksum,
+            "seed {seed}: physics must be schedule-independent under contention"
+        );
+        let b = run(SchedPolicy::Explore { seed });
+        assert_eq!(
+            r.sim_time, b.sim_time,
+            "seed {seed} must replay under contention"
+        );
+        assert_eq!(r.net, b.net, "seed {seed}: NetStats must replay");
+    }
 }
 
 /// Bounded-preemption schedules: mostly-deterministic with a seeded budget
@@ -305,5 +354,8 @@ fn bounded_preemption_preserves_invariants() {
     }
     // Zero budget degenerates to the deterministic schedule.
     let zero = run(5, 0);
-    assert_eq!(zero.sched.unwrap().fingerprint, det.sched.unwrap().fingerprint);
+    assert_eq!(
+        zero.sched.unwrap().fingerprint,
+        det.sched.unwrap().fingerprint
+    );
 }
