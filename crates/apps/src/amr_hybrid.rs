@@ -26,7 +26,7 @@ use std::sync::Arc;
 use machine::Machine;
 use mesh::dual::dual_graph;
 use mp::{MpWorld, RecvSpec};
-use parallel::{Ctx, Team};
+use parallel::{Ctx, SchedPolicy, Team};
 use sas::{SasSlice, SasWorld};
 
 use crate::amr_common::{partition_active, AmrConfig, ReplicatedMesh};
@@ -40,9 +40,18 @@ const TAG_MIGRATE: u32 = 12;
 
 /// Run the hybrid AMR application; returns uniform metrics.
 pub fn run(machine: Arc<Machine>, cfg: &AmrConfig) -> RunMetrics {
+    run_sched(machine, cfg, None)
+}
+
+/// [`run`] with an explicit scheduling policy. `None` keeps the process
+/// default ([`parallel::sched::default_policy`]).
+pub fn run_sched(machine: Arc<Machine>, cfg: &AmrConfig, sched: Option<SchedPolicy>) -> RunMetrics {
     let mp = MpWorld::new(Arc::clone(&machine));
     let sas = SasWorld::new(Arc::clone(&machine));
-    let team = Team::new(Arc::clone(&machine)).seed(cfg.seed);
+    let mut team = Team::new(Arc::clone(&machine)).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
     let run = team.run(|ctx| pe_main(ctx, &mp, &sas, cfg));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);
@@ -103,6 +112,7 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
     for step in 0..cfg.steps {
         // (1) Remesh — shared memory keeps the field consistent, so no
         // gather/broadcast phase exists in the hybrid (as in pure SAS).
+        ctx.net_phase("adapt");
         let before = state.mesh.num_tris_total();
         let stats = state.adapt(cfg, step);
         assert!(
@@ -144,6 +154,7 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
         ctx.barrier();
 
         // (2) Node-level repartition + remap.
+        ctx.net_phase("remap");
         let dual = dual_graph(&state.mesh);
         ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
         let inherited: Vec<u32> = dual.tris.iter().map(|&t| owner[t as usize]).collect();
@@ -244,6 +255,7 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &AmrConfig) -> f64 
         }
 
         // (3) Sweeps: leader messages between nodes, coherence within.
+        ctx.net_phase("solve");
         for _sweep in 0..cfg.sweeps {
             if is_leader {
                 for (r, ids) in send_ids.iter().enumerate() {

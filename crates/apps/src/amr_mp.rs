@@ -13,7 +13,7 @@ use std::sync::Arc;
 use machine::Machine;
 use mesh::dual::dual_graph;
 use mp::MpWorld;
-use parallel::{Ctx, Team};
+use parallel::{Ctx, SchedPolicy, Team};
 use partition::rcb_partition;
 use partition::WeightedPoint;
 
@@ -23,8 +23,17 @@ use crate::workcost as W;
 
 /// Run the MP AMR application; returns uniform metrics.
 pub fn run(machine: Arc<Machine>, cfg: &AmrConfig) -> RunMetrics {
+    run_sched(machine, cfg, None)
+}
+
+/// [`run`] with an explicit scheduling policy. `None` keeps the process
+/// default ([`parallel::sched::default_policy`]).
+pub fn run_sched(machine: Arc<Machine>, cfg: &AmrConfig, sched: Option<SchedPolicy>) -> RunMetrics {
     let world = MpWorld::new(Arc::clone(&machine));
-    let team = Team::new(machine).seed(cfg.seed);
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
     let run = team.run(|ctx| rank_main(ctx, &world, cfg));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);
@@ -60,9 +69,11 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig) -> f64 {
     for step in 0..cfg.steps {
         // (1) Make the field globally consistent before remeshing: gather
         // owned values at the root, rebroadcast the full field.
+        ctx.net_phase("sync");
         sync_field(ctx, w, &mut state, &owner);
 
         // (2) Remesh (replicated metadata, distributed charge).
+        ctx.net_phase("adapt");
         let stats = state.adapt(cfg, step);
         ctx.compute_units((stats.marked_scan / p + 1) as u64, W::MARK_PER_TRI_NS);
         ctx.compute_units((stats.new_tris / p + 1) as u64, W::ADAPT_PER_TRI_NS);
@@ -74,6 +85,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig) -> f64 {
         w.barrier(ctx);
 
         // (3) Repartition + PLUM remap + migration.
+        ctx.net_phase("remap");
         let dual = dual_graph(&state.mesh);
         ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
         let inherited: Vec<u32> = dual.tris.iter().map(|&t| owner[t as usize]).collect();
@@ -105,6 +117,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig) -> f64 {
         }
 
         // (4) Jacobi sweeps with ghost exchange.
+        ctx.net_phase("solve");
         let my: Vec<usize> = (0..dual.len())
             .filter(|&i| parts[i] as usize == me)
             .collect();
@@ -162,6 +175,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig) -> f64 {
     }
 
     // Final consistency + checksum at the root.
+    ctx.net_phase("sync");
     sync_field(ctx, w, &mut state, &owner);
     let total = if me == 0 { state.checksum() } else { 0.0 };
     w.bcast(ctx, 0, vec![total])[0]

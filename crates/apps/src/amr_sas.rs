@@ -78,6 +78,7 @@ fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &AmrConfig) -> f64 {
     for step in 0..cfg.steps {
         // (1) Remesh: replicated metadata, distributed charge. No field
         // synchronisation is needed — shared memory is always consistent.
+        ctx.net_phase("adapt");
         let before = state.mesh.num_tris_total();
         let stats = state.adapt(cfg, step);
         assert!(
@@ -109,6 +110,7 @@ fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &AmrConfig) -> f64 {
 
         // (3) Jacobi sweeps: local scratch, then a write-back phase, with
         // barriers separating read and write epochs.
+        ctx.net_phase("solve");
         for sweep in 0..cfg.sweeps {
             let mut mine: Vec<usize> = Vec::new();
             let mut new_vals: Vec<f64> = Vec::new();

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use machine::Machine;
 use mesh::dual::dual_graph;
-use parallel::{Ctx, Team};
+use parallel::{Ctx, SchedPolicy, Team};
 use partition::rcb_partition;
 use partition::WeightedPoint;
 use shmem::{SymSlice, SymWorld};
@@ -26,8 +26,17 @@ use crate::workcost as W;
 
 /// Run the SHMEM AMR application; returns uniform metrics.
 pub fn run(machine: Arc<Machine>, cfg: &AmrConfig) -> RunMetrics {
+    run_sched(machine, cfg, None)
+}
+
+/// [`run`] with an explicit scheduling policy. `None` keeps the process
+/// default ([`parallel::sched::default_policy`]).
+pub fn run_sched(machine: Arc<Machine>, cfg: &AmrConfig, sched: Option<SchedPolicy>) -> RunMetrics {
     let world = SymWorld::new(Arc::clone(&machine));
-    let team = Team::new(machine).seed(cfg.seed);
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
     let run = team.run(|ctx| pe_main(ctx, &world, cfg));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);
@@ -70,9 +79,11 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
     for step in 0..cfg.steps {
         // (1) Consistency: owners put values into PE 0's instance, the
         // root instance is broadcast, everyone refreshes its replica.
+        ctx.net_phase("sync");
         sync_field(ctx, w, &field, &mut state, &owner);
 
         // (2) Remesh (replicated metadata, distributed charge).
+        ctx.net_phase("adapt");
         let stats = state.adapt(cfg, step);
         assert!(
             state.mesh.num_tris_total() <= cap,
@@ -94,6 +105,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
         // (3) Repartition + PLUM remap; migration is just ownership
         // bookkeeping here because the sync already placed every value in
         // every instance — but the pack/unpack work is still charged.
+        ctx.net_phase("remap");
         let dual = dual_graph(&state.mesh);
         ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
         let inherited: Vec<u32> = dual.tris.iter().map(|&t| owner[t as usize]).collect();
@@ -109,6 +121,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
         }
 
         // (4) Jacobi sweeps; ghosts land directly at their id slots.
+        ctx.net_phase("solve");
         let my: Vec<usize> = (0..dual.len())
             .filter(|&i| parts[i] as usize == me)
             .collect();
@@ -165,6 +178,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
     }
 
     // Final consistency + checksum at PE 0.
+    ctx.net_phase("sync");
     sync_field(ctx, w, &field, &mut state, &owner);
     let total = if me == 0 { state.checksum() } else { 0.0 };
     ctx.broadcast(0, if me == 0 { Some(total) } else { None })

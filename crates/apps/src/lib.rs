@@ -49,14 +49,33 @@ pub fn run_app(
     nbody_cfg: &NBodyConfig,
     amr_cfg: &AmrConfig,
 ) -> RunMetrics {
+    run_app_sched(machine, app, model, nbody_cfg, amr_cfg, None)
+}
+
+/// [`run_app`] with an explicit scheduling policy. `None` keeps the
+/// process default ([`parallel::sched::default_policy`]); experiments that
+/// compare timing across machine configurations pin [`SchedPolicy::Det`]
+/// so the comparison is not confounded by OS thread interleaving.
+pub fn run_app_sched(
+    machine: Arc<Machine>,
+    app: App,
+    model: Model,
+    nbody_cfg: &NBodyConfig,
+    amr_cfg: &AmrConfig,
+    sched: Option<parallel::SchedPolicy>,
+) -> RunMetrics {
     match (app, model) {
-        (App::NBody, Model::Mp) => nbody_mp::run(machine, nbody_cfg),
-        (App::NBody, Model::Shmem) => nbody_shmem::run(machine, nbody_cfg),
-        (App::NBody, Model::Sas) => nbody_sas::run(machine, nbody_cfg),
-        (App::Amr, Model::Mp) => amr_mp::run(machine, amr_cfg),
-        (App::Amr, Model::Shmem) => amr_shmem::run(machine, amr_cfg),
-        (App::Amr, Model::Sas) => amr_sas::run(machine, amr_cfg),
-        (App::Amr, Model::Hybrid) => amr_hybrid::run(machine, amr_cfg),
-        (App::NBody, Model::Hybrid) => nbody_hybrid::run(machine, nbody_cfg),
+        (App::NBody, Model::Mp) => nbody_mp::run_sched(machine, nbody_cfg, sched),
+        (App::NBody, Model::Shmem) => nbody_shmem::run_sched(machine, nbody_cfg, sched),
+        (App::NBody, Model::Sas) => {
+            nbody_sas::run_with(machine, nbody_cfg, sas::PagePolicy::FirstTouch, sched)
+        }
+        (App::Amr, Model::Mp) => amr_mp::run_sched(machine, amr_cfg, sched),
+        (App::Amr, Model::Shmem) => amr_shmem::run_sched(machine, amr_cfg, sched),
+        (App::Amr, Model::Sas) => {
+            amr_sas::run_with(machine, amr_cfg, sas::PagePolicy::FirstTouch, sched)
+        }
+        (App::Amr, Model::Hybrid) => amr_hybrid::run_sched(machine, amr_cfg, sched),
+        (App::NBody, Model::Hybrid) => nbody_hybrid::run_sched(machine, nbody_cfg, sched),
     }
 }

@@ -80,6 +80,10 @@ pub struct RunMetrics {
     /// Interconnect contention statistics when the machine ran with
     /// [`machine::ContentionMode::Queued`].
     pub net: Option<parallel::NetStats>,
+    /// Rendered top-link hotspot report — whole-run table plus per-phase
+    /// tables (when the app marked phases) with fault annotations — when
+    /// the contention model was on.
+    pub net_report: Option<String>,
 }
 
 impl RunMetrics {
@@ -97,6 +101,7 @@ impl RunMetrics {
             trace: run.is_traced().then(|| run.trace()),
             sched: run.sched,
             net: run.net.as_ref().map(|n| n.stats()),
+            net_report: run.net.as_ref().map(|n| n.hotspot_report(5)),
         }
     }
 

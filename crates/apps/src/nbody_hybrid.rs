@@ -16,7 +16,7 @@ use mp::{MpWorld, RecvSpec};
 use nbody::lett::essential_for;
 use nbody::orb::{orb_partition, BBox};
 use nbody::{Octree, Vec3};
-use parallel::{Ctx, Team};
+use parallel::{Ctx, SchedPolicy, Team};
 use sas::{SasSlice, SasWorld};
 
 use crate::metrics::{App, Model, RunMetrics};
@@ -32,13 +32,26 @@ const TAG_SCATTER: u32 = 24;
 
 /// Run the hybrid N-body application; returns uniform metrics.
 pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
+    run_sched(machine, cfg, None)
+}
+
+/// [`run`] with an explicit scheduling policy. `None` keeps the process
+/// default ([`parallel::sched::default_policy`]).
+pub fn run_sched(
+    machine: Arc<Machine>,
+    cfg: &NBodyConfig,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
     assert!(
         cfg.n >= machine.topology.nodes(),
         "need bodies on every node"
     );
     let mp = MpWorld::new(Arc::clone(&machine));
     let sas = SasWorld::new(Arc::clone(&machine));
-    let team = Team::new(Arc::clone(&machine)).seed(cfg.seed);
+    let mut team = Team::new(Arc::clone(&machine)).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
     let run = team.run(|ctx| pe_main(ctx, &mp, &sas, cfg));
     RunMetrics::collect(App::NBody, Model::Hybrid, &run, cfg.n)
 }
@@ -153,6 +166,7 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &NBodyConfig) -> f6
     for _step in 0..cfg.steps {
         let my_count = s.count.read_raw(my_node) as usize;
         // (1) Leaders trade bounding boxes and locally-essential trees.
+        ctx.net_phase("exchange");
         ctx.compute_units((my_count / k) as u64, W::TREE_BUILD_PER_BODY_NS);
         if is_leader {
             let (lpos, lmass) = read_node_bodies(&s, my_node, &lay, my_count);
@@ -216,6 +230,7 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &NBodyConfig) -> f6
         ctx.node_barrier();
 
         // (2) Every PE walks the node's shared merged tree for its slice.
+        ctx.net_phase("forces");
         let base = WalkBase {
             node_words: my_node * lay.tnodes,
             leaves: my_node * lay.tleaves,
@@ -252,6 +267,7 @@ fn pe_main(ctx: &mut Ctx, mp: &MpWorld, sas: &SasWorld, cfg: &NBodyConfig) -> f6
         ctx.node_barrier();
 
         // (4) Rebalance at node granularity through PE 0.
+        ctx.net_phase("remap");
         if is_leader {
             let mut flat = Vec::with_capacity(my_count * 8);
             for i in 0..my_count {

@@ -20,7 +20,7 @@ use nbody::force::accel_at;
 use nbody::lett::essential_for;
 use nbody::orb::{orb_partition, BBox};
 use nbody::{Octree, Vec3};
-use parallel::{Ctx, Team};
+use parallel::{Ctx, SchedPolicy, Team};
 
 use crate::metrics::{App, Model, RunMetrics};
 use crate::nbody_common::{checksum_positions, BodyCost, NBodyConfig};
@@ -31,9 +31,22 @@ const TAG_REBALANCE: u32 = 7;
 
 /// Run the MP N-body application; returns uniform metrics.
 pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
+    run_sched(machine, cfg, None)
+}
+
+/// [`run`] with an explicit scheduling policy. `None` keeps the process
+/// default ([`parallel::sched::default_policy`]).
+pub fn run_sched(
+    machine: Arc<Machine>,
+    cfg: &NBodyConfig,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per rank");
     let world = MpWorld::new(Arc::clone(&machine));
-    let team = Team::new(machine).seed(cfg.seed);
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
     let run = team.run(|ctx| rank_main(ctx, &world, cfg));
     RunMetrics::collect(App::NBody, Model::Mp, &run, cfg.n)
 }
@@ -60,6 +73,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig) -> f64 {
 
     for _step in 0..cfg.steps {
         // (1) Exchange bounding boxes.
+        ctx.net_phase("tree");
         let my_pos: Vec<Vec3> = mine.iter().map(|b| b.body.pos).collect();
         let bb = BBox::of(&my_pos);
         let boxes = w.allgatherv(
@@ -73,6 +87,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig) -> f64 {
         let ltree = Octree::build(&lpos, &lmass, 4);
 
         // (3) Extract and trade locally-essential data.
+        ctx.net_phase("exchange");
         let mut sends: Vec<Vec<[f64; 4]>> = vec![Vec::new(); p];
         for (q, bx) in boxes.iter().enumerate() {
             if q == me {
@@ -104,6 +119,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig) -> f64 {
         let ftree = Octree::build(&fpos, &fmass, 4);
 
         // (5) Forces and integration, purely local.
+        ctx.net_phase("forces");
         let mut interactions = 0u64;
         for bc in &mut mine {
             let (a, cnt) = accel_at(&ftree, bc.body.pos, cfg.theta, cfg.eps);
@@ -117,6 +133,7 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig) -> f64 {
 
         // (6) Explicit repartitioning through rank 0 — the MP model's
         // structural overhead for adaptivity.
+        ctx.net_phase("remap");
         let gathered = w.gatherv(ctx, 0, mine.clone());
         if me == 0 {
             let all: Vec<BodyCost> = gathered

@@ -112,6 +112,7 @@ fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &NBodyConfig) -> f64 {
     for _step in 0..cfg.steps {
         // The tree is rebuilt in place each step; drop cached lines (models
         // the rebuild's invalidation storm conservatively).
+        ctx.net_phase("tree");
         pe.flush_cache();
 
         // Tree build and costzones: charged as parallel work; PE 0 carries
@@ -159,6 +160,7 @@ fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &NBodyConfig) -> f64 {
         let my: Vec<usize> = (0..n).filter(|&i| zones[i] == me as u64).collect();
 
         // Forces: walk the shared tree, coherence charging every line.
+        ctx.net_phase("forces");
         let mut interactions = 0u64;
         for &b in &my {
             let bp = read_vec3(ctx, &mut pe, &s.pos, b);

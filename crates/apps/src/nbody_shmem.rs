@@ -22,7 +22,7 @@ use nbody::force::accel_at;
 use nbody::lett::essential_for;
 use nbody::orb::{orb_partition, BBox};
 use nbody::{Octree, Vec3};
-use parallel::{Ctx, Team};
+use parallel::{Ctx, SchedPolicy, Team};
 use shmem::{SymSlice, SymWorld};
 
 use crate::metrics::{App, Model, RunMetrics};
@@ -33,9 +33,22 @@ use crate::workcost as W;
 
 /// Run the SHMEM N-body application; returns uniform metrics.
 pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
+    run_sched(machine, cfg, None)
+}
+
+/// [`run`] with an explicit scheduling policy. `None` keeps the process
+/// default ([`parallel::sched::default_policy`]).
+pub fn run_sched(
+    machine: Arc<Machine>,
+    cfg: &NBodyConfig,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per PE");
     let world = SymWorld::new(Arc::clone(&machine));
-    let team = Team::new(machine).seed(cfg.seed);
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
     let run = team.run(|ctx| pe_main(ctx, &world, cfg));
     RunMetrics::collect(App::NBody, Model::Shmem, &run, cfg.n)
 }
@@ -95,6 +108,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> f64 {
 
     for _step in 0..cfg.steps {
         // (1) Publish my bounding box into everyone's table.
+        ctx.net_phase("tree");
         let my_pos: Vec<Vec3> = mine.iter().map(|b| b.body.pos).collect();
         let bb = BBox::of(&my_pos);
         let flat = [bb.min.x, bb.min.y, bb.min.z, bb.max.x, bb.max.y, bb.max.z];
@@ -110,6 +124,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> f64 {
         let ltree = Octree::build(&lpos, &lmass, 4);
 
         // (3) LET trade: counts → offsets → payload puts.
+        ctx.net_phase("exchange");
         let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
         for q in (0..p).filter(|&q| q != me) {
             let bx = s.boxes.read_local(ctx, 6 * q, 6);
@@ -160,6 +175,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> f64 {
         let ftree = Octree::build(&fpos, &fmass, 4);
 
         // (5) Forces and integration.
+        ctx.net_phase("forces");
         let mut interactions = 0u64;
         for bc in &mut mine {
             let (a, cnt) = accel_at(&ftree, bc.body.pos, cfg.theta, cfg.eps);
@@ -172,6 +188,7 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> f64 {
         ctx.compute_units(mine.len() as u64, W::INTEGRATE_PER_BODY_NS);
 
         // (6) Repartition through PE 0: fetch-add ticket, one-sided gather.
+        ctx.net_phase("remap");
         if me == 0 {
             s.cursor.write_local(ctx, 0, &[0]);
         }

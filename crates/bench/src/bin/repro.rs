@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <id>... [--quick] [--sched <policy>] [--trace <dir>]
+//! repro <id>... [--quick] [--sched <policy>] [--fault <spec>] [--trace <dir>]
 //! repro all [--quick]                       run the whole suite
 //! ```
 //!
@@ -18,6 +18,13 @@
 //! `os` (free-running host threads), `explore:<seed>` (seeded random
 //! interleaving), or `bp:<seed>:<budget>` (bounded preemption). See
 //! DESIGN.md "Determinism & scheduling".
+//!
+//! `--fault <spec>` (or `O2K_FAULT=<spec>`) injects link faults into every
+//! machine the experiments build: `off` or
+//! `plan:<link>:<action>[@<ns>][;…]` with links `up<N>` / `down<N>` /
+//! `r<R>d<D>` and actions `kill` / `deg<F>` (see DESIGN.md §4c). Faults
+//! only bite when the contention model is on; N2 carries its own plans and
+//! ignores this default.
 
 use std::fs;
 use std::time::Instant;
@@ -34,6 +41,8 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(o2k_sched::SchedPolicy::Det);
+    // `None` leaves the `O2K_FAULT` / healthy default in place.
+    let mut fault: Option<machine::FaultMode> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter().filter(|a| *a != "--quick");
     while let Some(a) = it.next() {
@@ -55,18 +64,32 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--fault" {
+            match it.next().map(|s| machine::FaultMode::parse(s)) {
+                Some(Some(f)) => fault = Some(f),
+                _ => {
+                    eprintln!(
+                        "--fault requires a spec: off or plan:<link>:<action>[@<ns>][;...] \
+                         (links up<N>/down<N>/r<R>d<D>, actions kill/deg<F>)"
+                    );
+                    std::process::exit(2);
+                }
+            }
         } else {
             ids.push(a.to_lowercase());
         }
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro <id>... [--quick] [--sched <policy>] [--trace <dir>]   ids: {} all",
+            "usage: repro <id>... [--quick] [--sched <policy>] [--fault <spec>] [--trace <dir>]   ids: {} all",
             EXPERIMENT_IDS.join(" ")
         );
         std::process::exit(2);
     }
     o2k_sched::set_default_policy(sched);
+    if let Some(f) = fault {
+        machine::fault::set_default_fault(f);
+    }
     if ids.iter().any(|i| i == "all") {
         ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
     }

@@ -1,5 +1,7 @@
 //! Machine configuration: latency, bandwidth and cache parameters.
 
+use crate::fault::{self, FaultMode};
+
 /// Whether transfers contend for interconnect links.
 ///
 /// Under [`ContentionMode::Off`] every operation is priced by the
@@ -102,6 +104,10 @@ pub struct MachineConfig {
     // --- interconnect contention ---
     /// Whether transfers queue on shared links (see [`ContentionMode`]).
     pub contention: ContentionMode,
+    /// Link fault schedule (see [`FaultMode`]). Only consulted under
+    /// [`ContentionMode::Queued`]: faults are per-link states, and links
+    /// only exist as resources in the queueing model.
+    pub fault: FaultMode,
 }
 
 impl MachineConfig {
@@ -129,6 +135,7 @@ impl MachineConfig {
             sync_hop: 400,
             lock_overhead: 240,
             contention: ContentionMode::Off,
+            fault: fault::default_fault(),
         }
     }
 
@@ -182,6 +189,7 @@ impl MachineConfig {
             sync_hop: 8,
             lock_overhead: 6,
             contention: ContentionMode::Off,
+            fault: fault::default_fault(),
         }
     }
 
@@ -268,6 +276,15 @@ mod tests {
             ContentionMode::Off
         );
         assert_eq!(ContentionMode::default(), ContentionMode::Off);
+    }
+
+    #[test]
+    fn fault_defaults_off_everywhere() {
+        // Presets inherit the process default, which is Off unless a test
+        // or the repro binary overrides it.
+        assert_eq!(MachineConfig::origin2000().fault, FaultMode::Off);
+        assert_eq!(MachineConfig::test_tiny().fault, FaultMode::Off);
+        assert_eq!(MachineConfig::cluster_of_smps().fault, FaultMode::Off);
     }
 
     #[test]

@@ -27,11 +27,13 @@
 
 pub mod config;
 pub mod cost;
+pub mod fault;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
 pub use config::{ContentionMode, MachineConfig};
+pub use fault::{FaultEvent, FaultKind, FaultLink, FaultMode, FaultPlan};
 pub use stats::Counters;
 pub use time::{Clock, SimTime, TimeBreakdown, TimeCat};
 pub use topology::Topology;

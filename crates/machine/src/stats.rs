@@ -117,34 +117,48 @@ impl Counters {
     /// `self - earlier`, saturating at zero. Lets experiments attribute
     /// communication to individual phases (e.g. one adaptation step) by
     /// snapshotting the running totals before and after.
+    ///
+    /// The counters are cumulative, so `earlier` must genuinely be an
+    /// earlier snapshot of the same running totals. In debug builds a
+    /// counter going backwards panics — a monotonicity violation means a
+    /// runtime double-counted or a caller diffed unrelated snapshots — in
+    /// release builds the subtraction still saturates at zero.
     pub fn diff(&self, earlier: &Counters) -> Counters {
+        fn mono_sub(a: u64, b: u64, field: &'static str) -> u64 {
+            debug_assert!(a >= b, "counter {field} went backwards: {a} < {b}");
+            a.saturating_sub(b)
+        }
         let mut msg_size_hist = [0u64; 5];
         for (d, (a, b)) in msg_size_hist
             .iter_mut()
             .zip(self.msg_size_hist.iter().zip(earlier.msg_size_hist))
         {
-            *d = a.saturating_sub(b);
+            *d = mono_sub(*a, b, "msg_size_hist");
         }
         Counters {
-            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
-            msg_bytes: self.msg_bytes.saturating_sub(earlier.msg_bytes),
-            msgs_recvd: self.msgs_recvd.saturating_sub(earlier.msgs_recvd),
-            puts: self.puts.saturating_sub(earlier.puts),
-            put_bytes: self.put_bytes.saturating_sub(earlier.put_bytes),
-            gets: self.gets.saturating_sub(earlier.gets),
-            get_bytes: self.get_bytes.saturating_sub(earlier.get_bytes),
-            amos: self.amos.saturating_sub(earlier.amos),
-            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
-            misses_local: self.misses_local.saturating_sub(earlier.misses_local),
-            misses_remote: self.misses_remote.saturating_sub(earlier.misses_remote),
-            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
-            upgrades: self.upgrades.saturating_sub(earlier.upgrades),
-            barriers: self.barriers.saturating_sub(earlier.barriers),
-            lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
-            sched_handoffs: self.sched_handoffs.saturating_sub(earlier.sched_handoffs),
-            net_transfers: self.net_transfers.saturating_sub(earlier.net_transfers),
-            net_links: self.net_links.saturating_sub(earlier.net_links),
-            net_queued_ns: self.net_queued_ns.saturating_sub(earlier.net_queued_ns),
+            msgs_sent: mono_sub(self.msgs_sent, earlier.msgs_sent, "msgs_sent"),
+            msg_bytes: mono_sub(self.msg_bytes, earlier.msg_bytes, "msg_bytes"),
+            msgs_recvd: mono_sub(self.msgs_recvd, earlier.msgs_recvd, "msgs_recvd"),
+            puts: mono_sub(self.puts, earlier.puts, "puts"),
+            put_bytes: mono_sub(self.put_bytes, earlier.put_bytes, "put_bytes"),
+            gets: mono_sub(self.gets, earlier.gets, "gets"),
+            get_bytes: mono_sub(self.get_bytes, earlier.get_bytes, "get_bytes"),
+            amos: mono_sub(self.amos, earlier.amos, "amos"),
+            cache_hits: mono_sub(self.cache_hits, earlier.cache_hits, "cache_hits"),
+            misses_local: mono_sub(self.misses_local, earlier.misses_local, "misses_local"),
+            misses_remote: mono_sub(self.misses_remote, earlier.misses_remote, "misses_remote"),
+            invalidations: mono_sub(self.invalidations, earlier.invalidations, "invalidations"),
+            upgrades: mono_sub(self.upgrades, earlier.upgrades, "upgrades"),
+            barriers: mono_sub(self.barriers, earlier.barriers, "barriers"),
+            lock_acquires: mono_sub(self.lock_acquires, earlier.lock_acquires, "lock_acquires"),
+            sched_handoffs: mono_sub(
+                self.sched_handoffs,
+                earlier.sched_handoffs,
+                "sched_handoffs",
+            ),
+            net_transfers: mono_sub(self.net_transfers, earlier.net_transfers, "net_transfers"),
+            net_links: mono_sub(self.net_links, earlier.net_links, "net_links"),
+            net_queued_ns: mono_sub(self.net_queued_ns, earlier.net_queued_ns, "net_queued_ns"),
             msg_size_hist,
         }
     }
@@ -225,8 +239,20 @@ mod tests {
         let mut after = before.clone();
         after.merge(&step);
         assert_eq!(after.diff(&before), step);
-        // Diffing against a larger snapshot saturates instead of wrapping.
-        assert_eq!(before.diff(&after).msgs_sent, 0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "went backwards"))]
+    fn diff_flags_backwards_counters() {
+        let mut before = Counters::new();
+        before.record_msg_sent(100);
+        let mut after = before.clone();
+        after.record_msg_sent(100);
+        // Diffing the snapshots in the wrong order is a monotonicity
+        // violation: loud in debug builds, saturating (not wrapping) in
+        // release builds.
+        let d = before.diff(&after);
+        assert_eq!(d.msgs_sent, 0, "release builds saturate at zero");
     }
 
     #[test]

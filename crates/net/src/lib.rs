@@ -27,12 +27,24 @@
 //! is a pure function of the program. Under the free-running `os` policy
 //! the table is still thread-safe (one mutex) but the arrival order, and
 //! thus the queueing, follows the host scheduler.
+//!
+//! **Fault injection.** A [`machine::FaultPlan`] on the config schedules
+//! per-link [`machine::FaultKind`] transitions in virtual time: `deg<F>`
+//! multiplies a link's occupancy per transfer by `F` (service rate ÷ F),
+//! `kill` makes the link infinitely busy. A transfer's fault state is
+//! evaluated once, at its *departure* time — a pure function of
+//! `(link, depart)`, so faulted runs stay bitwise reproducible under `det`.
+//! E-cube routing detours around killed router edges (deterministic BFS
+//! over the surviving hypercube edges, lowest dimension first); a killed
+//! bristle port, or a cut that severs the router graph, has no detour and
+//! surfaces as a hard [`Unreachable`] error instead of a silent hang.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use machine::{MachineConfig, SimTime, Topology};
-use o2k_trace::LinkSpan;
+use machine::{FaultKind, FaultLink, FaultMode, MachineConfig, SimTime, Topology};
+use o2k_trace::{FaultSpan, LinkSpan};
 
 pub use machine::config::ContentionMode;
 
@@ -68,6 +80,41 @@ pub struct NetStats {
     pub max_link_queued_ns: u64,
     /// Worst per-link byte total.
     pub max_link_bytes: u64,
+    /// Links whose fault schedule ends in [`FaultKind::Kill`].
+    pub dead_links: u64,
+    /// Links whose fault schedule ends in [`FaultKind::Degrade`].
+    pub degraded_links: u64,
+    /// Transfers that left the e-cube path to avoid a dead link.
+    pub detoured_transfers: u64,
+}
+
+/// A transfer could not be routed: every path to the destination crosses a
+/// dead link. Returned by [`NetSim::try_route`]; [`NetSim::route`] panics
+/// with the same diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unreachable {
+    /// Source node of the doomed transfer.
+    pub src_node: usize,
+    /// Destination node.
+    pub dst_node: usize,
+    /// Departure time at which the routes were evaluated (ns).
+    pub at: SimTime,
+    /// Names of the dead links that sever every route.
+    pub dead: Vec<String>,
+}
+
+impl std::fmt::Display for Unreachable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network partition: no route from node{} to node{} at {} ns — dead link(s) {} \
+             sever every path (a killed bristle port or a full router cut has no detour)",
+            self.src_node,
+            self.dst_node,
+            self.at,
+            self.dead.join(", ")
+        )
+    }
 }
 
 /// One link's row in a hotspot report.
@@ -109,6 +156,7 @@ struct NetState {
     spans: Vec<LinkSpan>,
     spans_dropped: u64,
     phases: Vec<Phase>,
+    detoured: u64,
 }
 
 /// The interconnect simulator: one instance per team run, shared by every
@@ -119,6 +167,10 @@ pub struct NetSim {
     /// Hypercube dimensions over the power-of-two-padded router count.
     dims: usize,
     nodes: usize,
+    /// Per-link fault schedule, time-sorted (empty when healthy).
+    faults: Vec<Vec<(SimTime, FaultKind)>>,
+    /// Whether any link has a fault scheduled (fast-path gate).
+    any_faults: bool,
     state: Mutex<NetState>,
     record_spans: AtomicBool,
 }
@@ -147,16 +199,41 @@ impl NetSim {
         let rpad = routers.next_power_of_two();
         let dims = rpad.trailing_zeros() as usize;
         let nlinks = 2 * nodes + rpad * dims;
+        // Resolve the symbolic fault plan against this topology. Links the
+        // machine doesn't have (e.g. a global O2K_FAULT plan naming a high
+        // router on a small machine) are skipped.
+        let mut faults: Vec<Vec<(SimTime, FaultKind)>> = vec![Vec::new(); nlinks];
+        if let FaultMode::Plan(plan) = &cfg.fault {
+            for e in &plan.events {
+                let id = match e.link {
+                    FaultLink::Up(node) if node < nodes => node,
+                    FaultLink::Down(node) if node < nodes => nodes + node,
+                    FaultLink::Router { router, dim } if router < rpad && dim < dims => {
+                        2 * nodes + router * dims + dim
+                    }
+                    _ => continue,
+                };
+                faults[id].push((e.at, e.kind));
+            }
+            for sched in &mut faults {
+                // Stable: simultaneous events keep plan order, last wins.
+                sched.sort_by_key(|&(at, _)| at);
+            }
+        }
+        let any_faults = faults.iter().any(|s| !s.is_empty());
         NetSim {
             cfg: cfg.clone(),
             topo: topo.clone(),
             dims,
             nodes,
+            faults,
+            any_faults,
             state: Mutex::new(NetState {
                 links: vec![LinkState::default(); nlinks],
                 spans: Vec::new(),
                 spans_dropped: 0,
                 phases: Vec::new(),
+                detoured: 0,
             }),
             record_spans: AtomicBool::new(false),
         }
@@ -215,10 +292,104 @@ impl NetSim {
         out.push(n + dst_node); // router → node
     }
 
+    /// The fault state of `link` for a transfer departing at `t`: the last
+    /// scheduled event at or before `t`, `None` while still healthy. A pure
+    /// function of `(link, t)` — the determinism hinge of the fault model.
+    fn fault_at(&self, link: usize, t: SimTime) -> Option<FaultKind> {
+        self.faults[link]
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .last()
+            .map(|&(_, kind)| kind)
+    }
+
+    fn is_dead(&self, link: usize, t: SimTime) -> bool {
+        matches!(self.fault_at(link, t), Some(FaultKind::Kill))
+    }
+
+    /// Occupancy multiplier for `link` at `t` (1 when healthy or merely
+    /// scheduled for later).
+    fn degrade_factor(&self, link: usize, t: SimTime) -> u64 {
+        match self.fault_at(link, t) {
+            Some(FaultKind::Degrade { factor }) => u64::from(factor),
+            _ => 1,
+        }
+    }
+
+    /// The link's terminal fault state (last scheduled event regardless of
+    /// time) — what the stats and hotspot annotations report.
+    fn terminal_fault(&self, link: usize) -> Option<FaultKind> {
+        self.faults[link].last().map(|&(_, kind)| kind)
+    }
+
+    fn fault_tag(&self, link: usize) -> String {
+        match self.terminal_fault(link) {
+            Some(FaultKind::Kill) => " [dead]".to_string(),
+            Some(FaultKind::Degrade { factor }) => format!(" [deg{factor}]"),
+            None => String::new(),
+        }
+    }
+
+    /// Deterministic BFS over the router hypercube's surviving edges
+    /// (lowest dimension expanded first): the shortest router-edge sequence
+    /// from `rsrc` to `rdst` avoiding links dead at `depart`, or `None` if
+    /// the dead links sever the cut.
+    fn detour(&self, rsrc: usize, rdst: usize, depart: SimTime) -> Option<Vec<usize>> {
+        let rpad = 1usize << self.dims;
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; rpad];
+        let mut visited = vec![false; rpad];
+        let mut queue = VecDeque::new();
+        visited[rsrc] = true;
+        queue.push_back(rsrc);
+        while let Some(r) = queue.pop_front() {
+            if r == rdst {
+                break;
+            }
+            for d in 0..self.dims {
+                let link = 2 * self.nodes + r * self.dims + d;
+                let nr = r ^ (1 << d);
+                if visited[nr] || self.is_dead(link, depart) {
+                    continue;
+                }
+                visited[nr] = true;
+                prev[nr] = Some((r, link));
+                queue.push_back(nr);
+            }
+        }
+        if !visited[rdst] {
+            return None;
+        }
+        let mut links = Vec::new();
+        let mut r = rdst;
+        while r != rsrc {
+            let (pr, link) = prev[r].expect("visited router has a predecessor");
+            links.push(link);
+            r = pr;
+        }
+        links.reverse();
+        Some(links)
+    }
+
+    fn unreachable(&self, src_node: usize, dst_node: usize, at: SimTime) -> Unreachable {
+        let dead: Vec<String> = (0..self.faults.len())
+            .filter(|&l| self.is_dead(l, at))
+            .map(|l| self.link_name(l))
+            .collect();
+        Unreachable {
+            src_node,
+            dst_node,
+            at,
+            dead,
+        }
+    }
+
     /// Route `bytes` from `src_node` to `dst_node`, departing at `depart`
     /// on behalf of `pe`. Updates every traversed link's occupancy and
     /// returns the queueing delay the transfer accrued. Node-local traffic
     /// never enters the fabric and returns a zero [`Route`].
+    ///
+    /// Panics with the [`Unreachable`] diagnostic if a dead link severs
+    /// every path; use [`NetSim::try_route`] to handle that case.
     pub fn route(
         &self,
         pe: u32,
@@ -227,23 +398,66 @@ impl NetSim {
         bytes: usize,
         depart: SimTime,
     ) -> Route {
+        self.try_route(pe, src_node, dst_node, bytes, depart)
+            .unwrap_or_else(|u| panic!("{u}"))
+    }
+
+    /// Fallible [`NetSim::route`]: returns [`Unreachable`] when the fault
+    /// plan leaves no path from `src_node` to `dst_node` at `depart`.
+    pub fn try_route(
+        &self,
+        pe: u32,
+        src_node: usize,
+        dst_node: usize,
+        bytes: usize,
+        depart: SimTime,
+    ) -> Result<Route, Unreachable> {
         if src_node == dst_node {
-            return Route::default();
+            return Ok(Route::default());
         }
         let mut path = Vec::with_capacity(2 + self.dims);
         self.path(src_node, dst_node, &mut path);
+        let mut detoured = false;
+        if self.any_faults && path.iter().any(|&l| self.is_dead(l, depart)) {
+            // A node's bristle ports are its only attachment: dead ⇒ no
+            // detour can exist. Dead router edges may be routable around.
+            if self.is_dead(src_node, depart) || self.is_dead(self.nodes + dst_node, depart) {
+                return Err(self.unreachable(src_node, dst_node, depart));
+            }
+            let rsrc = self.topo.router_of(src_node);
+            let rdst = self.topo.router_of(dst_node);
+            let Some(mid) = self.detour(rsrc, rdst, depart) else {
+                return Err(self.unreachable(src_node, dst_node, depart));
+            };
+            path.clear();
+            path.push(src_node);
+            path.extend(mid);
+            path.push(self.nodes + dst_node);
+            detoured = true;
+        }
         let occ = self.cfg.transfer_ns(bytes).max(1);
         let record = self.record_spans.load(Ordering::Relaxed);
         let mut st = self.lock();
+        if detoured {
+            st.detoured += 1;
+        }
         let mut t = depart;
         let mut delay: SimTime = 0;
         for &l in &path {
+            // Degraded service rate multiplies the hold time; gated on
+            // `any_faults` so healthy runs stay bitwise-identical to the
+            // pre-fault model.
+            let occ_l = if self.any_faults {
+                occ.saturating_mul(self.degrade_factor(l, depart))
+            } else {
+                occ
+            };
             let ls = &mut st.links[l];
             let wait = ls.busy_until.saturating_sub(t);
             let start = t + wait;
-            ls.busy_until = start + occ;
+            ls.busy_until = start + occ_l;
             ls.bytes += bytes as u64;
-            ls.busy_ns += occ;
+            ls.busy_ns += occ_l;
             ls.queued_ns += wait;
             ls.transfers += 1;
             delay += wait;
@@ -252,7 +466,7 @@ impl NetSim {
                     st.spans.push(LinkSpan {
                         link: l as u32,
                         t0: start,
-                        t1: start + occ,
+                        t1: start + occ_l,
                         bytes: bytes.min(u32::MAX as usize) as u32,
                         pe,
                     });
@@ -262,10 +476,10 @@ impl NetSim {
             }
             t = start + self.cfg.lat_hop;
         }
-        Route {
+        Ok(Route {
             delay,
             links: path.len() as u32,
-        }
+        })
     }
 
     /// Aggregate statistics so far.
@@ -286,6 +500,14 @@ impl NetSim {
         }
         // `transfers` counted once per link; normalise to per-transfer by
         // dividing out? No — keep link-crossings: it is the fabric's view.
+        s.detoured_transfers = st.detoured;
+        for link in 0..st.links.len() {
+            match self.terminal_fault(link) {
+                Some(FaultKind::Kill) => s.dead_links += 1,
+                Some(FaultKind::Degrade { .. }) => s.degraded_links += 1,
+                None => {}
+            }
+        }
         s
     }
 
@@ -316,7 +538,7 @@ impl NetSim {
                 }
                 Some(LinkHot {
                     link: id,
-                    name: self.link_name(id),
+                    name: format!("{}{}", self.link_name(id), self.fault_tag(id)),
                     queued_ns: l.queued_ns - q0,
                     busy_ns: l.busy_ns,
                     bytes: l.bytes - b0,
@@ -426,6 +648,28 @@ impl NetSim {
     /// Spans dropped after [`MAX_SPANS`] (0 in any reasonable run).
     pub fn spans_dropped(&self) -> u64 {
         self.lock().spans_dropped
+    }
+
+    /// Fault intervals as trace spans for the Perfetto interconnect track:
+    /// each scheduled event becomes a span from its onset to the next event
+    /// on the same link (or `end`, the run's horizon). Empty when healthy.
+    pub fn fault_spans(&self, end: SimTime) -> Vec<FaultSpan> {
+        let mut out = Vec::new();
+        for (link, sched) in self.faults.iter().enumerate() {
+            for (i, &(at, kind)) in sched.iter().enumerate() {
+                let t1 = sched.get(i + 1).map_or(end, |&(next, _)| next).min(end);
+                if at >= t1 {
+                    continue;
+                }
+                out.push(FaultSpan {
+                    link: link as u32,
+                    t0: at,
+                    t1,
+                    label: format!("fault:{kind}"),
+                });
+            }
+        }
+        out
     }
 }
 
@@ -611,5 +855,163 @@ mod tests {
         assert!(rep.contains("top-5 links"));
         assert!(rep.contains("phase \"p0\""));
         assert!(rep.contains("queued ns"));
+    }
+
+    fn sim_fault(pes: usize, spec: &str) -> NetSim {
+        let topo = Topology::new(pes, 2);
+        let mut cfg = MachineConfig::origin2000();
+        cfg.fault = FaultMode::parse(spec).expect("valid fault spec");
+        NetSim::new(&topo, &cfg)
+    }
+
+    #[test]
+    fn degraded_link_slows_service() {
+        // Two back-to-back transfers over node 3's inbound port: the second
+        // waits out the first's occupancy. Under deg4 that occupancy (and so
+        // the wait) is 4× the healthy one.
+        let occ = MachineConfig::origin2000().transfer_ns(4096);
+        let healthy = sim(8);
+        healthy.route(0, 0, 3, 4096, 0);
+        let base = healthy.route(1, 1, 3, 4096, 0).delay;
+        let net = sim_fault(8, "plan:down3:deg4");
+        net.route(0, 0, 3, 4096, 0);
+        let slow = net.route(1, 1, 3, 4096, 0).delay;
+        assert!(base >= occ);
+        assert!(
+            slow >= base + 3 * occ,
+            "deg4 wait {slow} not ≳ 4× healthy wait {base} (occ {occ})"
+        );
+        let stats = net.stats();
+        assert_eq!(stats.degraded_links, 1);
+        assert_eq!(stats.dead_links, 0);
+    }
+
+    #[test]
+    fn fault_onset_time_is_respected() {
+        // A degrade scheduled in the far future must not touch earlier
+        // traffic: stats match a healthy fabric bitwise.
+        let healthy = sim(16);
+        let net = sim_fault(16, "plan:down0:deg8@1000000000");
+        for s in 1..8 {
+            healthy.route(s as u32, s, 0, 1024, 0);
+            net.route(s as u32, s, 0, 1024, 0);
+        }
+        let (mut a, mut b) = (healthy.stats(), net.stats());
+        // Only the schedule bookkeeping may differ.
+        b.degraded_links = 0;
+        a.degraded_links = 0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn killed_router_edge_is_detoured() {
+        // 16 PEs → 8 nodes, 4 routers (dims=2). node0 (rtr0) → node4 (rtr2)
+        // e-cube path uses rtr0's dim-1 edge = r0d1. Kill it: the detour
+        // goes rtr0→rtr1→rtr3→rtr2, one extra router hop.
+        let net = sim_fault(16, "plan:r0d1:kill");
+        let r = net.route(0, 0, 4, 1024, 0);
+        assert_eq!(r.links, 5, "up + 3 router edges + down");
+        let stats = net.stats();
+        assert_eq!(stats.detoured_transfers, 1);
+        assert_eq!(stats.dead_links, 1);
+        // An unaffected pair (rtr1→rtr3, a pure dim-1 hop) still takes its
+        // e-cube path.
+        let topo = Topology::new(16, 2);
+        let r2 = net.route(1, 2, 6, 1024, 0);
+        assert_eq!(r2.links, topo.hops(2, 6) + 1);
+        assert_eq!(net.stats().detoured_transfers, 1);
+    }
+
+    #[test]
+    fn killed_bristle_port_partitions() {
+        // A node's inbound port is its only attachment — no detour exists.
+        let net = sim_fault(16, "plan:down0:kill");
+        let err = net.try_route(2, 1, 0, 1024, 0).unwrap_err();
+        assert_eq!((err.src_node, err.dst_node), (1, 0));
+        let msg = err.to_string();
+        assert!(msg.contains("network partition"), "{msg}");
+        assert!(msg.contains("rtr0→node0"), "{msg}");
+        // Other destinations remain reachable.
+        assert!(net.try_route(2, 1, 3, 1024, 0).is_ok());
+    }
+
+    #[test]
+    fn router_cut_with_no_detour_partitions() {
+        // 8 PEs → 4 nodes, 2 routers, dims=1: the single r0d0 edge IS the
+        // cut; killing it severs rtr0 from rtr1 with nothing to detour over.
+        let net = sim_fault(8, "plan:r0d0:kill");
+        let err = net.try_route(0, 0, 2, 1024, 0).unwrap_err();
+        assert!(err.to_string().contains("rtr0→rtr1"), "{err}");
+        // Same-router traffic is untouched.
+        assert!(net.try_route(0, 0, 1, 1024, 0).is_ok());
+    }
+
+    #[test]
+    fn route_panics_with_partition_diagnostic() {
+        let net = sim_fault(8, "plan:up0:kill");
+        let msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.route(0, 0, 3, 64, 0);
+        }))
+        .unwrap_err();
+        let msg = msg
+            .downcast_ref::<String>()
+            .expect("panic payload is the Unreachable display");
+        assert!(msg.contains("network partition"), "{msg}");
+        assert!(msg.contains("node0→rtr0"), "{msg}");
+    }
+
+    #[test]
+    fn hotspot_report_annotates_faulted_links() {
+        let net = sim_fault(8, "plan:down3:deg4;r0d0:kill@1000000000");
+        net.route(0, 0, 3, 4096, 0);
+        net.route(1, 1, 3, 4096, 0);
+        let rep = net.hotspot_report(8);
+        assert!(rep.contains("[deg4]"), "{rep}");
+        // The killed edge carried traffic before its onset, so it appears
+        // annotated too.
+        assert!(rep.contains("[dead]"), "{rep}");
+    }
+
+    #[test]
+    fn fault_spans_cover_schedule_intervals() {
+        let net = sim_fault(8, "plan:down3:deg4@100;down3:kill@500");
+        let spans = net.fault_spans(1_000);
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].t0, spans[0].t1), (100, 500));
+        assert_eq!(spans[0].label, "fault:deg4");
+        assert_eq!((spans[1].t0, spans[1].t1), (500, 1_000));
+        assert_eq!(spans[1].label, "fault:kill");
+        // A horizon before the onset yields nothing for that event.
+        assert_eq!(net.fault_spans(100).len(), 0);
+        assert!(sim(8).fault_spans(1_000).is_empty());
+    }
+
+    #[test]
+    fn faulted_routing_is_deterministic() {
+        let run = || {
+            let net = sim_fault(32, "plan:r0d1:kill;down2:deg8@5000");
+            let mut total = 0u64;
+            for i in 0..200u32 {
+                let src = (i as usize * 7) % 16;
+                let dst = (i as usize * 3 + 1) % 16;
+                if let Ok(r) =
+                    net.try_route(i, src, dst, 64 + (i as usize % 5) * 512, u64::from(i) * 40)
+                {
+                    total += r.delay;
+                }
+            }
+            (net.stats(), total)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn out_of_range_fault_links_are_skipped() {
+        // 8 PEs → 4 nodes, 2 routers: down9 and r5d0 don't exist here.
+        let net = sim_fault(8, "plan:down9:kill;r5d0:kill;up0:deg2");
+        let stats_before = net.stats();
+        assert_eq!(stats_before.dead_links, 0);
+        assert_eq!(stats_before.degraded_links, 1);
+        assert!(net.try_route(0, 0, 3, 64, 0).is_ok());
     }
 }

@@ -88,18 +88,50 @@ impl Ctx {
 
     /// As [`Ctx::net_delay_to_pe`], but to an explicit node (cache-line
     /// homes, tree roots).
+    ///
+    /// If a fault plan has partitioned the machine (the transfer's every
+    /// route crosses a dead link), the PE cannot make progress: under a
+    /// cooperative policy it parks as [`BlockReason::DeadLink`] so the
+    /// scheduler's deadlock detector reports a *network partition*; under
+    /// the free-running OS policy it panics with the same diagnostic.
+    ///
+    /// [`BlockReason::DeadLink`]: o2k_sched::BlockReason::DeadLink
     pub fn net_delay_to_node(&mut self, dst_node: usize, bytes: usize) -> SimTime {
         let Some(net) = self.shared.net.as_ref().map(Arc::clone) else {
             return 0;
         };
         let src_node = self.machine.topology.node_of(self.pe);
-        let r = net.route(self.pe as u32, src_node, dst_node, bytes, self.clock.now());
+        let r = match net.try_route(self.pe as u32, src_node, dst_node, bytes, self.clock.now()) {
+            Ok(r) => r,
+            Err(u) => match self.shared.coop.as_ref() {
+                Some(cs) => {
+                    // Nothing will ever unblock a partitioned PE; the
+                    // scheduler classifies the resulting global stall.
+                    cs.block(self.pe, self.clock.now(), o2k_sched::BlockReason::DeadLink);
+                    unreachable!("woken while parked on a dead link: {u}");
+                }
+                None => panic!("{u}"),
+            },
+        };
         if r.links > 0 {
             self.counters.net_transfers += 1;
             self.counters.net_links += u64::from(r.links);
             self.counters.net_queued_ns += r.delay;
         }
         r.delay
+    }
+
+    /// Mark the start of a named network phase for per-phase hotspot
+    /// attribution (see `NetSim::begin_phase`). Only PE 0's marker counts
+    /// so a team-wide call sites the boundary exactly once; a no-op under
+    /// [`machine::ContentionMode::Off`]. Applications call this at their
+    /// algorithmic phase boundaries (adapt / remap / solve).
+    pub fn net_phase(&self, name: &str) {
+        if self.pe == 0 {
+            if let Some(net) = self.shared.net.as_ref() {
+                net.begin_phase(name);
+            }
+        }
     }
 
     /// Cooperative yield point: refresh this PE's virtual clock with the

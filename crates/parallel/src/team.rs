@@ -84,6 +84,13 @@ impl<R> TeamRun<R> {
             let (names, spans) = net.spans();
             t.link_names = names;
             t.link_spans = spans;
+            let faults = net.fault_spans(self.sim_time());
+            if !faults.is_empty() && t.link_names.is_empty() {
+                // Spans may be off while a fault plan is active; fault
+                // tracks still need link names to render.
+                t.link_names = (0..net.links()).map(|id| net.link_name(id)).collect();
+            }
+            t.link_faults = faults;
         }
         t
     }

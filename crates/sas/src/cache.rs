@@ -55,6 +55,9 @@ pub struct CacheSim {
     // `machine::Counters`).
     hits: u64,
     misses: u64,
+    /// Whether the most recent probe was a hit — the only state
+    /// [`CacheSim::reclassify_stale`] is allowed to undo.
+    last_probe_hit: bool,
 }
 
 impl CacheSim {
@@ -77,6 +80,7 @@ impl CacheSim {
             tick: 0,
             hits: 0,
             misses: 0,
+            last_probe_hit: false,
         }
     }
 
@@ -112,6 +116,7 @@ impl CacheSim {
             if e.valid && e.tag == tag {
                 e.used = tick;
                 self.hits += 1;
+                self.last_probe_hit = true;
                 return Probe::Hit {
                     version: e.version,
                     dirty: e.dirty,
@@ -119,6 +124,7 @@ impl CacheSim {
             }
         }
         self.misses += 1;
+        self.last_probe_hit = false;
         Probe::Miss
     }
 
@@ -167,8 +173,20 @@ impl CacheSim {
 
     /// Reclassify the most recent probe from hit to miss: the runtime found
     /// the copy stale against the directory (an invalidation miss).
+    ///
+    /// Only legal directly after a [`Probe::Hit`] — undoing anything else
+    /// would corrupt the hit/miss split (and, before this invariant was
+    /// enforced, could silently clamp `hits` at 0 via `saturating_sub`).
     pub fn reclassify_stale(&mut self) {
-        self.hits = self.hits.saturating_sub(1);
+        assert!(
+            self.last_probe_hit,
+            "reclassify_stale: most recent probe was not a hit"
+        );
+        self.last_probe_hit = false;
+        self.hits = self
+            .hits
+            .checked_sub(1)
+            .expect("reclassify_stale: hit counter underflow");
         self.misses += 1;
     }
 
@@ -273,6 +291,37 @@ mod tests {
             }
         );
         assert_eq!(c.probe(b), Probe::Miss);
+    }
+
+    #[test]
+    fn reclassify_moves_one_hit_to_miss() {
+        let mut c = tiny();
+        let t = line_tag(0, 5);
+        c.probe(t); // miss
+        c.insert(t, 1, false);
+        c.probe(t); // hit — but the runtime finds the copy stale
+        c.purge(t);
+        c.reclassify_stale();
+        assert_eq!(c.stats(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reclassify_stale")]
+    fn reclassify_without_a_hit_is_rejected() {
+        let mut c = tiny();
+        c.probe(line_tag(0, 5)); // miss — nothing to reclassify
+        c.reclassify_stale();
+    }
+
+    #[test]
+    #[should_panic(expected = "reclassify_stale")]
+    fn reclassify_twice_is_rejected() {
+        let mut c = tiny();
+        let t = line_tag(0, 5);
+        c.insert(t, 1, false);
+        c.probe(t); // hit
+        c.reclassify_stale();
+        c.reclassify_stale(); // the hit was already consumed
     }
 
     #[test]

@@ -172,6 +172,11 @@ pub enum BlockReason {
     Lock,
     /// Waiting for a matching message to arrive in the mailbox.
     Mailbox,
+    /// The PE's transfer hit a dead interconnect link with no detour (a
+    /// network partition under fault injection). Never unblocked: the PE
+    /// parks here so the deadlock detector can report *partition*, not a
+    /// logic bug.
+    DeadLink,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -378,6 +383,22 @@ impl CoopSched {
                     inner.poisoned = true;
                     for cv in &self.cvs {
                         cv.notify_all();
+                    }
+                    // A PE parked on a dead interconnect link means the
+                    // fault plan partitioned the machine — that is the
+                    // injected fault working as specified, not mismatched
+                    // barriers or a lock cycle. Say so.
+                    let partitioned = inner
+                        .status
+                        .contains(&Status::Blocked(BlockReason::DeadLink));
+                    if partitioned {
+                        panic!(
+                            "network partition: PE(s) blocked on a dead interconnect link, \
+                             not a logic deadlock ({} of {} done)\n  {}",
+                            inner.done,
+                            self.npes,
+                            diag.join("\n  ")
+                        );
                     }
                     panic!(
                         "cooperative scheduler deadlock: no runnable PE ({} of {} done)\n  {}",
@@ -708,6 +729,48 @@ mod tests {
             result.0.is_err() && result.1.is_err(),
             "both PEs must unwind"
         );
+    }
+
+    #[test]
+    fn dead_link_blocks_classify_as_partition() {
+        let sched = Arc::new(CoopSched::new(2, SchedPolicy::Det, vec![2]));
+        let (r0, r1) = std::thread::scope(|scope| {
+            let h0 = {
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || {
+                    sched.register(0);
+                    // As Ctx does when try_route returns Unreachable.
+                    sched.block(0, 0, BlockReason::DeadLink);
+                })
+            };
+            let h1 = {
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || {
+                    sched.register(1);
+                    sched.block(1, 0, BlockReason::Mailbox);
+                })
+            };
+            (h0.join(), h1.join())
+        });
+        let msgs: Vec<String> = [r0, r1]
+            .into_iter()
+            .map(|r| {
+                let p = r.expect_err("both PEs unwind");
+                p.downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default()
+            })
+            .collect();
+        // Exactly one PE raises the classifying panic; the other gets the
+        // poison message. The classifier must say partition, not deadlock.
+        let diag = msgs
+            .iter()
+            .find(|m| *m != POISON_MSG)
+            .expect("one PE carries the diagnostic");
+        assert!(diag.contains("network partition"), "{diag}");
+        assert!(!diag.contains("cooperative scheduler deadlock"), "{diag}");
+        assert!(diag.contains("DeadLink"), "{diag}");
     }
 
     #[test]

@@ -74,10 +74,16 @@ pub fn to_chrome_json(trace: &Trace) -> String {
         }
     }
     // Interconnect link occupancy (o2k-net, ContentionMode::Queued) renders
-    // as a second process: one track per link that carried traffic.
-    if !trace.link_spans.is_empty() {
+    // as a second process: one track per link that carried traffic or had a
+    // fault scheduled.
+    if !trace.link_spans.is_empty() || !trace.link_faults.is_empty() {
         let mut used: Vec<bool> = vec![false; trace.link_names.len()];
         for s in &trace.link_spans {
+            if let Some(u) = used.get_mut(s.link as usize) {
+                *u = true;
+            }
+        }
+        for s in &trace.link_faults {
             if let Some(u) = used.get_mut(s.link as usize) {
                 *u = true;
             }
@@ -107,6 +113,22 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                 s.link,
                 s.bytes,
                 s.pe,
+            ));
+        }
+        // Fault intervals overlay the same tracks so a dead or degraded
+        // window is visible right where the transfers queue.
+        for s in &trace.link_faults {
+            let dur = s.t1 - s.t0;
+            out.push_str(&format!(
+                ",\n{{\"name\":\"{}\",\"cat\":\"fault\",\"ph\":\"X\",\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{},\
+                 \"args\":{{}}}}",
+                s.label,
+                s.t0 / 1000,
+                s.t0 % 1000,
+                dur / 1000,
+                dur % 1000,
+                s.link,
             ));
         }
     }
@@ -340,6 +362,29 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // PE tracks are untouched by link data.
         assert!(json.contains("\"name\":\"PE 0\""));
+    }
+
+    #[test]
+    fn fault_spans_export_on_link_tracks() {
+        use crate::FaultSpan;
+        let mut t = sample();
+        t.link_names = vec!["node0→rtr0".into(), "rtr0→rtr1".into()];
+        // No transfer spans at all: the fault alone must open the
+        // interconnect process and its track.
+        t.link_faults = vec![FaultSpan {
+            link: 1,
+            t0: 500,
+            t1: 2500,
+            label: "fault:kill".into(),
+        }];
+        let json = to_chrome_json(&t);
+        assert!(json.contains("\"name\":\"interconnect\""), "{json}");
+        assert!(json.contains("\"name\":\"fault:kill\""), "{json}");
+        assert!(json.contains("\"cat\":\"fault\""));
+        assert!(json.contains("rtr0→rtr1"));
+        assert!(!json.contains("node0→rtr0"), "unfaulted idle link hidden");
+        assert!(json.contains("\"ts\":0.500,\"dur\":2.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

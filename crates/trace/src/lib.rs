@@ -285,6 +285,22 @@ pub struct LinkSpan {
     pub pe: u32,
 }
 
+/// A fault interval on a directed interconnect link, produced by the
+/// `o2k-net` fault model: the span during which a scheduled
+/// `machine::FaultKind` was in force (e.g. `"fault:kill"`,
+/// `"fault:deg8"`). Rendered on the same link tracks as [`LinkSpan`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpan {
+    /// Link id (index into [`Trace::link_names`]).
+    pub link: u32,
+    /// Fault onset (virtual ns).
+    pub t0: SimTime,
+    /// End of the interval (next fault event or the run horizon).
+    pub t1: SimTime,
+    /// Slice label, `"fault:<kind>"`.
+    pub label: String,
+}
+
 /// A complete team trace: one clock-ordered event list per PE.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
@@ -295,6 +311,8 @@ pub struct Trace {
     pub link_names: Vec<String>,
     /// Link occupancy intervals in routing order (not sorted per link).
     pub link_spans: Vec<LinkSpan>,
+    /// Link fault intervals (empty unless a fault plan was active).
+    pub link_faults: Vec<FaultSpan>,
 }
 
 impl Trace {
@@ -304,6 +322,7 @@ impl Trace {
             per_pe,
             link_names: Vec::new(),
             link_spans: Vec::new(),
+            link_faults: Vec::new(),
         }
     }
 
