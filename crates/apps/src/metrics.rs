@@ -78,7 +78,8 @@ pub struct RunMetrics {
     /// fingerprint identifies the interleaving that produced this result).
     pub sched: Option<parallel::SchedStats>,
     /// Interconnect contention statistics when the machine ran with
-    /// [`machine::ContentionMode::Queued`].
+    /// [`machine::ContentionMode::Queued`] or
+    /// [`machine::ContentionMode::Fabric`].
     pub net: Option<parallel::NetStats>,
     /// Rendered top-link hotspot report — whole-run table plus per-phase
     /// tables (when the app marked phases) with fault annotations — when
@@ -116,6 +117,21 @@ impl RunMetrics {
     /// at P = 1).
     pub fn speedup_vs(&self, baseline: &RunMetrics) -> f64 {
         baseline.sim_time as f64 / self.sim_time.max(1) as f64
+    }
+
+    /// Queueing delay broken down by resource kind — where the contended
+    /// time accrued ("link 12 / bus 3 / hub 1 µs"). `None` when the
+    /// contention model was off; the bus and hub components are zero
+    /// outside [`machine::ContentionMode::Fabric`], which is the only mode
+    /// that models node buses and router hub ports.
+    pub fn net_kind_summary(&self) -> Option<String> {
+        let s = self.net.as_ref()?;
+        Some(format!(
+            "link {} / bus {} / hub {} µs",
+            s.queued_ns / 1000,
+            s.bus.queued_ns / 1000,
+            s.hub.queued_ns / 1000
+        ))
     }
 }
 

@@ -22,9 +22,9 @@
 //! `--fault <spec>` (or `O2K_FAULT=<spec>`) injects link faults into every
 //! machine the experiments build: `off` or
 //! `plan:<link>:<action>[@<ns>][;…]` with links `up<N>` / `down<N>` /
-//! `r<R>d<D>` and actions `kill` / `deg<F>` (see DESIGN.md §4c). Faults
-//! only bite when the contention model is on; N2 carries its own plans and
-//! ignores this default.
+//! `r<R>d<D>` and actions `kill` / `deg<F>` / `heal` (see DESIGN.md §4c).
+//! Faults only bite when the contention model is on; N2 carries its own
+//! plans and ignores this default.
 
 use std::fs;
 use std::time::Instant;
@@ -70,7 +70,7 @@ fn main() {
                 _ => {
                     eprintln!(
                         "--fault requires a spec: off or plan:<link>:<action>[@<ns>][;...] \
-                         (links up<N>/down<N>/r<R>d<D>, actions kill/deg<F>)"
+                         (links up<N>/down<N>/r<R>d<D>, actions kill/deg<F>/heal)"
                     );
                     std::process::exit(2);
                 }

@@ -18,9 +18,9 @@ use partition::{
 use sas::PagePolicy;
 
 /// All experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 22] = [
+pub const EXPERIMENT_IDS: [&str; 23] = [
     "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "a1", "a2", "a3",
-    "a4", "a5", "a6", "s1", "n1", "n2",
+    "a4", "a5", "a6", "s1", "n1", "n2", "n3",
 ];
 
 /// Processor sweep used by the figure experiments.
@@ -77,6 +77,18 @@ fn machine_queued(p: usize) -> Arc<Machine> {
     ))
 }
 
+/// Same machine, but with the full contended-resource fabric: links plus
+/// per-node SysAD buses and per-router hub arbitration ports.
+fn machine_fabric(p: usize) -> Arc<Machine> {
+    Arc::new(Machine::new(
+        p,
+        MachineConfig {
+            contention: machine::ContentionMode::Fabric,
+            ..MachineConfig::origin2000()
+        },
+    ))
+}
+
 /// Run one experiment by id; `quick` shrinks problem sizes and sweeps.
 ///
 /// # Panics
@@ -105,6 +117,7 @@ pub fn run_experiment(id: &str, quick: bool) -> String {
         "s1" => s1_scheduler_policies(quick),
         "n1" => n1_contention(quick),
         "n2" => n2_fault(quick),
+        "n3" => n3_bus_saturation(quick),
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -843,11 +856,40 @@ fn a5_hybrid(quick: bool) -> String {
             rows.push(row);
         }
     }
+    // Re-run the same four cells on the contended-resource fabric: every
+    // transfer now also arbitrates for its node buses and hub ports, which
+    // penalises the fine-grained models' many small transfers more than the
+    // hybrid's batched leader messages.
+    let mut frows = Vec::new();
+    for app in [App::NBody, App::Amr] {
+        for (label, cfg) in [
+            ("Origin2000", MachineConfig::origin2000()),
+            ("cluster of SMPs", MachineConfig::cluster_of_smps()),
+        ] {
+            let m = Arc::new(Machine::new(
+                p,
+                MachineConfig {
+                    contention: machine::ContentionMode::Fabric,
+                    ..cfg
+                },
+            ));
+            let mut row = vec![format!("{} / {}", app.name(), label)];
+            for model in Model::WITH_HYBRID {
+                let r = apps::run_app(Arc::clone(&m), app, model, &nb, &am);
+                row.push(ms(r.sim_time));
+            }
+            frows.push(row);
+        }
+    }
     format!(
-        "A5 (extension): hybrid MPI+SAS vs the pure models at P={p}\n\n{}\nThe hybrid keeps all data in per-node (page-aligned) shared segments and\nbatches every cross-node byte into leader messages — zero cross-node\ncoherence by construction. It is the fastest model in three of the four\ncells: both applications on the Origin2000, and AMR on the cluster, where\nthe pure fine-grained models are 2-4x slower. Only cluster N-body goes to\npure MPI, whose per-PE essential-tree exchange avoids the hybrid's\nnode-leader serialisation — the intra-node Amdahl effect the follow-up\npapers also observed.\n",
+        "A5 (extension): hybrid MPI+SAS vs the pure models at P={p}\n\n{}\nThe hybrid keeps all data in per-node (page-aligned) shared segments and\nbatches every cross-node byte into leader messages — zero cross-node\ncoherence by construction. It is the fastest model in three of the four\ncells: both applications on the Origin2000, and AMR on the cluster, where\nthe pure fine-grained models are 2-4x slower. Only cluster N-body goes to\npure MPI, whose per-PE essential-tree exchange avoids the hybrid's\nnode-leader serialisation — the intra-node Amdahl effect the follow-up\npapers also observed.\n\nSame cells on the contended-resource fabric (links + node buses + hub\nports, ContentionMode::Fabric):\n\n{}\nBus and hub arbitration taxes per-transfer models hardest; the ranking\nabove is unchanged, but the fine-grained columns move more than the\nhybrid's, widening its margin.\n",
         render(
             &cells(&["workload / machine", "MPI ms", "SHMEM ms", "CC-SAS ms", "MPI+SAS ms"]),
             &rows
+        ),
+        render(
+            &cells(&["workload / machine", "MPI ms", "SHMEM ms", "CC-SAS ms", "MPI+SAS ms"]),
+            &frows
         )
     )
 }
@@ -979,6 +1021,7 @@ fn n1_contention(quick: bool) -> String {
         match mode {
             ContentionMode::Off => machine(p),
             ContentionMode::Queued => machine_queued(p),
+            ContentionMode::Fabric => machine_fabric(p),
         }
     };
 
@@ -1126,6 +1169,48 @@ fn n1_contention(quick: bool) -> String {
         net.hotspot_report(5),
         hist,
     ));
+
+    // (d) The same applications on the full resource fabric (links + node
+    // buses + hub ports): how much the link-only queueing model still
+    // understates, and where the extra delay accrues by resource kind.
+    let mut rows = Vec::new();
+    for app in [App::NBody, App::Amr] {
+        for model in Model::ALL {
+            let q = apps::run_app(machine_queued(p), app, model, &nb, &am);
+            let f = apps::run_app(machine_fabric(p), app, model, &nb, &am);
+            assert_eq!(f.checksum, q.checksum, "fabric changed physics");
+            let s = f.net.as_ref().expect("fabric run reports NetStats");
+            assert!(
+                s.bus.transfers > 0,
+                "fabric runs must arbitrate for node buses"
+            );
+            rows.push(vec![
+                format!("{} / {}", app.name(), model.name()),
+                ms(q.sim_time),
+                ms(f.sim_time),
+                x2(f.sim_time as f64 / q.sim_time.max(1) as f64),
+                format!("{}", s.queued_ns / 1000),
+                format!("{}", s.bus.queued_ns / 1000),
+                format!("{}", s.hub.queued_ns / 1000),
+            ]);
+        }
+    }
+    out.push_str(&format!(
+        "\nApplications at P={p}, link-only queueing vs the full resource fabric\n\
+         (fabric adds per-node shared-bus and per-router hub arbitration):\n{}",
+        render(
+            &cells(&[
+                "workload",
+                "queued ms",
+                "fabric ms",
+                "fabric x",
+                "link q µs",
+                "bus q µs",
+                "hub q µs",
+            ]),
+            &rows
+        )
+    ));
     out
 }
 
@@ -1164,6 +1249,8 @@ fn n2_fault(quick: bool) -> String {
     let mut rows = Vec::new();
     let mut amr_retained = [0.0f64; 3];
     let mut degraded_report = String::new();
+    let mut amr_mp_times = (0u64, 0u64);
+    let mut amr_mp_checksum = 0.0f64;
     // Pin the deterministic schedule: a fault comparison under free OS
     // interleaving confounds the fault's cost with schedule noise.
     let det = Some(SchedPolicy::Det);
@@ -1198,6 +1285,8 @@ fn n2_fault(quick: bool) -> String {
                 amr_retained[mi] = healthy.sim_time as f64 / dead.sim_time.max(1) as f64;
                 if model == Model::Mp {
                     degraded_report = deg.net_report.clone().expect("queued run renders hotspots");
+                    amr_mp_times = (healthy.sim_time, deg.sim_time);
+                    amr_mp_checksum = healthy.checksum;
                 }
             }
         }
@@ -1235,6 +1324,166 @@ fn n2_fault(quick: bool) -> String {
     // annotated in place, per phase.
     out.push_str(&format!(
         "\nAMR / MPI link hotspots with the degraded bristle:\n{degraded_report}"
+    ));
+
+    // Heal: the degraded bristle is restored partway through the run
+    // (`plan:down0:deg8;down0:heal@<ns>`). Throughput must recover — the
+    // healed run lands strictly between the healthy and the permanently
+    // degraded run — and the physics never moves.
+    let (healthy_t, deg_t) = amr_mp_times;
+    let heal_at = deg_t / 4;
+    let healed_spec = format!("plan:down0:deg8;down0:heal@{heal_at}");
+    let healed = apps::run_app_sched(faulty(p, &healed_spec), App::Amr, Model::Mp, &nb, &am, det);
+    assert_eq!(healed.checksum, amr_mp_checksum, "heal changed physics");
+    let hs = healed.net.as_ref().expect("queued run reports NetStats");
+    assert_eq!(
+        hs.degraded_links, 0,
+        "a terminally healed link must not count as degraded"
+    );
+    assert!(
+        healed.sim_time < deg_t,
+        "healing the bristle mid-run must recover throughput \
+         (healed {} vs degraded {deg_t})",
+        healed.sim_time
+    );
+    assert!(
+        healed.sim_time >= healthy_t,
+        "a run degraded until t={heal_at} cannot beat the healthy run"
+    );
+    out.push_str(&format!(
+        "\nHeal ({healed_spec}): AMR / MPI with the slow bristle restored mid-run:\n  \
+         healthy {}, degraded {}, healed {} — throughput recovers once the\n  \
+         port returns to full service; the hotspot report marks the link [healed].\n",
+        ms(healthy_t),
+        ms(deg_t),
+        ms(healed.sim_time),
+    ));
+    out
+}
+
+fn n3_bus_saturation(quick: bool) -> String {
+    use machine::ContentionMode;
+    use parallel::SchedPolicy;
+
+    // Bus-saturation sweep: fix the PE count and fatten the nodes. More
+    // CPUs per node means more PEs arbitrating for each node's shared
+    // SysAD bus and each router's hub port — the cluster-of-SMPs failure
+    // mode the follow-up papers measured. Efficiency compares the analytic
+    // (off) and fabric runs *at the same topology*, so the column isolates
+    // pure resource contention from path-length effects.
+    let p = if quick { 8 } else { 16 };
+    let cpns: &[usize] = if quick { &[2, 4, 8] } else { &[2, 4, 8, 16] };
+    let (nb, am) = (nbody_cfg(quick), amr_cfg(quick));
+    // Pin the deterministic schedule so the sweep is bitwise reproducible.
+    let det = Some(SchedPolicy::Det);
+    let mach = |cpn: usize, mode: ContentionMode| -> Arc<Machine> {
+        Arc::new(Machine::new(
+            p,
+            MachineConfig {
+                cpus_per_node: cpn,
+                contention: mode,
+                ..MachineConfig::origin2000()
+            },
+        ))
+    };
+
+    let mut out = format!(
+        "N3: shared-bus saturation at fixed P={p}, fattening nodes from {} to {}\n\
+         CPUs each (ContentionMode::Fabric: every transfer arbitrates for its\n\
+         source and destination node buses and the router hub ports on its\n\
+         path; per-PE efficiency = analytic time / fabric time at the same\n\
+         topology, so 1.00 means contention-free)\n",
+        cpns[0],
+        cpns[cpns.len() - 1],
+    );
+    let mut sas_report = String::new();
+    for app in [App::Amr, App::NBody] {
+        let mut rows = Vec::new();
+        let mut eff = vec![[0.0f64; 3]; cpns.len()];
+        for (ci, &cpn) in cpns.iter().enumerate() {
+            let mut row = vec![cpn.to_string()];
+            let mut by_kind = String::new();
+            for (mi, &model) in Model::ALL.iter().enumerate() {
+                let off =
+                    apps::run_app_sched(mach(cpn, ContentionMode::Off), app, model, &nb, &am, det);
+                let fab = apps::run_app_sched(
+                    mach(cpn, ContentionMode::Fabric),
+                    app,
+                    model,
+                    &nb,
+                    &am,
+                    det,
+                );
+                assert_eq!(fab.checksum, off.checksum, "fabric changed physics");
+                let s = fab.net.as_ref().expect("fabric run reports NetStats");
+                assert!(s.bus.transfers > 0, "fabric runs must cross node buses");
+                eff[ci][mi] = off.sim_time as f64 / fab.sim_time.max(1) as f64;
+                row.push(format!("{:.3}", eff[ci][mi]));
+                if model == Model::Sas {
+                    by_kind = fab
+                        .net_kind_summary()
+                        .expect("fabric run reports kind breakdown");
+                    if app == App::Amr && ci == cpns.len() - 1 {
+                        sas_report = fab.net_report.clone().expect("fabric run renders hotspots");
+                    }
+                }
+            }
+            row.push(by_kind);
+            rows.push(row);
+        }
+        // The acceptance properties, on the adaptive headline workload:
+        // fattening nodes costs CC-SAS per-PE efficiency monotonically
+        // (every fill arbitrates for the shared bus), while bulk message
+        // passing degrades strictly less (its per-message software
+        // overhead is bus-free). The irregular N-body is displayed for
+        // contrast but not asserted — its widest-node case is single-node
+        // and all-local, which relieves the links as fast as the bus fills.
+        if app == App::Amr {
+            let sas: Vec<f64> = eff.iter().map(|e| e[2]).collect();
+            let mp: Vec<f64> = eff.iter().map(|e| e[0]).collect();
+            assert!(
+                sas.windows(2).all(|w| w[1] < w[0]),
+                "CC-SAS efficiency must fall monotonically with node width ({sas:?})"
+            );
+            assert!(
+                1.0 - mp[mp.len() - 1] < 1.0 - sas[sas.len() - 1],
+                "MP must degrade strictly less than CC-SAS at the widest node \
+                 (MP {:.3} vs CC-SAS {:.3})",
+                mp[mp.len() - 1],
+                sas[sas.len() - 1]
+            );
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{} per-PE efficiency vs node width:\n",
+            app.name()
+        ));
+        out.push_str(&render(
+            &cells(&[
+                "cpus/node",
+                "MPI eff",
+                "SHMEM eff",
+                "CC-SAS eff",
+                "CC-SAS queue by kind",
+            ]),
+            &rows,
+        ));
+    }
+
+    // Hotspot anatomy of the saturated case: the report groups contended
+    // resources by kind, and the top entries must include the shared buses
+    // or hub ports — the links are no longer where the time goes.
+    assert!(
+        sas_report.lines().any(|l| {
+            let t = l.trim_start();
+            t.starts_with("bus ") || t.starts_with("hub ")
+        }),
+        "top-k hotspots must attribute delay to a bus or hub resource:\n{sas_report}"
+    );
+    out.push_str(&format!(
+        "\nCC-SAS AMR resource hotspots at {} CPUs/node (kind column groups\n\
+         links, node buses and hub ports):\n{sas_report}",
+        cpns[cpns.len() - 1],
     ));
     out
 }
@@ -1281,6 +1530,19 @@ mod tests {
         let out = run_experiment("n1", true);
         assert!(out.contains("queued ms"), "missing sweep table:\n{out}");
         assert!(out.contains("hotspot anatomy"), "missing report:\n{out}");
+    }
+
+    #[test]
+    fn n3_bus_saturation_renders_and_saturates() {
+        // The experiment itself asserts CC-SAS per-PE efficiency falls
+        // monotonically with node width, that MP degrades strictly less,
+        // and that the top hotspots name a bus or hub resource.
+        let out = run_experiment("n3", true);
+        assert!(out.contains("per-PE efficiency"), "missing sweep:\n{out}");
+        assert!(
+            out.contains("bus") && out.contains("hub"),
+            "missing kind breakdown:\n{out}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::fault::{self, FaultMode};
 
-/// Whether transfers contend for interconnect links.
+/// Whether transfers contend for interconnect resources.
 ///
 /// Under [`ContentionMode::Off`] every operation is priced by the
 /// uncontended analytic formulas in [`crate::cost`] exactly as before the
@@ -10,6 +10,11 @@ use crate::fault::{self, FaultMode};
 /// [`ContentionMode::Queued`] the runtimes additionally route each
 /// transfer through `o2k-net`'s per-link busy-until queueing model and add
 /// the accrued queueing delay on top of the analytic cost.
+/// [`ContentionMode::Fabric`] extends the queued path of each transfer with
+/// the *non-wire* resources it crosses — the source node's shared bus, the
+/// source and destination routers' arbitration (hub) ports, and the
+/// destination node's bus/directory — so controller occupancy, not just
+/// link bandwidth, can become the bottleneck (Holt et al.).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ContentionMode {
     /// Uncontended analytic costs only (the historical behaviour).
@@ -17,14 +22,19 @@ pub enum ContentionMode {
     Off,
     /// Hop-by-hop link queueing on top of the analytic costs.
     Queued,
+    /// Full resource-fabric queueing: node buses and hub ports contend in
+    /// addition to links.
+    Fabric,
 }
 
 impl ContentionMode {
-    /// Parse `"off"` / `"queued"` (as accepted by `repro --contention`).
+    /// Parse `"off"` / `"queued"` / `"fabric"` (as accepted by
+    /// `repro --contention`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "off" => Some(ContentionMode::Off),
             "queued" => Some(ContentionMode::Queued),
+            "fabric" => Some(ContentionMode::Fabric),
             _ => None,
         }
     }
@@ -34,6 +44,7 @@ impl ContentionMode {
         match self {
             ContentionMode::Off => "off",
             ContentionMode::Queued => "queued",
+            ContentionMode::Fabric => "fabric",
         }
     }
 }
@@ -78,6 +89,15 @@ pub struct MachineConfig {
     // --- interconnect ---
     /// Link bandwidth in bytes per nanosecond (0.78 ≈ 780 MB/s).
     pub bw_bytes_per_ns: f64,
+    /// Shared node-bus bandwidth in bytes per nanosecond. Every transfer a
+    /// node's PEs source or sink crosses this bus, so under
+    /// [`ContentionMode::Fabric`] fat nodes (many CPUs per node) saturate
+    /// it. Origin2000: the 780 MB/s SysAD bus is shared by both CPUs.
+    pub bus_bytes_per_ns: f64,
+    /// Hub / router-arbitration port occupancy per transfer (ns): how long
+    /// a transfer holds the router's arbitration logic regardless of size.
+    /// Only charged under [`ContentionMode::Fabric`].
+    pub hub_occ_ns: u64,
 
     // --- message passing (two-sided) software costs ---
     /// Sender-side software overhead per message (marshalling, matching).
@@ -104,9 +124,9 @@ pub struct MachineConfig {
     // --- interconnect contention ---
     /// Whether transfers queue on shared links (see [`ContentionMode`]).
     pub contention: ContentionMode,
-    /// Link fault schedule (see [`FaultMode`]). Only consulted under
-    /// [`ContentionMode::Queued`]: faults are per-link states, and links
-    /// only exist as resources in the queueing model.
+    /// Link fault schedule (see [`FaultMode`]). Only consulted when the
+    /// contention model is on (`queued` / `fabric`): faults are per-link
+    /// states, and links only exist as resources in the queueing model.
     pub fault: FaultMode,
 }
 
@@ -126,6 +146,8 @@ impl MachineConfig {
             lat_directory: 80,
             lat_invalidate: 60,
             bw_bytes_per_ns: 0.78,
+            bus_bytes_per_ns: 0.78,
+            hub_occ_ns: 50,
             mp_send_overhead: 4_000,
             mp_recv_overhead: 4_000,
             mp_net_base: 1_000,
@@ -154,6 +176,7 @@ impl MachineConfig {
             lat_directory: 5_000,
             lat_invalidate: 100,
             bw_bytes_per_ns: 0.1,
+            hub_occ_ns: 1_000,
             mp_send_overhead: 8_000,
             mp_recv_overhead: 8_000,
             mp_net_base: 10_000,
@@ -180,6 +203,8 @@ impl MachineConfig {
             lat_directory: 2,
             lat_invalidate: 3,
             bw_bytes_per_ns: 1.0,
+            bus_bytes_per_ns: 1.0,
+            hub_occ_ns: 2,
             mp_send_overhead: 100,
             mp_recv_overhead: 100,
             mp_net_base: 10,
@@ -203,6 +228,12 @@ impl MachineConfig {
     #[inline]
     pub fn transfer_ns(&self, bytes: usize) -> u64 {
         (bytes as f64 / self.bw_bytes_per_ns).ceil() as u64
+    }
+
+    /// Nanoseconds `bytes` occupy the shared node bus.
+    #[inline]
+    pub fn bus_transfer_ns(&self, bytes: usize) -> u64 {
+        (bytes as f64 / self.bus_bytes_per_ns).ceil() as u64
     }
 
     /// Convert CPU cycles to nanoseconds.
@@ -289,9 +320,26 @@ mod tests {
 
     #[test]
     fn contention_mode_round_trips() {
-        for m in [ContentionMode::Off, ContentionMode::Queued] {
+        for m in [
+            ContentionMode::Off,
+            ContentionMode::Queued,
+            ContentionMode::Fabric,
+        ] {
             assert_eq!(ContentionMode::parse(m.as_str()), Some(m));
         }
         assert_eq!(ContentionMode::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn bus_transfer_time_scales_with_bytes() {
+        let c = MachineConfig::test_tiny();
+        assert_eq!(c.bus_transfer_ns(100), 100);
+        assert_eq!(c.bus_transfer_ns(0), 0);
+        let o = MachineConfig::origin2000();
+        assert!(o.bus_transfer_ns(1024) > o.bus_transfer_ns(128));
+        assert!(o.hub_occ_ns > 0);
+        // The cluster preset's commodity switch arbitrates far slower than
+        // the Origin hub ASIC.
+        assert!(MachineConfig::cluster_of_smps().hub_occ_ns > o.hub_occ_ns);
     }
 }

@@ -43,6 +43,10 @@ pub enum FaultKind {
     /// The link stops serving entirely (infinitely busy). Routing must
     /// detour around it or report the destination unreachable.
     Kill,
+    /// The link recovers: full bandwidth, and routing resumes the plain
+    /// e-cube path through it (detours end deterministically at the
+    /// scheduled instant).
+    Heal,
 }
 
 impl fmt::Display for FaultKind {
@@ -50,6 +54,7 @@ impl fmt::Display for FaultKind {
         match self {
             FaultKind::Degrade { factor } => write!(f, "deg{factor}"),
             FaultKind::Kill => write!(f, "kill"),
+            FaultKind::Heal => write!(f, "heal"),
         }
     }
 }
@@ -92,10 +97,11 @@ impl FaultMode {
     /// * `plan:<link>:<action>[@<ns>][;<link>:<action>[@<ns>]…]` where a
     ///   link is `up<N>` / `down<N>` (node `N`'s bristle ports) or
     ///   `r<R>d<D>` (router `R`'s dimension-`D` edge), and an action is
-    ///   `kill` or `deg<F>` (service rate divided by `F ≥ 2`). The `@<ns>`
-    ///   suffix delays the fault to virtual time `ns` (default 0).
+    ///   `kill`, `deg<F>` (service rate divided by `F ≥ 2`) or `heal`
+    ///   (restore full service). The `@<ns>` suffix delays the event to
+    ///   virtual time `ns` (default 0).
     ///
-    /// Example: `plan:r0d0:kill;down0:deg8@50000`.
+    /// Example: `plan:r0d0:kill;down0:deg8@50000;r0d0:heal@200000`.
     pub fn parse(s: &str) -> Option<Self> {
         if s == "off" {
             return Some(FaultMode::Off);
@@ -136,6 +142,8 @@ fn parse_event(s: &str) -> Option<FaultEvent> {
     let link = parse_link(link)?;
     let kind = if action == "kill" {
         FaultKind::Kill
+    } else if action == "heal" {
+        FaultKind::Heal
     } else {
         let factor: u32 = action.strip_prefix("deg")?.parse().ok()?;
         if factor < 2 {
@@ -251,5 +259,36 @@ mod tests {
     #[test]
     fn default_is_off() {
         assert_eq!(FaultMode::default(), FaultMode::Off);
+    }
+
+    #[test]
+    fn heal_round_trips() {
+        let spec = "plan:down0:deg8;down0:heal@50000";
+        let m = FaultMode::parse(spec).expect("parses");
+        assert_eq!(m.to_string(), spec);
+        let FaultMode::Plan(plan) = &m else {
+            panic!("expected a plan")
+        };
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.events[1].kind, FaultKind::Heal);
+        assert_eq!(plan.events[1].at, 50_000);
+        assert_eq!(plan.events[1].link, FaultLink::Down(0));
+    }
+
+    #[test]
+    fn heal_of_router_edge_parses() {
+        let m = FaultMode::parse("plan:r1d2:kill;r1d2:heal@9").expect("parses");
+        let FaultMode::Plan(plan) = &m else {
+            panic!("expected a plan")
+        };
+        assert_eq!(plan.events[1].kind, FaultKind::Heal);
+        assert_eq!(plan.events[1].link, FaultLink::Router { router: 1, dim: 2 });
+    }
+
+    #[test]
+    fn rejects_malformed_heal() {
+        // `heal8` is not an action, and a bare `heal` still needs a link.
+        assert_eq!(FaultMode::parse("plan:down0:heal8"), None);
+        assert_eq!(FaultMode::parse("plan:heal@50"), None);
     }
 }

@@ -48,13 +48,19 @@ pub struct Counters {
     /// (0 under the free-running OS policy).
     pub sched_handoffs: u64,
 
-    // --- interconnect contention (nonzero only under ContentionMode::Queued) ---
+    // --- interconnect contention (nonzero only under queued/fabric) ---
     /// Transfers this PE routed through the contended fabric.
     pub net_transfers: u64,
     /// Directed links those transfers traversed (hops + bristle ports).
     pub net_links: u64,
     /// Queueing delay this PE's transfers accrued on occupied links (ns).
     pub net_queued_ns: u64,
+    /// Queueing delay accrued on shared node buses (ns); nonzero only
+    /// under `ContentionMode::Fabric`.
+    pub net_bus_queued_ns: u64,
+    /// Queueing delay accrued on router hub/arbitration ports (ns);
+    /// nonzero only under `ContentionMode::Fabric`.
+    pub net_hub_queued_ns: u64,
 
     /// Message-size histogram buckets: counts of messages with payload in
     /// [0,64), [64,512), [512,4K), [4K,32K), [32K,∞) bytes.
@@ -159,6 +165,16 @@ impl Counters {
             net_transfers: mono_sub(self.net_transfers, earlier.net_transfers, "net_transfers"),
             net_links: mono_sub(self.net_links, earlier.net_links, "net_links"),
             net_queued_ns: mono_sub(self.net_queued_ns, earlier.net_queued_ns, "net_queued_ns"),
+            net_bus_queued_ns: mono_sub(
+                self.net_bus_queued_ns,
+                earlier.net_bus_queued_ns,
+                "net_bus_queued_ns",
+            ),
+            net_hub_queued_ns: mono_sub(
+                self.net_hub_queued_ns,
+                earlier.net_hub_queued_ns,
+                "net_hub_queued_ns",
+            ),
             msg_size_hist,
         }
     }
@@ -184,6 +200,8 @@ impl Counters {
         self.net_transfers += other.net_transfers;
         self.net_links += other.net_links;
         self.net_queued_ns += other.net_queued_ns;
+        self.net_bus_queued_ns += other.net_bus_queued_ns;
+        self.net_hub_queued_ns += other.net_hub_queued_ns;
         for (a, b) in self.msg_size_hist.iter_mut().zip(other.msg_size_hist) {
             *a += b;
         }
@@ -236,6 +254,8 @@ mod tests {
         step.net_transfers = 4;
         step.net_links = 12;
         step.net_queued_ns = 777;
+        step.net_bus_queued_ns = 55;
+        step.net_hub_queued_ns = 44;
         let mut after = before.clone();
         after.merge(&step);
         assert_eq!(after.diff(&before), step);

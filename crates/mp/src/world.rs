@@ -139,7 +139,9 @@ impl MpWorld {
         );
         ctx.counters_mut().record_msg_sent(bytes);
         // Under ContentionMode::Queued the message additionally queues on
-        // occupied fabric links, pushing its arrival out; 0 otherwise.
+        // occupied fabric links, pushing its arrival out; under Fabric it
+        // also arbitrates for the node buses and router hub ports (and a
+        // node-local send still crosses the shared bus); 0 when off.
         let net_delay = ctx.net_delay_to_pe(dst, bytes);
         let env = Envelope {
             src: ctx.pe(),

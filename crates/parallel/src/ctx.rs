@@ -30,6 +30,21 @@ pub struct Ctx {
     node_epoch: u64,
     /// Stack of currently-held [`SimLock`](crate::SimLock) ids.
     locks_held: Vec<u64>,
+    /// Queueing delay already returned by routes whose charge the runtime
+    /// has not yet applied to the clock. A runtime that issues several
+    /// transfers before advancing (e.g. the CC-SAS invalidation sweep)
+    /// must depart each one *after* the previous ones complete; without
+    /// this the same backlog is charged once per transfer, and under
+    /// free-running OS threads — where PE clocks drift far apart between
+    /// barriers — that double-charging overshoots the clock frontier and
+    /// compounds into runaway virtual clocks (each overshot clock raises
+    /// `busy_until`s, which raises the next PE's wait, exponentially to
+    /// u64 overflow). Applied under `fabric` always, and under any
+    /// contention mode when the team is free-running (no cooperative
+    /// scheduler); `queued` runs under `det` keep the original
+    /// same-departure semantics so pre-fabric archives stay
+    /// bitwise-identical. Reset whenever the clock is advanced.
+    net_pending: SimTime,
 }
 
 impl Ctx {
@@ -53,6 +68,7 @@ impl Ctx {
             global_epoch: 0,
             node_epoch: 0,
             locks_held: Vec::new(),
+            net_pending: 0,
         }
     }
 
@@ -65,7 +81,8 @@ impl Ctx {
     }
 
     /// The interconnect contention model, present iff the machine runs
-    /// with [`machine::ContentionMode::Queued`].
+    /// with [`machine::ContentionMode::Queued`] or
+    /// [`machine::ContentionMode::Fabric`].
     #[inline]
     pub fn net(&self) -> Option<&Arc<o2k_net::NetSim>> {
         self.shared.net.as_ref()
@@ -101,7 +118,16 @@ impl Ctx {
             return 0;
         };
         let src_node = self.machine.topology.node_of(self.pe);
-        let r = match net.try_route(self.pe as u32, src_node, dst_node, bytes, self.clock.now()) {
+        // Back-to-back transfers from one PE must each depart after the
+        // delays the earlier ones already accrued, even though the runtime
+        // commits the whole batch to the clock in one advance — otherwise
+        // the batch double-charges the same backlog (see `net_pending`).
+        // Queued mode under the cooperative schedulers keeps the original
+        // same-departure semantics so its archives stay bitwise-identical.
+        let serialize = self.machine.config.contention == machine::ContentionMode::Fabric
+            || self.shared.coop.is_none();
+        let depart = self.clock.now() + if serialize { self.net_pending } else { 0 };
+        let r = match net.try_route(self.pe as u32, src_node, dst_node, bytes, depart) {
             Ok(r) => r,
             Err(u) => match self.shared.coop.as_ref() {
                 Some(cs) => {
@@ -117,8 +143,29 @@ impl Ctx {
             self.counters.net_transfers += 1;
             self.counters.net_links += u64::from(r.links);
             self.counters.net_queued_ns += r.delay;
+            self.counters.net_bus_queued_ns += r.bus_delay;
+            self.counters.net_hub_queued_ns += r.hub_delay;
+        }
+        if serialize {
+            self.net_pending += r.delay;
         }
         r.delay
+    }
+
+    /// Queueing delay for a transfer that stays on this PE's node — a
+    /// cache-line fill from local memory, an intra-node copy. Under
+    /// [`machine::ContentionMode::Fabric`] it crosses the node's shared
+    /// bus once and waits out any other occupant (fat nodes saturate);
+    /// under `off`/`queued` local traffic is uncontended and this returns
+    /// 0 without touching any counter, keeping those modes bitwise
+    /// unchanged.
+    #[inline]
+    pub fn net_delay_local(&mut self, bytes: usize) -> SimTime {
+        if self.shared.net.is_none() {
+            return 0;
+        }
+        let node = self.machine.topology.node_of(self.pe);
+        self.net_delay_to_node(node, bytes)
     }
 
     /// Mark the start of a named network phase for per-phase hotspot
@@ -300,6 +347,7 @@ impl Ctx {
     #[inline]
     pub fn compute(&mut self, ns: SimTime) {
         let t0 = self.clock.now();
+        self.net_pending = 0;
         self.clock.advance(ns, TimeCat::Busy);
         if self.recorder.is_on() {
             self.record_span(t0, EventKind::Compute, TimeCat::Busy, 0, None, None);
@@ -325,6 +373,7 @@ impl Ctx {
     #[inline]
     pub fn advance(&mut self, ns: SimTime, cat: TimeCat) {
         let t0 = self.clock.now();
+        self.net_pending = 0;
         self.clock.advance(ns, cat);
         if self.recorder.is_on() {
             self.record_span(t0, EventKind::Other, cat, 0, None, None);
@@ -345,6 +394,7 @@ impl Ctx {
         peer: Option<u32>,
     ) {
         let t0 = self.clock.now();
+        self.net_pending = 0;
         self.clock.advance(ns, cat);
         if self.recorder.is_on() {
             self.record_span(t0, kind, cat, bytes, peer, None);
@@ -363,6 +413,7 @@ impl Ctx {
         dep: Option<Dep>,
     ) {
         let t0 = self.clock.now();
+        self.net_pending = 0;
         self.clock.advance_to(t, TimeCat::Sync);
         if self.recorder.is_on() && self.clock.now() > t0 {
             self.record_span(t0, kind, TimeCat::Sync, 0, peer, dep);

@@ -40,8 +40,9 @@ pub struct TeamRun<R> {
     /// [`SchedPolicy::Os`].
     pub sched: Option<SchedStats>,
     /// The interconnect contention model, populated when the machine ran
-    /// with [`ContentionMode::Queued`]; query it for [`NetSim::stats`],
-    /// hotspot reports and utilization histograms.
+    /// with [`ContentionMode::Queued`] or [`ContentionMode::Fabric`];
+    /// query it for [`NetSim::stats`], hotspot reports and utilization
+    /// histograms.
     pub net: Option<Arc<NetSim>>,
 }
 
@@ -115,8 +116,9 @@ pub(crate) struct TeamShared {
     /// barriers above.
     pub coop: Option<Arc<CoopSched>>,
     /// Interconnect contention model, present iff the machine config says
-    /// [`ContentionMode::Queued`]. One instance per run: its per-link
-    /// occupancy state *is* the run's contention history.
+    /// [`ContentionMode::Queued`] or [`ContentionMode::Fabric`]. One
+    /// instance per run: its per-resource occupancy state *is* the run's
+    /// contention history.
     pub net: Option<Arc<NetSim>>,
 }
 
@@ -129,7 +131,9 @@ impl TeamShared {
             .collect();
         let net = match machine.config.contention {
             ContentionMode::Off => None,
-            ContentionMode::Queued => Some(Arc::new(NetSim::new(topo, &machine.config))),
+            ContentionMode::Queued | ContentionMode::Fabric => {
+                Some(Arc::new(NetSim::new(topo, &machine.config)))
+            }
         };
         TeamShared {
             barrier: Barrier::new(pes),

@@ -461,7 +461,11 @@ impl SasPe {
             let hops = topo.hops(my_node, home);
             let fill = cost::line_fill(cfg, hops);
             if hops == 0 {
-                charge_local += fill;
+                // A local fill never touches the interconnect, but under
+                // ContentionMode::Fabric it does cross (and queue on) the
+                // node's shared memory bus — the resource every CPU of a
+                // fat SMP node funnels through.
+                charge_local += fill + ctx.net_delay_local(cfg.line_bytes);
                 ctx.counters_mut().misses_local += 1;
             } else {
                 // Under ContentionMode::Queued the line payload also queues

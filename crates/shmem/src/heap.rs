@@ -166,7 +166,9 @@ impl<T: Element> SymSlice<T> {
         let bytes = len * T::BYTES;
         let hops = self.machine.hops_between(ctx.pe(), source_pe);
         // A get's payload flows source→initiator; the queueing model routes
-        // in that direction (the request hop rides the same links).
+        // in that direction (the request hop rides the same links). Under
+        // ContentionMode::Fabric the remote hub — where SHMEM pays its
+        // contention in the paper — arbitrates the transfer too.
         let net_delay = ctx.net_delay_to_pe(source_pe, bytes);
         ctx.advance_traced(
             cost::get(&self.machine.config, bytes, hops) + net_delay,

@@ -73,9 +73,10 @@ pub fn to_chrome_json(trace: &Trace) -> String {
             out.push_str("}}");
         }
     }
-    // Interconnect link occupancy (o2k-net, ContentionMode::Queued) renders
-    // as a second process: one track per link that carried traffic or had a
-    // fault scheduled.
+    // Interconnect resource occupancy (o2k-net, ContentionMode::Queued or
+    // Fabric) renders as a second process: one track per resource — link,
+    // or under the fabric a node bus / hub port — that carried traffic or
+    // had a fault scheduled.
     if !trace.link_spans.is_empty() || !trace.link_faults.is_empty() {
         let mut used: Vec<bool> = vec![false; trace.link_names.len()];
         for s in &trace.link_spans {

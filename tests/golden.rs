@@ -323,6 +323,72 @@ fn queued_contention_only_adds_delay() {
     }
 }
 
+// ------------------------------------------------ resource-fabric goldens
+
+/// The Origin2000 machine on the full contended-resource fabric: links
+/// plus per-node SysAD buses and per-router hub arbitration ports.
+fn fabric_machine(p: usize) -> std::sync::Arc<Machine> {
+    use origin2k::machine::ContentionMode;
+    std::sync::Arc::new(Machine::new(
+        p,
+        MachineConfig {
+            contention: ContentionMode::Fabric,
+            ..MachineConfig::origin2000()
+        },
+    ))
+}
+
+/// The fabric generalises the link-only queueing model; it must inherit
+/// its reproducibility wholesale — times, counters (including the new
+/// bus/hub queueing counters), per-resource statistics, fingerprints.
+#[test]
+fn fabric_contention_is_bitwise_reproducible_under_det() {
+    pin_det();
+    let nb = NBodyConfig::small();
+    let am = AmrConfig::small();
+    for app in [App::NBody, App::Amr] {
+        for model in Model::ALL {
+            let a = run_app(fabric_machine(4), app, model, &nb, &am);
+            let b = run_app(fabric_machine(4), app, model, &nb, &am);
+            let tag = format!("{}/{}", app.name(), model.name());
+            assert_eq!(a.sim_time, b.sim_time, "{tag}: sim time must repeat");
+            assert_eq!(a.counters, b.counters, "{tag}: counters must repeat");
+            assert_eq!(a.net, b.net, "{tag}: NetStats must repeat");
+            let net = a.net.expect("fabric mode reports NetStats");
+            assert!(
+                net.bus.transfers > 0,
+                "{tag}: fabric traffic must arbitrate for node buses"
+            );
+        }
+    }
+}
+
+/// Fabric arbitration only ever adds delay on top of the analytic costs,
+/// and — like every contention mode — never moves the physics.
+#[test]
+fn fabric_contention_only_adds_delay() {
+    pin_det();
+    let nb = NBodyConfig::small();
+    let am = AmrConfig::small();
+    for app in [App::NBody, App::Amr] {
+        for model in Model::ALL {
+            let off = run_app(machine(4), app, model, &nb, &am);
+            let f = run_app(fabric_machine(4), app, model, &nb, &am);
+            let tag = format!("{}/{}", app.name(), model.name());
+            assert!(
+                f.sim_time >= off.sim_time,
+                "{tag}: fabric arbitration can only slow a run ({} -> {})",
+                off.sim_time,
+                f.sim_time
+            );
+            assert_eq!(
+                f.checksum, off.checksum,
+                "{tag}: contention must not move physics"
+            );
+        }
+    }
+}
+
 // ------------------------------------------------------------- harvest
 
 /// Regenerates every pinned constant above. Run with

@@ -145,6 +145,32 @@ fn team_level_tracing_captures_barrier_waits() {
     assert_eq!(stats.attributed() + stats.untracked, stats.total);
 }
 
+/// Under the resource fabric, the Perfetto "interconnect" process grows
+/// one track per bus/hub resource that carried traffic, alongside the
+/// link tracks — the export is name-driven, so this pins the wiring from
+/// `NetSim` resource names through `Team::trace` to the JSON.
+#[test]
+fn fabric_trace_exports_bus_and_hub_tracks() {
+    let _g = global_trace_lock().lock().unwrap();
+    o2k_trace::set_enabled(true);
+    let fabric = Arc::new(Machine::new(
+        4,
+        MachineConfig {
+            contention: machine::ContentionMode::Fabric,
+            ..MachineConfig::origin2000()
+        },
+    ));
+    let r = apps::run_app(fabric, App::Amr, Model::Sas, &nbody_cfg(), &amr_cfg());
+    o2k_trace::set_enabled(false);
+    let trace = r.trace.as_ref().expect("trace collected");
+    let json = o2k_trace::chrome::to_chrome_json(trace);
+    assert!(json.contains("\"name\":\"interconnect\""));
+    for needle in ["bus:node", "hub:rtr", "node0→rtr0"] {
+        assert!(json.contains(needle), "missing {needle} track");
+    }
+    let _ = o2k_trace::sink_drain();
+}
+
 /// `repro f9 --quick` (driven through the library) archives one
 /// Perfetto-loadable trace per app/model cell.
 #[test]
