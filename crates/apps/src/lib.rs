@@ -33,7 +33,7 @@ pub mod nbody_shmem;
 pub mod workcost;
 
 pub use amr_common::AmrConfig;
-pub use metrics::{App, Model, RunMetrics};
+pub use metrics::{App, Model, RunMetrics, ServeStats};
 pub use nbody_common::NBodyConfig;
 
 use std::sync::Arc;
@@ -77,5 +77,10 @@ pub fn run_app_sched(
         }
         (App::Amr, Model::Hybrid) => amr_hybrid::run_sched(machine, amr_cfg, sched),
         (App::NBody, Model::Hybrid) => nbody_hybrid::run_sched(machine, nbody_cfg, sched),
+        // The serving workload lives above this crate (it reuses all three
+        // substrates *and* these metrics), so it has its own entry point.
+        (App::Serve, _) => {
+            unreachable!("the serving workload is driven through o2k_serve::run, not run_app")
+        }
     }
 }

@@ -36,13 +36,17 @@ impl Model {
     }
 }
 
-/// The two adaptive applications.
+/// The two adaptive applications, plus the serving-workload extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum App {
     /// Barnes-Hut N-body.
     NBody,
     /// Adaptive mesh refinement with a moving shock.
     Amr,
+    /// Extension: sharded key-value serving under open-loop client load
+    /// (the `o2k-serve` crate; not part of the paper's application suite,
+    /// so [`run_app`](crate::run_app) directs callers to `o2k_serve::run`).
+    Serve,
 }
 
 impl App {
@@ -51,7 +55,54 @@ impl App {
         match self {
             App::NBody => "N-body",
             App::Amr => "AMR",
+            App::Serve => "KV-serve",
         }
+    }
+}
+
+/// Tail-latency and throughput summary of one serving run (the
+/// `o2k-serve` workload); carried in [`RunMetrics::serve`].
+///
+/// All latencies are virtual nanoseconds from a request's open-loop
+/// arrival time to its completion at the issuing PE — queueing behind a
+/// busy server or a contended link is included, which is the point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests admitted from the client streams.
+    pub issued: u64,
+    /// Requests that completed with their value.
+    pub completed: u64,
+    /// Requests shed by the admission deadline.
+    pub failed: u64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency (ns).
+    pub p999_ns: u64,
+    /// Exact worst-case latency (ns).
+    pub max_ns: u64,
+    /// Mean latency (ns).
+    pub mean_ns: u64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Requests addressed to each PE's shard (issued, including shed).
+    pub shard_counts: Vec<u64>,
+}
+
+impl ServeStats {
+    /// One-line rendering for experiment tables.
+    pub fn render(&self) -> String {
+        format!(
+            "p50 {:>7} ns  p99 {:>8} ns  p999 {:>8} ns  max {:>9} ns  {:>9.0} req/s  ({} ok / {} shed)",
+            self.p50_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.max_ns,
+            self.throughput_rps,
+            self.completed,
+            self.failed
+        )
     }
 }
 
@@ -85,11 +136,27 @@ pub struct RunMetrics {
     /// tables (when the app marked phases) with fault annotations — when
     /// the contention model was on.
     pub net_report: Option<String>,
+    /// Tail-latency summary when the run was the serving workload.
+    pub serve: Option<ServeStats>,
 }
 
 impl RunMetrics {
     /// Assemble from a team run whose per-PE closures returned `checksum`.
     pub fn collect(app: App, model: Model, run: &TeamRun<f64>, problem_size: usize) -> RunMetrics {
+        let checksum = run.results.first().copied().unwrap_or(0.0);
+        Self::collect_with_checksum(app, model, run, problem_size, checksum)
+    }
+
+    /// [`RunMetrics::collect`] for runs whose per-PE closures return
+    /// something richer than the checksum (the serving workload returns a
+    /// per-PE histogram); the caller extracts the checksum itself.
+    pub fn collect_with_checksum<R>(
+        app: App,
+        model: Model,
+        run: &TeamRun<R>,
+        problem_size: usize,
+        checksum: f64,
+    ) -> RunMetrics {
         RunMetrics {
             app,
             model,
@@ -97,12 +164,13 @@ impl RunMetrics {
             sim_time: run.sim_time(),
             per_pe: run.reports.iter().map(|r| r.breakdown).collect(),
             counters: run.merged_counters(),
-            checksum: run.results.first().copied().unwrap_or(0.0),
+            checksum,
             problem_size,
             trace: run.is_traced().then(|| run.trace()),
             sched: run.sched,
             net: run.net.as_ref().map(|n| n.stats()),
             net_report: run.net.as_ref().map(|n| n.hotspot_report(5)),
+            serve: None,
         }
     }
 

@@ -18,6 +18,10 @@ fn source(app: App, model: Model) -> &'static str {
         (App::Amr, Model::Sas) => include_str!("../../apps/src/amr_sas.rs"),
         (App::Amr, Model::Hybrid) => include_str!("../../apps/src/amr_hybrid.rs"),
         (App::NBody, Model::Hybrid) => "", // extension: AMR only
+        (App::Serve, Model::Mp) => include_str!("../../serve/src/mp.rs"),
+        (App::Serve, Model::Shmem) => include_str!("../../serve/src/shmem.rs"),
+        (App::Serve, Model::Sas) => include_str!("../../serve/src/sas.rs"),
+        (App::Serve, Model::Hybrid) => "", // extension: three models only
     }
 }
 

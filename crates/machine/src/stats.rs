@@ -48,6 +48,12 @@ pub struct Counters {
     /// (0 under the free-running OS policy).
     pub sched_handoffs: u64,
 
+    // --- request serving (nonzero only for o2k-serve workloads) ---
+    /// Application-level client requests this PE looked up and answered
+    /// (the serving side: the shard owner under MP, the requester under
+    /// the one-sided and shared-memory models).
+    pub requests_served: u64,
+
     // --- interconnect contention (nonzero only under queued/fabric) ---
     /// Transfers this PE routed through the contended fabric.
     pub net_transfers: u64,
@@ -162,6 +168,11 @@ impl Counters {
                 earlier.sched_handoffs,
                 "sched_handoffs",
             ),
+            requests_served: mono_sub(
+                self.requests_served,
+                earlier.requests_served,
+                "requests_served",
+            ),
             net_transfers: mono_sub(self.net_transfers, earlier.net_transfers, "net_transfers"),
             net_links: mono_sub(self.net_links, earlier.net_links, "net_links"),
             net_queued_ns: mono_sub(self.net_queued_ns, earlier.net_queued_ns, "net_queued_ns"),
@@ -197,6 +208,7 @@ impl Counters {
         self.barriers += other.barriers;
         self.lock_acquires += other.lock_acquires;
         self.sched_handoffs += other.sched_handoffs;
+        self.requests_served += other.requests_served;
         self.net_transfers += other.net_transfers;
         self.net_links += other.net_links;
         self.net_queued_ns += other.net_queued_ns;

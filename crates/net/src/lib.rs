@@ -58,9 +58,9 @@
 //! to links only: buses and hubs are on-node hardware the fault plan's
 //! symbolic link names cannot reach.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use machine::{FaultKind, FaultLink, FaultMode, MachineConfig, SimTime, Topology};
 use o2k_trace::{FaultSpan, LinkSpan};
@@ -244,6 +244,10 @@ impl Resource {
 /// Per-resource (queued_ns, bytes, transfers) snapshot at a phase boundary.
 type LinkSnap = (u64, u64, u64);
 
+/// A memoised routing decision: the resolved resource path and whether
+/// it detours around a dead link.
+type ResolvedPath = (Arc<[ResourceId]>, bool);
+
 struct Phase {
     name: String,
     at_start: Vec<LinkSnap>,
@@ -273,6 +277,21 @@ pub struct NetSim {
     faults: Vec<Vec<(SimTime, FaultKind)>>,
     /// Whether any link has a fault scheduled (fast-path gate).
     any_faults: bool,
+    /// Memoised fault-free resource path per `(src, dst)` pair (index
+    /// `src * nodes + dst`): the e-cube wire links plus, under `fabric`,
+    /// the bus/hub wrap. Built lazily, immutable once built — the healthy
+    /// path never depends on time.
+    path_cache: Vec<OnceLock<Arc<[ResourceId]>>>,
+    /// Sorted, deduplicated times of every scheduled fault event: the
+    /// epoch boundaries. Link fault state is constant between consecutive
+    /// boundaries, so resolved paths are memoisable per epoch — and every
+    /// kill or heal opens a new epoch, which invalidates stale detours by
+    /// construction.
+    fault_times: Vec<SimTime>,
+    /// Memoised resolved paths on faulted machines, keyed
+    /// `(src, dst, epoch)`: the path plus whether it detours, or `None`
+    /// when the dead links sever the pair in that epoch.
+    fault_path_cache: Mutex<HashMap<(usize, usize, usize), Option<ResolvedPath>>>,
     state: Mutex<NetState>,
     record_spans: AtomicBool,
 }
@@ -330,6 +349,9 @@ impl NetSim {
             }
         }
         let any_faults = faults.iter().any(|s| !s.is_empty());
+        let mut fault_times: Vec<SimTime> = faults.iter().flatten().map(|&(at, _)| at).collect();
+        fault_times.sort_unstable();
+        fault_times.dedup();
         let mut resources = vec![Resource::new(ResourceKind::Link); nlinks];
         if fabric {
             resources.extend(std::iter::repeat_n(Resource::new(ResourceKind::Bus), nodes));
@@ -344,6 +366,9 @@ impl NetSim {
             fabric,
             faults,
             any_faults,
+            path_cache: (0..nodes * nodes).map(|_| OnceLock::new()).collect(),
+            fault_times,
+            fault_path_cache: Mutex::new(HashMap::new()),
             state: Mutex::new(NetState {
                 resources,
                 spans: Vec::new(),
@@ -519,6 +544,103 @@ impl NetSim {
         Some(links)
     }
 
+    /// Wrap a wire-link path in the non-wire resources it crosses under
+    /// `fabric`: source bus → source hub → links → destination hub →
+    /// destination bus. A same-router pair crosses its hub once;
+    /// intermediate routers on long paths are approximated by their link
+    /// occupancy alone. Node-local traffic is one bus crossing. Outside
+    /// `fabric` the wire path is returned unchanged.
+    fn wrap_fabric(&self, src_node: usize, dst_node: usize, path: Vec<usize>) -> Vec<usize> {
+        if !self.fabric {
+            return path;
+        }
+        let mut full = Vec::with_capacity(path.len() + 4);
+        full.push(self.bus_id(src_node));
+        if src_node != dst_node {
+            let rsrc = self.topo.router_of(src_node);
+            let rdst = self.topo.router_of(dst_node);
+            full.push(self.hub_id(rsrc));
+            full.extend_from_slice(&path);
+            if rdst != rsrc {
+                full.push(self.hub_id(rdst));
+            }
+            full.push(self.bus_id(dst_node));
+        }
+        full
+    }
+
+    /// The memoised fault-free resource path for `(src, dst)` — e-cube
+    /// wire links plus the fabric wrap — built on first use.
+    fn healthy_path(&self, src_node: usize, dst_node: usize) -> &Arc<[ResourceId]> {
+        self.path_cache[src_node * self.nodes + dst_node].get_or_init(|| {
+            let mut wire = Vec::with_capacity(2 + self.dims);
+            self.path(src_node, dst_node, &mut wire);
+            Arc::from(self.wrap_fabric(src_node, dst_node, wire))
+        })
+    }
+
+    /// Fault epoch of `t`: how many scheduled fault events have taken
+    /// effect at or before `t`. Every link's fault state is constant
+    /// within an epoch, so a resolved path holds for the whole epoch and
+    /// every kill/heal boundary starts a fresh one (invalidating cached
+    /// detours by construction).
+    fn fault_epoch(&self, t: SimTime) -> usize {
+        self.fault_times.partition_point(|&ft| ft <= t)
+    }
+
+    /// Resolve (and memoise) the resource path on a faulted machine: the
+    /// healthy path while its links are alive in `depart`'s epoch, else a
+    /// detour over the surviving router edges. Returns the path and
+    /// whether it detours, or [`Unreachable`] when the dead links sever
+    /// the pair. Bus/hub resources are never faulted, so checking the
+    /// wrapped path for dead links is equivalent to checking its wire
+    /// segment.
+    fn fault_path(
+        &self,
+        src_node: usize,
+        dst_node: usize,
+        depart: SimTime,
+    ) -> Result<(Arc<[ResourceId]>, bool), Unreachable> {
+        let epoch = self.fault_epoch(depart);
+        let key = (src_node, dst_node, epoch);
+        {
+            let cache = self
+                .fault_path_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = cache.get(&key) {
+                return hit
+                    .clone()
+                    .ok_or_else(|| self.unreachable(src_node, dst_node, depart));
+            }
+        }
+        let healthy = self.healthy_path(src_node, dst_node);
+        let resolved: Option<(Arc<[ResourceId]>, bool)> =
+            if !healthy.iter().any(|&l| self.is_dead(l, depart)) {
+                Some((Arc::clone(healthy), false))
+            } else if self.is_dead(src_node, depart) || self.is_dead(self.nodes + dst_node, depart)
+            {
+                // A node's bristle ports are its only attachment: dead ⇒ no
+                // detour can exist. Dead router edges may be routable around.
+                None
+            } else {
+                let rsrc = self.topo.router_of(src_node);
+                let rdst = self.topo.router_of(dst_node);
+                self.detour(rsrc, rdst, depart).map(|mid| {
+                    let mut wire = Vec::with_capacity(2 + mid.len());
+                    wire.push(src_node);
+                    wire.extend(mid);
+                    wire.push(self.nodes + dst_node);
+                    (Arc::from(self.wrap_fabric(src_node, dst_node, wire)), true)
+                })
+            };
+        self.fault_path_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, resolved.clone());
+        resolved.ok_or_else(|| self.unreachable(src_node, dst_node, depart))
+    }
+
     fn unreachable(&self, src_node: usize, dst_node: usize, at: SimTime) -> Unreachable {
         let dead: Vec<String> = (0..self.faults.len())
             .filter(|&l| self.is_dead(l, at))
@@ -565,48 +687,14 @@ impl NetSim {
         if src_node == dst_node && !self.fabric {
             return Ok(Route::default());
         }
-        let mut path = Vec::with_capacity(6 + self.dims);
-        let mut detoured = false;
-        if src_node != dst_node {
-            self.path(src_node, dst_node, &mut path);
-            if self.any_faults && path.iter().any(|&l| self.is_dead(l, depart)) {
-                // A node's bristle ports are its only attachment: dead ⇒ no
-                // detour can exist. Dead router edges may be routable around.
-                if self.is_dead(src_node, depart) || self.is_dead(self.nodes + dst_node, depart) {
-                    return Err(self.unreachable(src_node, dst_node, depart));
-                }
-                let rsrc = self.topo.router_of(src_node);
-                let rdst = self.topo.router_of(dst_node);
-                let Some(mid) = self.detour(rsrc, rdst, depart) else {
-                    return Err(self.unreachable(src_node, dst_node, depart));
-                };
-                path.clear();
-                path.push(src_node);
-                path.extend(mid);
-                path.push(self.nodes + dst_node);
-                detoured = true;
-            }
-        }
-        if self.fabric {
-            // Wrap the wire path in the non-wire resources it crosses:
-            // source bus → source hub → links → destination hub →
-            // destination bus. A same-router pair crosses its hub once;
-            // intermediate routers on long paths are approximated by their
-            // link occupancy alone. Node-local traffic is one bus crossing.
-            let mut full = Vec::with_capacity(path.len() + 4);
-            full.push(self.bus_id(src_node));
-            if src_node != dst_node {
-                let rsrc = self.topo.router_of(src_node);
-                let rdst = self.topo.router_of(dst_node);
-                full.push(self.hub_id(rsrc));
-                full.extend_from_slice(&path);
-                if rdst != rsrc {
-                    full.push(self.hub_id(rdst));
-                }
-                full.push(self.bus_id(dst_node));
-            }
-            path = full;
-        }
+        // Resolve the resource path through the memo: healthy machines hit
+        // the per-pair cache (the path never depends on time), faulted
+        // machines hit the per-(pair, fault-epoch) cache.
+        let (path, detoured) = if self.any_faults {
+            self.fault_path(src_node, dst_node, depart)?
+        } else {
+            (Arc::clone(self.healthy_path(src_node, dst_node)), false)
+        };
         let occ_link = self.cfg.transfer_ns(bytes).max(1);
         let occ_bus = self.cfg.bus_transfer_ns(bytes).max(1);
         let occ_hub = self.cfg.hub_occ_ns.max(1);
@@ -617,7 +705,7 @@ impl NetSim {
         }
         let mut t = depart;
         let mut route = Route::default();
-        for &l in &path {
+        for &l in path.iter() {
             let kind = st.resources[l].kind;
             // Degraded service rate multiplies a link's hold time; gated on
             // `any_faults` so healthy runs stay bitwise-identical to the
@@ -1551,5 +1639,66 @@ mod tests {
                 prop_assert_eq!(queued, s.total_queued_ns());
             }
         }
+    }
+
+    // --- path memoisation ---
+
+    #[test]
+    fn healthy_paths_are_memoised_and_correct() {
+        // Every (src, dst) pair resolves to the same Arc on repeat lookups
+        // (the memo actually hits) and its content is exactly the e-cube
+        // wire path plus the fabric wrap.
+        for net in [sim(16), sim_fabric(16, 4)] {
+            let nodes = net.nodes;
+            for s in 0..nodes {
+                for d in 0..nodes {
+                    let first = Arc::clone(net.healthy_path(s, d));
+                    let again = net.healthy_path(s, d);
+                    assert!(Arc::ptr_eq(&first, again), "memo must hit for ({s},{d})");
+                    let mut wire = Vec::new();
+                    net.path(s, d, &mut wire);
+                    let expect = net.wrap_fabric(s, d, wire);
+                    assert_eq!(&*first, &expect[..], "cached path for ({s},{d})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_epochs_invalidate_cached_detours() {
+        // r0d0 dies at t=0 and heals at t=50_000. 16 PEs → 8 nodes, 4
+        // routers, 2 dims; node 0 → node 2 normally crosses r0d0 (3
+        // links). While the edge is dead the cached path must be the
+        // detour over the surviving edges (5 links); after the heal the
+        // epoch changes and the cache must hand back the e-cube path.
+        let net = sim_fault(16, "plan:r0d0:kill;r0d0:heal@50000");
+        assert_eq!(net.fault_epoch(0), 1, "kill epoch starts at its onset");
+        assert_eq!(net.fault_epoch(49_999), 1);
+        assert_eq!(net.fault_epoch(50_000), 2, "heal opens a new epoch");
+        let dead = net.route(0, 0, 2, 1024, 0);
+        assert_eq!(dead.links, 5, "detour over the surviving router edges");
+        let dead_again = net.route(0, 0, 2, 1024, 10_000);
+        assert_eq!(dead_again.links, 5, "same epoch reuses the detour");
+        let healed = net.route(0, 0, 2, 1024, 60_000);
+        assert_eq!(healed.links, 3, "healed epoch restores the e-cube path");
+        assert_eq!(net.stats().detoured_transfers, 2);
+        // The cached resolutions match a fresh, uncached computation.
+        let fresh = sim_fault(16, "plan:r0d0:kill;r0d0:heal@50000");
+        for t in [0u64, 10_000, 60_000] {
+            let (a, a_det) = net.fault_path(0, 2, t).expect("reachable");
+            let (b, b_det) = fresh.fault_path(0, 2, t).expect("reachable");
+            assert_eq!(&*a, &*b, "cached vs fresh path at t={t}");
+            assert_eq!(a_det, b_det);
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_are_cached_per_epoch() {
+        // Node 3's inbound bristle is dead until it heals: transfers to it
+        // fail (and the failure is memoised), then succeed after the heal.
+        let net = sim_fault(8, "plan:down3:kill;down3:heal@9000");
+        assert!(net.try_route(0, 0, 3, 256, 0).is_err());
+        assert!(net.try_route(0, 0, 3, 256, 100).is_err(), "cached miss");
+        assert!(net.try_route(0, 0, 3, 256, 9_000).is_ok(), "heals on time");
     }
 }

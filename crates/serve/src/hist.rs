@@ -1,0 +1,249 @@
+//! HDR-style log-linear latency histogram over virtual nanoseconds.
+//!
+//! Values are bucketed with 64 linear sub-buckets per power of two
+//! (≤ ~1.6 % relative error), the layout HdrHistogram popularised: exact
+//! counts below 64 ns, then `(octave, sub-bucket)` pairs up to `u64::MAX`.
+//! Recording is O(1) with no allocation after construction, quantile
+//! queries walk the fixed 3 776-bucket table, and histograms from
+//! different PEs merge by bucket-wise addition — so per-PE recording
+//! stays contention-free and deterministic.
+//!
+//! Quantiles report the *upper bound* of the bucket holding the target
+//! rank, clamped to the exact recorded maximum. Two invariants follow
+//! (and are property-tested): quantiles are monotone in `q`, and no
+//! quantile exceeds [`LatencyHist::max`].
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per octave (also the threshold below which values are
+/// counted exactly).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover `0..=u64::MAX`.
+const NBUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// Index of the bucket containing `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    (((shift + 1) << SUB_BITS) + ((v >> shift) as u32 & (SUB as u32 - 1))) as usize
+}
+
+/// Largest value falling into bucket `idx` (inclusive upper bound).
+#[inline]
+fn bucket_high(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let shift = (idx >> SUB_BITS) - 1;
+    let low = (SUB + (idx & (SUB - 1))) << shift;
+    // Parenthesised so the top bucket (low + 2^shift == 2^64) cannot
+    // overflow before the subtraction.
+    low + ((1u64 << shift) - 1)
+}
+
+/// A mergeable log-linear histogram of virtual-time latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHist {
+    counts: Box<[u64; NBUCKETS]>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: Box::new([0; NBUCKETS]),
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one latency sample (ns).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.total)) as u64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the sample of rank `ceil(q · count)`, clamped to
+    /// the exact maximum. Returns 0 when empty. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one (bucket-wise).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Bucket upper bounds are fixed points, and the next value after a
+        // bound starts the next bucket — the buckets tile with no gaps.
+        for idx in (0..NBUCKETS - 1).step_by(7) {
+            let high = bucket_high(idx);
+            assert_eq!(bucket_of(high), idx, "bound of bucket {idx} strays");
+            assert_eq!(bucket_of(high + 1), idx + 1, "gap after bucket {idx}");
+        }
+        assert_eq!(bucket_high(NBUCKETS - 1), u64::MAX);
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 129, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_high(i), "v={v} above its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_high(i - 1), "v={v} below its bucket");
+            }
+        }
+        assert_eq!(bucket_of(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB);
+        // rank ⌈0.5·64⌉ = 32 → the 32nd smallest of 0..64, which is 31.
+        assert_eq!(h.quantile(0.5), SUB / 2 - 1);
+        assert_eq!(h.max(), SUB - 1);
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let mut h = LatencyHist::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        // p50 ≈ 1 µs within the ~1.6 % bucket resolution; p999 must see
+        // the single outlier exactly (clamped to max).
+        let p50 = h.quantile(0.50);
+        assert!((1_000..=1_016).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(0.999), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut whole = LatencyHist::new();
+        for v in [3u64, 77, 500, 80_000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [9u64, 64, 1 << 30] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Sample count is conserved: everything recorded is counted,
+        /// exactly once, and survives an arbitrary merge split.
+        #[test]
+        fn count_conserved(values in proptest::collection::vec(0u64..u64::MAX, 0..300), split in 0usize..300) {
+            let cut = split.min(values.len());
+            let mut a = LatencyHist::new();
+            let mut b = LatencyHist::new();
+            for &v in &values[..cut] { a.record(v); }
+            for &v in &values[cut..] { b.record(v); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), values.len() as u64);
+        }
+
+        /// Quantiles are monotone and bounded by the exact maximum:
+        /// p50 ≤ p99 ≤ p999 ≤ max.
+        #[test]
+        fn quantiles_monotone(values in proptest::collection::vec(0u64..1_000_000_000_000, 1..300)) {
+            let mut h = LatencyHist::new();
+            let mut true_max = 0u64;
+            for &v in &values { h.record(v); true_max = true_max.max(v); }
+            let (p50, p99, p999) = (h.quantile(0.50), h.quantile(0.99), h.quantile(0.999));
+            prop_assert!(p50 <= p99, "p50 {} > p99 {}", p50, p99);
+            prop_assert!(p99 <= p999, "p99 {} > p999 {}", p99, p999);
+            prop_assert!(p999 <= h.max(), "p999 {} > max {}", p999, h.max());
+            prop_assert_eq!(h.max(), true_max);
+        }
+
+        /// A quantile never undershoots the true rank value by more than
+        /// the bucket resolution (~1.6 %) and never exceeds it by more
+        /// than the same bound.
+        #[test]
+        fn quantile_within_resolution(values in proptest::collection::vec(1u64..1_000_000_000, 1..200), qi in 0usize..5) {
+            let q = [0.01, 0.25, 0.5, 0.9, 0.99][qi];
+            let mut h = LatencyHist::new();
+            let mut sorted = values.clone();
+            for &v in &values { h.record(v); }
+            sorted.sort_unstable();
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = sorted[rank - 1];
+            let got = h.quantile(q);
+            let tol = exact / 32 + 1; // 2^-5 ≥ one part in 64 resolution, plus rounding
+            prop_assert!(got + tol >= exact && got <= exact + tol,
+                "q={} got {} exact {}", q, got, exact);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! # o2k-serve — a request-serving workload for the three models
+//!
+//! The paper's applications are batch SPMD solves; this crate asks the
+//! serving question its 64-CPU hardware never could: *which programming
+//! model holds up under open-loop client traffic, tail-latency pressure,
+//! and a contended fabric?*
+//!
+//! The workload is a sharded key-value lookup service. Keys are block-
+//! distributed over the server PEs ([`clients::owner_of`]); every PE owns
+//! one shard of the table **and** fronts one open-loop client stream
+//! ([`clients::stream`]) — a deterministic, pre-drawn schedule of
+//! `(arrival, key)` events, so clients are virtual-time event sources,
+//! not PEs, and a million requests cost a million lookups, not a million
+//! threads. The same service is implemented three ways:
+//!
+//! * **MP** ([`mp`]): the client PE sends the key to the shard owner's
+//!   mailbox and the owner replies with the value — request *routing*,
+//!   with real server queueing: an owner busy with its own stream answers
+//!   when it next polls. A DONE token per PE pair drains the tail.
+//! * **SHMEM** ([`shmem`]): the client issues a one-sided `get` against
+//!   the owner's symmetric shard table; no server involvement at all.
+//! * **CC-SAS** ([`sas`]): the client reads the shared table through the
+//!   coherence protocol; hot keys stay in cache, cold ones pay
+//!   line-granularity remote fills to the home node.
+//!
+//! Per-request virtual-clock latency (completion − arrival, queueing
+//! included) lands in an HDR-style histogram ([`hist::LatencyHist`]);
+//! p50/p99/p999, throughput and per-shard request counts are threaded
+//! into [`apps::RunMetrics`] as [`apps::ServeStats`]. Each served lookup
+//! is traced as an [`parallel::EventKind::Request`] span, so request
+//! service is visible in the exported Perfetto timeline, and shard
+//! hotspots show up in the fabric's `NetStats` link tables.
+
+pub mod clients;
+pub mod hist;
+pub mod mp;
+pub mod sas;
+pub mod shmem;
+
+use std::sync::Arc;
+
+use apps::{App, Model, RunMetrics, ServeStats};
+use machine::{Machine, SimTime, TimeCat};
+use parallel::{Ctx, EventKind, SchedPolicy, TeamRun};
+
+use clients::Request;
+use hist::LatencyHist;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Keyspace size; keys are block-distributed over the server PEs.
+    pub keys: usize,
+    /// Total client requests across all streams.
+    pub requests: u64,
+    /// Mean inter-arrival gap of each PE's open-loop stream (ns).
+    pub mean_gap_ns: u64,
+    /// Key-skew exponent: 1.0 is uniform; larger concentrates traffic on
+    /// the low keys (and so on shard 0's node).
+    pub skew: f64,
+    /// Value size in 64-bit words.
+    pub val_words: usize,
+    /// Server-side service compute per lookup (ns).
+    pub service_ns: u64,
+    /// Admission-control deadline: a request found more than this late at
+    /// admission is shed (counted `failed`, no work done). `None` never
+    /// sheds.
+    pub deadline_ns: Option<u64>,
+    /// MP mailbox poll granularity while a server idles between its own
+    /// arrivals (bounds the added queueing delay of interleaved serving).
+    pub poll_ns: u64,
+    /// Seed for the client streams and table contents.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            keys: 65_536,
+            requests: 100_000,
+            mean_gap_ns: 25_000,
+            skew: 1.0,
+            val_words: 32,
+            service_ns: 1_500,
+            deadline_ns: None,
+            poll_ns: 4_000,
+            seed: 0x0BAD_CAFE,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A small, fast configuration for unit tests.
+    pub fn small() -> Self {
+        ServeConfig {
+            keys: 2_048,
+            requests: 2_000,
+            mean_gap_ns: 15_000,
+            val_words: 16,
+            service_ns: 1_000,
+            poll_ns: 5_000,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Charged per table word during the (untimed-phase) shard build.
+const BUILD_NS_PER_WORD: f64 = 2.0;
+
+/// One PE's serving outcome, merged into [`apps::ServeStats`] by the
+/// driver.
+#[derive(Debug, Clone)]
+pub struct PeOut {
+    checksum: u64,
+    issued: u64,
+    completed: u64,
+    failed: u64,
+    shard_counts: Vec<u64>,
+    hist: LatencyHist,
+}
+
+/// Per-PE client-side bookkeeping shared by the three implementations.
+pub(crate) struct ClientLog {
+    checksum: u64,
+    issued: u64,
+    completed: u64,
+    failed: u64,
+    shard_counts: Vec<u64>,
+    hist: LatencyHist,
+}
+
+impl ClientLog {
+    pub(crate) fn new(pes: usize) -> Self {
+        ClientLog {
+            checksum: 0,
+            issued: 0,
+            completed: 0,
+            failed: 0,
+            shard_counts: vec![0; pes],
+            hist: LatencyHist::new(),
+        }
+    }
+
+    /// Admit `req` targeting shard `owner`. Returns `true` when the
+    /// request is shed by the admission deadline (no work must be done).
+    pub(crate) fn admit(
+        &mut self,
+        now: SimTime,
+        req: &Request,
+        owner: usize,
+        cfg: &ServeConfig,
+    ) -> bool {
+        self.issued += 1;
+        self.shard_counts[owner] += 1;
+        if let Some(d) = cfg.deadline_ns {
+            if now.saturating_sub(req.arrival) > d {
+                self.failed += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Record a completed lookup that returned first value word `val0`.
+    pub(crate) fn complete(&mut self, now: SimTime, req: &Request, val0: u64, cfg: &ServeConfig) {
+        debug_assert_eq!(
+            val0,
+            clients::value_word(cfg.seed, req.key, 0),
+            "lookup returned the wrong value for key {}",
+            req.key
+        );
+        self.completed += 1;
+        self.checksum = self.checksum.wrapping_add(val0);
+        self.hist.record(now - req.arrival);
+    }
+
+    pub(crate) fn into_pe_out(self) -> PeOut {
+        PeOut {
+            checksum: self.checksum,
+            issued: self.issued,
+            completed: self.completed,
+            failed: self.failed,
+            shard_counts: self.shard_counts,
+            hist: self.hist,
+        }
+    }
+}
+
+/// Advance the PE's clock to `req.arrival` if it is still early — the
+/// open-loop client's idle gap (charged as synchronisation wait).
+#[inline]
+pub(crate) fn await_arrival(ctx: &mut Ctx, req: &Request) {
+    if ctx.now() < req.arrival {
+        ctx.wait_until_traced(req.arrival, EventKind::Other, None, None);
+    }
+}
+
+/// Charge one lookup's service compute as a traced request span carrying
+/// the value payload size and the shard owner, and bump the served
+/// counter.
+#[inline]
+pub(crate) fn serve_cost(ctx: &mut Ctx, cfg: &ServeConfig, owner: usize) {
+    ctx.advance_traced(
+        cfg.service_ns,
+        TimeCat::Busy,
+        EventKind::Request,
+        (cfg.val_words * 8).min(u32::MAX as usize) as u32,
+        Some(owner as u32),
+    );
+    ctx.counters_mut().requests_served += 1;
+}
+
+/// Run the serving workload under `model` with the process-default
+/// scheduling policy.
+pub fn run(machine: Arc<Machine>, model: Model, cfg: &ServeConfig) -> RunMetrics {
+    run_sched(machine, model, cfg, None)
+}
+
+/// [`run`] with an explicit scheduling policy (experiments pin
+/// [`SchedPolicy::Det`] so latency comparisons replay bitwise).
+pub fn run_sched(
+    machine: Arc<Machine>,
+    model: Model,
+    cfg: &ServeConfig,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
+    assert!(cfg.keys >= machine.pes(), "need at least one key per shard");
+    assert!(cfg.val_words > 0, "values must have at least one word");
+    match model {
+        Model::Mp => mp::run_sched(machine, cfg, sched),
+        Model::Shmem => shmem::run_sched(machine, cfg, sched),
+        Model::Sas => sas::run_sched(machine, cfg, sched),
+        Model::Hybrid => unimplemented!("the serving workload covers the paper's three models"),
+    }
+}
+
+/// Assemble [`RunMetrics`] (with [`ServeStats`]) from a finished team
+/// run. The checksum is an order-independent wrapping sum, so it is
+/// bitwise comparable across models and schedules.
+pub(crate) fn finish(model: Model, cfg: &ServeConfig, run: &TeamRun<PeOut>) -> RunMetrics {
+    let pes = run.results.len();
+    let mut hist = LatencyHist::new();
+    let mut shard_counts = vec![0u64; pes];
+    let (mut issued, mut completed, mut failed, mut checksum) = (0u64, 0u64, 0u64, 0u64);
+    for r in &run.results {
+        hist.merge(&r.hist);
+        issued += r.issued;
+        completed += r.completed;
+        failed += r.failed;
+        checksum = checksum.wrapping_add(r.checksum);
+        for (a, b) in shard_counts.iter_mut().zip(&r.shard_counts) {
+            *a += b;
+        }
+    }
+    debug_assert_eq!(issued, completed + failed, "request conservation");
+    debug_assert_eq!(issued, cfg.requests, "every generated request admitted");
+    let sim = run.sim_time();
+    let stats = ServeStats {
+        issued,
+        completed,
+        failed,
+        p50_ns: hist.quantile(0.50),
+        p99_ns: hist.quantile(0.99),
+        p999_ns: hist.quantile(0.999),
+        max_ns: hist.max(),
+        mean_ns: hist.mean(),
+        throughput_rps: completed as f64 * 1e9 / sim.max(1) as f64,
+        shard_counts,
+    };
+    let mut m = RunMetrics::collect_with_checksum(
+        App::Serve,
+        model,
+        run,
+        cfg.requests as usize,
+        checksum as f64,
+    );
+    m.serve = Some(stats);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::{ContentionMode, MachineConfig};
+    use proptest::prelude::*;
+
+    fn queued_machine(p: usize) -> Arc<Machine> {
+        Arc::new(Machine::new(
+            p,
+            MachineConfig {
+                contention: ContentionMode::Queued,
+                ..MachineConfig::origin2000()
+            },
+        ))
+    }
+
+    fn det() -> Option<SchedPolicy> {
+        Some(SchedPolicy::Det)
+    }
+
+    #[test]
+    fn three_models_agree_on_the_data() {
+        let cfg = ServeConfig::small();
+        let runs: Vec<RunMetrics> = Model::ALL
+            .iter()
+            .map(|&m| run_sched(queued_machine(8), m, &cfg, det()))
+            .collect();
+        for m in &runs {
+            let s = m.serve.as_ref().expect("serve stats present");
+            assert_eq!(s.issued, cfg.requests);
+            assert_eq!(s.completed, cfg.requests, "no shedding by default");
+            assert_eq!(s.failed, 0);
+            assert_eq!(s.shard_counts.iter().sum::<u64>(), cfg.requests);
+            assert_eq!(m.counters.requests_served, s.completed);
+            assert!(s.p50_ns <= s.p99_ns && s.p99_ns <= s.p999_ns && s.p999_ns <= s.max_ns);
+            assert!(s.throughput_rps > 0.0);
+            assert!(m.net.is_some(), "queued machine reports NetStats");
+        }
+        assert_eq!(runs[0].checksum, runs[1].checksum, "MP vs SHMEM data");
+        assert_eq!(runs[1].checksum, runs[2].checksum, "SHMEM vs CC-SAS data");
+        // Same streams → identical per-shard demand under every model.
+        let counts = |m: &RunMetrics| m.serve.as_ref().unwrap().shard_counts.clone();
+        assert_eq!(counts(&runs[0]), counts(&runs[1]));
+        assert_eq!(counts(&runs[1]), counts(&runs[2]));
+    }
+
+    #[test]
+    fn mp_replays_bitwise_under_det() {
+        let cfg = ServeConfig::small();
+        let a = run_sched(queued_machine(8), Model::Mp, &cfg, det());
+        let b = run_sched(queued_machine(8), Model::Mp, &cfg, det());
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(
+            a.serve.as_ref().unwrap().p999_ns,
+            b.serve.as_ref().unwrap().p999_ns
+        );
+        assert_eq!(
+            a.sched.as_ref().map(|s| s.fingerprint),
+            b.sched.as_ref().map(|s| s.fingerprint),
+            "identical interleaving"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_but_conserves_requests() {
+        // A brutal arrival rate with a tight deadline: the MP servers
+        // cannot keep up, so admission control must shed — and issued
+        // still equals completed + failed.
+        let cfg = ServeConfig {
+            mean_gap_ns: 800,
+            deadline_ns: Some(20_000),
+            requests: 1_500,
+            ..ServeConfig::small()
+        };
+        let m = run_sched(queued_machine(4), Model::Mp, &cfg, det());
+        let s = m.serve.as_ref().unwrap();
+        assert_eq!(s.issued, cfg.requests);
+        assert_eq!(s.issued, s.completed + s.failed, "conservation");
+        assert!(s.failed > 0, "overload must shed ({} failed)", s.failed);
+        assert!(s.completed > 0, "but not everything");
+    }
+
+    #[test]
+    fn skew_concentrates_shard_demand() {
+        let cfg = ServeConfig {
+            skew: 3.0,
+            ..ServeConfig::small()
+        };
+        let m = run_sched(queued_machine(8), Model::Shmem, &cfg, det());
+        let counts = m.serve.unwrap().shard_counts;
+        let hot = counts[0];
+        let mean = cfg.requests / counts.len() as u64;
+        assert!(
+            hot > 2 * mean,
+            "skew 3.0 must overload shard 0 ({hot} vs mean {mean})"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// End-to-end request conservation and quantile ordering across
+        /// random small configurations (all under SHMEM, the fastest
+        /// substrate, with deadlines sometimes shedding).
+        #[test]
+        fn conservation_and_monotone_quantiles(
+            seed in 0u64..1_000,
+            gap in 1_200u64..20_000,
+            deadline in 0usize..3,
+        ) {
+            let cfg = ServeConfig {
+                requests: 600,
+                keys: 512,
+                mean_gap_ns: gap,
+                deadline_ns: [None, Some(5_000), Some(50_000)][deadline],
+                seed,
+                ..ServeConfig::small()
+            };
+            let m = run_sched(queued_machine(4), Model::Shmem, &cfg, det());
+            let s = m.serve.as_ref().unwrap();
+            prop_assert_eq!(s.issued, cfg.requests);
+            prop_assert_eq!(s.issued, s.completed + s.failed);
+            prop_assert!(s.p50_ns <= s.p99_ns);
+            prop_assert!(s.p99_ns <= s.p999_ns);
+            prop_assert!(s.p999_ns <= s.max_ns);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! MP serving: request *routing* through mailboxes.
+//!
+//! The client PE sends the key to the shard owner and blocks for the
+//! reply; the owner answers from its local shard. Because every PE is
+//! both a client and a server, waiting is never idle: while blocked on
+//! its own reply a PE serves any request that lands in its mailbox, and
+//! while idling between its own arrivals it polls the mailbox every
+//! [`crate::ServeConfig::poll_ns`]. This is the real cost of MP serving —
+//! a request's latency includes the time its owner spent finishing
+//! whatever it was doing first — and the reason its tail behaves
+//! differently from the one-sided models under load.
+//!
+//! Termination uses a DONE token per ordered PE pair: mailbox matching is
+//! FIFO per sender, so once a PE holds a DONE from every peer, no request
+//! for its shard can still be in flight. This stays correct when the
+//! admission deadline sheds requests (a shed request is never sent, so
+//! counting-based termination would hang).
+
+use std::sync::Arc;
+
+use apps::{Model, RunMetrics};
+use machine::Machine;
+use mp::{MpWorld, RecvSpec, Tag};
+use parallel::{Ctx, EventKind, SchedPolicy, Team};
+
+use crate::clients;
+use crate::{finish, serve_cost, ClientLog, PeOut, ServeConfig, BUILD_NS_PER_WORD};
+
+const TAG_REQ: Tag = 1;
+const TAG_REP: Tag = 2;
+const TAG_DONE: Tag = 3;
+
+pub fn run_sched(
+    machine: Arc<Machine>,
+    cfg: &ServeConfig,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
+    let world = MpWorld::new(Arc::clone(&machine));
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
+    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    finish(Model::Mp, cfg, &run)
+}
+
+/// One PE's shard plus the key range it owns.
+struct Shard {
+    start: usize,
+    vals: Vec<u64>,
+}
+
+fn rank_main(ctx: &mut Ctx, world: &MpWorld, cfg: &ServeConfig) -> PeOut {
+    let p = ctx.npes();
+    let me = ctx.pe();
+    let v = cfg.val_words;
+
+    // --- build: materialise my shard of the table ---
+    ctx.net_phase("build");
+    let start = clients::shard_start(me, cfg.keys, p);
+    let len = clients::shard_len(me, cfg.keys, p);
+    let mut vals = vec![0u64; len * v];
+    for k in 0..len {
+        for w in 0..v {
+            vals[k * v + w] = clients::value_word(cfg.seed, start + k, w);
+        }
+    }
+    ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
+    let shard = Shard { start, vals };
+    let stream = clients::stream(cfg, me, p);
+    ctx.barrier();
+
+    // --- serve: open-loop client + interleaved server ---
+    ctx.net_phase("serve");
+    let mut log = ClientLog::new(p);
+    let mut dones = 0usize;
+    for req in &stream {
+        // Poll the mailbox while idling until this request's arrival.
+        while ctx.now() < req.arrival {
+            drain(ctx, world, &shard, cfg, &mut dones);
+            let now = ctx.now();
+            if now >= req.arrival {
+                break;
+            }
+            let next = (now + cfg.poll_ns).min(req.arrival);
+            ctx.wait_until_traced(next, EventKind::Other, None, None);
+        }
+        drain(ctx, world, &shard, cfg, &mut dones);
+        let owner = clients::owner_of(req.key, cfg.keys, p);
+        if log.admit(ctx.now(), req, owner, cfg) {
+            continue; // shed: no message, no work
+        }
+        if owner == me {
+            let val0 = shard.vals[(req.key - shard.start) * v];
+            serve_cost(ctx, cfg, me);
+            log.complete(ctx.now(), req, val0, cfg);
+        } else {
+            world.send(ctx, owner, TAG_REQ, &[req.key as u64]);
+            // Serve whatever arrives until our own reply does. Only one
+            // request of ours is ever outstanding, so any REP is ours.
+            let val0 = loop {
+                let (src, tag, data) = world.recv::<u64>(
+                    ctx,
+                    RecvSpec {
+                        src: None,
+                        tag: None,
+                    },
+                );
+                match tag {
+                    TAG_REQ => answer(ctx, world, &shard, cfg, src, data[0] as usize),
+                    TAG_DONE => dones += 1,
+                    _ => break data[0],
+                }
+            };
+            log.complete(ctx.now(), req, val0, cfg);
+        }
+    }
+
+    // --- drain the tail: serve until every peer has said DONE ---
+    for dst in 0..p {
+        if dst != me {
+            world.send(ctx, dst, TAG_DONE, &[0u64]);
+        }
+    }
+    while dones < p - 1 {
+        let (src, tag, data) = world.recv::<u64>(
+            ctx,
+            RecvSpec {
+                src: None,
+                tag: None,
+            },
+        );
+        match tag {
+            TAG_REQ => answer(ctx, world, &shard, cfg, src, data[0] as usize),
+            TAG_DONE => dones += 1,
+            t => unreachable!("unexpected reply tag {t} after own stream finished"),
+        }
+    }
+    ctx.barrier();
+    log.into_pe_out()
+}
+
+/// Serve every request currently queued in the mailbox (non-blocking).
+fn drain(ctx: &mut Ctx, world: &MpWorld, shard: &Shard, cfg: &ServeConfig, dones: &mut usize) {
+    while let Some((src, tag, data)) = world.try_recv::<u64>(
+        ctx,
+        RecvSpec {
+            src: None,
+            tag: None,
+        },
+    ) {
+        match tag {
+            TAG_REQ => answer(ctx, world, shard, cfg, src, data[0] as usize),
+            TAG_DONE => *dones += 1,
+            t => unreachable!("unexpected tag {t} while idle (no request outstanding)"),
+        }
+    }
+}
+
+/// Look up `key` in my shard and send the value back to `src`.
+fn answer(
+    ctx: &mut Ctx,
+    world: &MpWorld,
+    shard: &Shard,
+    cfg: &ServeConfig,
+    src: usize,
+    key: usize,
+) {
+    let off = (key - shard.start) * cfg.val_words;
+    serve_cost(ctx, cfg, src);
+    world.send_vec(
+        ctx,
+        src,
+        TAG_REP,
+        shard.vals[off..off + cfg.val_words].to_vec(),
+    );
+}

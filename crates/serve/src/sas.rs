@@ -1,0 +1,78 @@
+//! CC-SAS serving: coherent reads of one shared table.
+//!
+//! The table is a single shared allocation; each PE writes its own shard
+//! and homes those pages on its node, so a lookup is a plain
+//! `read_range` through the modelled coherence protocol: hot keys stay
+//! in the reader's cache, cold keys pay line-granularity fills from the
+//! home node. Under a degraded fabric every fill for a hot shard queues
+//! on the sick node's port — line traffic, not one message — which is
+//! exactly the tail-latency contrast experiment Q1 measures.
+
+use std::sync::Arc;
+
+use apps::{Model, RunMetrics};
+use machine::Machine;
+use parallel::{Ctx, SchedPolicy, Team};
+use sas::SasWorld;
+
+use crate::clients;
+use crate::{await_arrival, finish, serve_cost, ClientLog, PeOut, ServeConfig, BUILD_NS_PER_WORD};
+
+pub fn run_sched(
+    machine: Arc<Machine>,
+    cfg: &ServeConfig,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
+    let world = SasWorld::new(Arc::clone(&machine));
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
+    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    finish(Model::Sas, cfg, &run)
+}
+
+fn rank_main(ctx: &mut Ctx, world: &SasWorld, cfg: &ServeConfig) -> PeOut {
+    let p = ctx.npes();
+    let me = ctx.pe();
+    let v = cfg.val_words;
+
+    // --- build: shared table, my shard written and homed here ---
+    ctx.net_phase("build");
+    let table = world.alloc::<u64>(ctx, cfg.keys * v);
+    let start = clients::shard_start(me, cfg.keys, p);
+    let len = clients::shard_len(me, cfg.keys, p);
+    // sim:begin — on real hardware this loop is the same table fill every
+    // model does; write_raw/home_pages exist to seed the cache simulator.
+    for k in 0..len {
+        for w in 0..v {
+            table.write_raw(
+                (start + k) * v + w,
+                clients::value_word(cfg.seed, start + k, w),
+            );
+        }
+    }
+    table.home_pages(ctx, start * v, (start + len) * v);
+    // sim:end
+    ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
+    let stream = clients::stream(cfg, me, p);
+    let mut pe = world.pe();
+    ctx.barrier();
+
+    // --- serve: every lookup reads the value through the coherence
+    // protocol (one access per covered cache line) ---
+    ctx.net_phase("serve");
+    let mut log = ClientLog::new(p);
+    for req in &stream {
+        await_arrival(ctx, req);
+        let owner = clients::owner_of(req.key, cfg.keys, p);
+        if log.admit(ctx.now(), req, owner, cfg) {
+            continue;
+        }
+        let val0 = pe.read_range(ctx, &table, req.key * v, (req.key + 1) * v)[0];
+        serve_cost(ctx, cfg, owner);
+        log.complete(ctx.now(), req, val0, cfg);
+    }
+    ctx.barrier();
+    log.into_pe_out()
+}

@@ -1,0 +1,76 @@
+//! SHMEM serving: one-sided gets against symmetric shard tables.
+//!
+//! Every PE allocates the same-size symmetric shard (the largest shard's
+//! length) and fills its own keys; a client then satisfies a lookup with
+//! a single `shmem_get` from the owner's shard — no server involvement,
+//! no mailbox, no polling. Latency is the get's network round trip plus
+//! the local service compute, so the tail is shaped entirely by fabric
+//! contention on the owner's node, not by server queueing.
+
+use std::sync::Arc;
+
+use apps::{Model, RunMetrics};
+use machine::Machine;
+use parallel::{Ctx, SchedPolicy, Team};
+use shmem::SymWorld;
+
+use crate::clients;
+use crate::{await_arrival, finish, serve_cost, ClientLog, PeOut, ServeConfig, BUILD_NS_PER_WORD};
+
+pub fn run_sched(
+    machine: Arc<Machine>,
+    cfg: &ServeConfig,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
+    let world = SymWorld::new(Arc::clone(&machine));
+    let mut team = Team::new(machine).seed(cfg.seed);
+    if let Some(s) = sched {
+        team = team.sched(s);
+    }
+    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    finish(Model::Shmem, cfg, &run)
+}
+
+fn rank_main(ctx: &mut Ctx, world: &SymWorld, cfg: &ServeConfig) -> PeOut {
+    let p = ctx.npes();
+    let me = ctx.pe();
+    let v = cfg.val_words;
+
+    // --- build: symmetric shard table, my keys written locally ---
+    ctx.net_phase("build");
+    let slot = clients::max_shard_len(cfg.keys, p);
+    let table = world.alloc::<u64>(ctx, slot * v);
+    let start = clients::shard_start(me, cfg.keys, p);
+    let len = clients::shard_len(me, cfg.keys, p);
+    let mut vals = vec![0u64; len * v];
+    for k in 0..len {
+        for w in 0..v {
+            vals[k * v + w] = clients::value_word(cfg.seed, start + k, w);
+        }
+    }
+    table.write_local(ctx, 0, &vals);
+    ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
+    let stream = clients::stream(cfg, me, p);
+    world.barrier_all(ctx);
+
+    // --- serve: every lookup is one one-sided get ---
+    ctx.net_phase("serve");
+    let mut log = ClientLog::new(p);
+    for req in &stream {
+        await_arrival(ctx, req);
+        let owner = clients::owner_of(req.key, cfg.keys, p);
+        if log.admit(ctx.now(), req, owner, cfg) {
+            continue;
+        }
+        let off = (req.key - clients::shard_start(owner, cfg.keys, p)) * v;
+        let val0 = if owner == me {
+            table.read_local1(ctx, off)
+        } else {
+            table.get(ctx, owner, off, v)[0]
+        };
+        serve_cost(ctx, cfg, owner);
+        log.complete(ctx.now(), req, val0, cfg);
+    }
+    world.barrier_all(ctx);
+    log.into_pe_out()
+}

@@ -75,11 +75,15 @@ pub enum EventKind {
     /// the PE yielded here and another PE ran before it resumed. Only
     /// recorded when [`set_sched_events`] is on.
     SchedHandoff,
+    /// One served client request of the `o2k-serve` workload: the span is
+    /// the server-side service time, `bytes` the value payload, and `peer`
+    /// the shard owner the lookup resolved to.
+    Request,
 }
 
 impl EventKind {
     /// Every kind, for tabulation.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::Compute,
         EventKind::Other,
         EventKind::BarrierWait,
@@ -100,6 +104,7 @@ impl EventKind {
         EventKind::MissRemote,
         EventKind::Writeback,
         EventKind::SchedHandoff,
+        EventKind::Request,
     ];
 
     /// Stable display name (also used as the Perfetto slice name).
@@ -125,6 +130,7 @@ impl EventKind {
             EventKind::MissRemote => "miss_remote",
             EventKind::Writeback => "writeback",
             EventKind::SchedHandoff => "sched_handoff",
+            EventKind::Request => "request",
         }
     }
 

@@ -27,6 +27,8 @@
 //! * [`mp`] / [`shmem`] / [`sas`] — the three programming-model runtimes;
 //! * [`mesh`] / [`partition`] / [`nbody`] — application substrates;
 //! * [`apps`] — the two applications × three models;
+//! * [`serve`] — the request-serving workload (open-loop clients,
+//!   tail-latency histograms) under the same three models;
 //! * [`core`] — sweeps, metrics, programming-effort, rendering.
 
 pub use apps;
@@ -37,6 +39,7 @@ pub use nbody;
 pub use o2k_core as core;
 pub use o2k_net as net;
 pub use o2k_sched as sched;
+pub use o2k_serve as serve;
 pub use parallel;
 pub use partition;
 pub use sas;
@@ -44,9 +47,10 @@ pub use shmem;
 
 /// The most common imports for driving experiments.
 pub mod prelude {
-    pub use apps::{run_app, AmrConfig, App, Model, NBodyConfig, RunMetrics};
+    pub use apps::{run_app, AmrConfig, App, Model, NBodyConfig, RunMetrics, ServeStats};
     pub use machine::{Machine, MachineConfig};
     pub use o2k_core::{effort_table, sweep_models};
     pub use o2k_sched::SchedPolicy;
+    pub use o2k_serve::ServeConfig;
     pub use parallel::Team;
 }

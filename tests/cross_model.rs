@@ -142,6 +142,7 @@ fn sas_det_pair(app: App, nb: &NBodyConfig, am: &AmrConfig) -> (RunMetrics, RunM
             PagePolicy::FirstTouch,
             Some(SchedPolicy::Det),
         ),
+        App::Serve => unreachable!("the serving workload has its own det tests"),
     };
     (go(), go())
 }

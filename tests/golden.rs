@@ -254,6 +254,47 @@ fn repro_n2_is_bitwise_identical_under_det() {
     );
 }
 
+/// Same property for the serving experiment: Q1 threads a million-scale
+/// open-loop request stream through all three models, four fabric
+/// conditions, HDR quantiles, and the hotspot reports — and the whole
+/// rendered archive must replay bitwise (Q1 pins the deterministic
+/// scheduler internally).
+#[test]
+fn repro_q1_is_bitwise_identical_under_det() {
+    pin_det();
+    let a = o2k_bench::run_experiment("q1", true);
+    let b = o2k_bench::run_experiment("q1", true);
+    assert_eq!(a, b, "repro q1 must be bitwise reproducible under det");
+    assert!(
+        a.contains("p99 ns") && a.contains("sick"),
+        "sanity: Q1 reports tail latencies across fabric conditions"
+    );
+}
+
+/// The serving workload's full result set — simulated time, quantiles,
+/// merged counters, per-link NetStats, and the schedule fingerprint —
+/// replays bitwise under the deterministic scheduler for every model.
+#[test]
+fn serve_results_are_bitwise_reproducible_under_det() {
+    pin_det();
+    let cfg = origin2k::serve::ServeConfig::small();
+    for model in Model::ALL {
+        let go =
+            || origin2k::serve::run_sched(queued_machine(8), model, &cfg, Some(SchedPolicy::Det));
+        let (a, b) = (go(), go());
+        assert_eq!(a.sim_time, b.sim_time, "{model:?} sim time");
+        assert_eq!(a.checksum, b.checksum, "{model:?} checksum");
+        assert_eq!(a.counters, b.counters, "{model:?} counters");
+        assert_eq!(a.serve, b.serve, "{model:?} latency quantiles");
+        assert_eq!(a.net, b.net, "{model:?} per-link NetStats");
+        assert_eq!(
+            a.sched.as_ref().map(|s| s.fingerprint),
+            b.sched.as_ref().map(|s| s.fingerprint),
+            "{model:?} schedule fingerprint"
+        );
+    }
+}
+
 // ------------------------------------------ contention-model determinism
 
 /// The Origin2000 machine with the interconnect queueing model on.
