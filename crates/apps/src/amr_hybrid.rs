@@ -46,12 +46,14 @@ pub fn run(machine: Arc<Machine>, cfg: &AmrConfig) -> RunMetrics {
 /// [`run`] with an explicit scheduling policy. `None` keeps the process
 /// default ([`parallel::sched::default_policy`]).
 pub fn run_sched(machine: Arc<Machine>, cfg: &AmrConfig, sched: Option<SchedPolicy>) -> RunMetrics {
+    run_opts(machine, cfg, crate::RunOpts::with_sched(sched))
+}
+
+/// [`run`] with full execution options (see [`crate::RunOpts`]).
+pub fn run_opts(machine: Arc<Machine>, cfg: &AmrConfig, opts: crate::RunOpts) -> RunMetrics {
     let mp = MpWorld::new(Arc::clone(&machine));
     let sas = SasWorld::new(Arc::clone(&machine));
-    let mut team = Team::new(Arc::clone(&machine)).seed(cfg.seed);
-    if let Some(s) = sched {
-        team = team.sched(s);
-    }
+    let team = opts.configure(Team::new(Arc::clone(&machine)).seed(cfg.seed));
     let run = team.run(|ctx| pe_main(ctx, &mp, &sas, cfg));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);

@@ -37,11 +37,18 @@ pub fn run_with(
     policy: PagePolicy,
     sched: Option<SchedPolicy>,
 ) -> RunMetrics {
+    run_with_opts(machine, cfg, policy, crate::RunOpts::with_sched(sched))
+}
+
+/// [`run_with`] with full execution options (see [`crate::RunOpts`]).
+pub fn run_with_opts(
+    machine: Arc<Machine>,
+    cfg: &AmrConfig,
+    policy: PagePolicy,
+    opts: crate::RunOpts,
+) -> RunMetrics {
     let world = SasWorld::with_paging(Arc::clone(&machine), policy);
-    let mut team = Team::new(machine).seed(cfg.seed);
-    if let Some(s) = sched {
-        team = team.sched(s);
-    }
+    let team = opts.configure(Team::new(machine).seed(cfg.seed));
     let run = team.run(|ctx| pe_main(ctx, &world, cfg));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);

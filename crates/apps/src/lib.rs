@@ -39,6 +39,47 @@ pub use nbody_common::NBodyConfig;
 use std::sync::Arc;
 
 use machine::Machine;
+use parallel::{ExecMode, SchedPolicy, Team};
+
+/// Per-run execution options every model entry point honours: an optional
+/// scheduling-policy override and an optional execution-backend override.
+/// `None` keeps the process defaults
+/// ([`parallel::sched::default_policy`] / [`parallel::sched::default_exec`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOpts {
+    /// Scheduling policy (which PE runs next).
+    pub sched: Option<SchedPolicy>,
+    /// Execution backend (what a PE is: OS thread or coroutine).
+    pub exec: Option<ExecMode>,
+}
+
+impl RunOpts {
+    /// Only a scheduling policy — the legacy `run_sched` surface.
+    pub fn with_sched(sched: Option<SchedPolicy>) -> Self {
+        RunOpts { sched, exec: None }
+    }
+
+    /// Deterministic schedule on the single-threaded event backend: the
+    /// combination the P ≥ 1024 scaling experiments require (the thread
+    /// backend refuses teams past its cap).
+    pub fn det_event() -> Self {
+        RunOpts {
+            sched: Some(SchedPolicy::Det),
+            exec: Some(ExecMode::Event),
+        }
+    }
+
+    /// Apply the overrides to a team builder.
+    pub fn configure(&self, mut team: Team) -> Team {
+        if let Some(s) = self.sched {
+            team = team.sched(s);
+        }
+        if let Some(e) = self.exec {
+            team = team.exec(e);
+        }
+        team
+    }
+}
 
 /// Run an application under a model on a machine. The uniform entry point
 /// the experiment driver uses.
@@ -62,21 +103,41 @@ pub fn run_app_sched(
     model: Model,
     nbody_cfg: &NBodyConfig,
     amr_cfg: &AmrConfig,
-    sched: Option<parallel::SchedPolicy>,
+    sched: Option<SchedPolicy>,
+) -> RunMetrics {
+    run_app_opts(
+        machine,
+        app,
+        model,
+        nbody_cfg,
+        amr_cfg,
+        RunOpts::with_sched(sched),
+    )
+}
+
+/// [`run_app`] with full execution options (scheduling policy *and*
+/// execution backend — see [`RunOpts`]).
+pub fn run_app_opts(
+    machine: Arc<Machine>,
+    app: App,
+    model: Model,
+    nbody_cfg: &NBodyConfig,
+    amr_cfg: &AmrConfig,
+    opts: RunOpts,
 ) -> RunMetrics {
     match (app, model) {
-        (App::NBody, Model::Mp) => nbody_mp::run_sched(machine, nbody_cfg, sched),
-        (App::NBody, Model::Shmem) => nbody_shmem::run_sched(machine, nbody_cfg, sched),
+        (App::NBody, Model::Mp) => nbody_mp::run_opts(machine, nbody_cfg, opts),
+        (App::NBody, Model::Shmem) => nbody_shmem::run_opts(machine, nbody_cfg, opts),
         (App::NBody, Model::Sas) => {
-            nbody_sas::run_with(machine, nbody_cfg, sas::PagePolicy::FirstTouch, sched)
+            nbody_sas::run_with_opts(machine, nbody_cfg, sas::PagePolicy::FirstTouch, opts)
         }
-        (App::Amr, Model::Mp) => amr_mp::run_sched(machine, amr_cfg, sched),
-        (App::Amr, Model::Shmem) => amr_shmem::run_sched(machine, amr_cfg, sched),
+        (App::Amr, Model::Mp) => amr_mp::run_opts(machine, amr_cfg, opts),
+        (App::Amr, Model::Shmem) => amr_shmem::run_opts(machine, amr_cfg, opts),
         (App::Amr, Model::Sas) => {
-            amr_sas::run_with(machine, amr_cfg, sas::PagePolicy::FirstTouch, sched)
+            amr_sas::run_with_opts(machine, amr_cfg, sas::PagePolicy::FirstTouch, opts)
         }
-        (App::Amr, Model::Hybrid) => amr_hybrid::run_sched(machine, amr_cfg, sched),
-        (App::NBody, Model::Hybrid) => nbody_hybrid::run_sched(machine, nbody_cfg, sched),
+        (App::Amr, Model::Hybrid) => amr_hybrid::run_opts(machine, amr_cfg, opts),
+        (App::NBody, Model::Hybrid) => nbody_hybrid::run_opts(machine, nbody_cfg, opts),
         // The serving workload lives above this crate (it reuses all three
         // substrates *and* these metrics), so it has its own entry point.
         (App::Serve, _) => {

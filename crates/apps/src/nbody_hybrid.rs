@@ -42,16 +42,18 @@ pub fn run_sched(
     cfg: &NBodyConfig,
     sched: Option<SchedPolicy>,
 ) -> RunMetrics {
+    run_opts(machine, cfg, crate::RunOpts::with_sched(sched))
+}
+
+/// [`run`] with full execution options (see [`crate::RunOpts`]).
+pub fn run_opts(machine: Arc<Machine>, cfg: &NBodyConfig, opts: crate::RunOpts) -> RunMetrics {
     assert!(
         cfg.n >= machine.topology.nodes(),
         "need bodies on every node"
     );
     let mp = MpWorld::new(Arc::clone(&machine));
     let sas = SasWorld::new(Arc::clone(&machine));
-    let mut team = Team::new(Arc::clone(&machine)).seed(cfg.seed);
-    if let Some(s) = sched {
-        team = team.sched(s);
-    }
+    let team = opts.configure(Team::new(Arc::clone(&machine)).seed(cfg.seed));
     let run = team.run(|ctx| pe_main(ctx, &mp, &sas, cfg));
     RunMetrics::collect(App::NBody, Model::Hybrid, &run, cfg.n)
 }

@@ -42,12 +42,19 @@ pub fn run_with(
     policy: PagePolicy,
     sched: Option<SchedPolicy>,
 ) -> RunMetrics {
+    run_with_opts(machine, cfg, policy, crate::RunOpts::with_sched(sched))
+}
+
+/// [`run_with`] with full execution options (see [`crate::RunOpts`]).
+pub fn run_with_opts(
+    machine: Arc<Machine>,
+    cfg: &NBodyConfig,
+    policy: PagePolicy,
+    opts: crate::RunOpts,
+) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per PE");
     let world = SasWorld::with_paging(Arc::clone(&machine), policy);
-    let mut team = Team::new(machine).seed(cfg.seed);
-    if let Some(s) = sched {
-        team = team.sched(s);
-    }
+    let team = opts.configure(Team::new(machine).seed(cfg.seed));
     let run = team.run(|ctx| pe_main(ctx, &world, cfg));
     RunMetrics::collect(App::NBody, Model::Sas, &run, cfg.n)
 }

@@ -43,12 +43,14 @@ pub fn run_sched(
     cfg: &NBodyConfig,
     sched: Option<SchedPolicy>,
 ) -> RunMetrics {
+    run_opts(machine, cfg, crate::RunOpts::with_sched(sched))
+}
+
+/// [`run`] with full execution options (see [`crate::RunOpts`]).
+pub fn run_opts(machine: Arc<Machine>, cfg: &NBodyConfig, opts: crate::RunOpts) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per PE");
     let world = SymWorld::new(Arc::clone(&machine));
-    let mut team = Team::new(machine).seed(cfg.seed);
-    if let Some(s) = sched {
-        team = team.sched(s);
-    }
+    let team = opts.configure(Team::new(machine).seed(cfg.seed));
     let run = team.run(|ctx| pe_main(ctx, &world, cfg));
     RunMetrics::collect(App::NBody, Model::Shmem, &run, cfg.n)
 }

@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the execution backends:
+//!
+//! * `coro_switch_100` — 100 yield/resume pairs through the raw stack
+//!   switch (the event core's unit cost, vs ~µs for a condvar handoff);
+//! * `nbody_p64_{thread,event}` / `serve_p64_{thread,event}` — the same
+//!   deterministic run on both backends, head to head;
+//! * `{nbody,serve}_p{256,1024}_event` — the scaling trajectory past the
+//!   thread cap, event core only (the wall-clock curve BENCH_exec.json
+//!   pins; every run replays the det schedule, so sim results are fixed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use apps::{App, Model, NBodyConfig, RunOpts};
+use machine::{Machine, MachineConfig};
+use o2k_sched::coro;
+use o2k_serve::ServeConfig;
+use parallel::{ExecMode, SchedPolicy};
+
+fn machine(p: usize) -> Arc<Machine> {
+    Arc::new(Machine::new(p, MachineConfig::origin2000()))
+}
+
+fn opts(exec: ExecMode) -> RunOpts {
+    RunOpts {
+        sched: Some(SchedPolicy::Det),
+        exec: Some(exec),
+    }
+}
+
+fn nbody_cfg() -> NBodyConfig {
+    NBodyConfig {
+        n: 2_048,
+        steps: 1,
+        ..NBodyConfig::default()
+    }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        keys: 16_384,
+        requests: 2_048,
+        seed: 0x00C0_FFEE,
+        ..ServeConfig::default()
+    }
+}
+
+fn bench_exec(c: &mut Criterion) {
+    c.bench_function("coro_switch_100", |b| {
+        b.iter(|| {
+            let mut co = coro::Coro::new(coro::stack_bytes(), || {
+                for _ in 0..100 {
+                    coro::yield_current();
+                }
+            });
+            let mut resumes = 0u32;
+            while !co.resume() {
+                resumes += 1;
+            }
+            resumes
+        })
+    });
+
+    let nb = nbody_cfg();
+    for (p, exec) in [
+        (64, ExecMode::Thread),
+        (64, ExecMode::Event),
+        (256, ExecMode::Event),
+        (1024, ExecMode::Event),
+    ] {
+        let name = format!("nbody_p{p}_{exec}");
+        let nb = nb.clone();
+        c.bench_function(&name, move |b| {
+            b.iter(|| {
+                apps::run_app_opts(
+                    machine(p),
+                    App::NBody,
+                    Model::Mp,
+                    &nb,
+                    &apps::AmrConfig::small(),
+                    opts(exec),
+                )
+                .sim_time
+            })
+        });
+    }
+
+    let sv = serve_cfg();
+    for (p, exec) in [
+        (64, ExecMode::Thread),
+        (64, ExecMode::Event),
+        (256, ExecMode::Event),
+        (1024, ExecMode::Event),
+    ] {
+        let name = format!("serve_p{p}_{exec}");
+        let sv = sv.clone();
+        c.bench_function(&name, move |b| {
+            b.iter(|| o2k_serve::run_opts(machine(p), Model::Shmem, &sv, opts(exec)).sim_time)
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench_exec
+}
+criterion_main!(benches);

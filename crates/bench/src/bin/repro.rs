@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <id>... [--quick] [--sched <policy>] [--fault <spec>] [--trace <dir>]
+//! repro <id>... [--quick] [--sched <policy>] [--exec <mode>] [--fault <spec>] [--trace <dir>]
 //! repro all [--quick]                       run the whole suite
 //! ```
 //!
@@ -18,6 +18,12 @@
 //! `os` (free-running host threads), `explore:<seed>` (seeded random
 //! interleaving), or `bp:<seed>:<budget>` (bounded preemption). See
 //! DESIGN.md "Determinism & scheduling".
+//!
+//! `--exec <mode>` (or `O2K_EXEC=<mode>`) picks the execution backend:
+//! `thread` (default — one OS thread per PE) or `event` (every PE a
+//! coroutine on one OS thread; required past 512 PEs, e.g. experiment
+//! E1's P=1024 points). Under `det` the two backends produce
+//! byte-identical archives — CI diffs them.
 //!
 //! `--fault <spec>` (or `O2K_FAULT=<spec>`) injects link faults into every
 //! machine the experiments build: `off` or
@@ -41,6 +47,10 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(o2k_sched::SchedPolicy::Det);
+    let mut exec = std::env::var("O2K_EXEC")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(o2k_sched::ExecMode::Thread);
     // `None` leaves the `O2K_FAULT` / healthy default in place.
     let mut fault: Option<machine::FaultMode> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -64,6 +74,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--exec" {
+            match it.next().map(|s| s.parse()) {
+                Some(Ok(e)) => exec = e,
+                _ => {
+                    eprintln!("--exec requires a mode: thread or event");
+                    std::process::exit(2);
+                }
+            }
         } else if a == "--fault" {
             match it.next().map(|s| machine::FaultMode::parse(s)) {
                 Some(Some(f)) => fault = Some(f),
@@ -81,12 +99,13 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro <id>... [--quick] [--sched <policy>] [--fault <spec>] [--trace <dir>]   ids: {} all",
+            "usage: repro <id>... [--quick] [--sched <policy>] [--exec <mode>] [--fault <spec>] [--trace <dir>]   ids: {} all",
             EXPERIMENT_IDS.join(" ")
         );
         std::process::exit(2);
     }
     o2k_sched::set_default_policy(sched);
+    o2k_sched::set_default_exec(exec);
     if let Some(f) = fault {
         machine::fault::set_default_fault(f);
     }

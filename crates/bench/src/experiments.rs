@@ -18,9 +18,9 @@ use partition::{
 use sas::PagePolicy;
 
 /// All experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 24] = [
+pub const EXPERIMENT_IDS: [&str; 25] = [
     "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "a1", "a2", "a3",
-    "a4", "a5", "a6", "s1", "n1", "n2", "n3", "q1",
+    "a4", "a5", "a6", "s1", "n1", "n2", "n3", "q1", "e1",
 ];
 
 /// Processor sweep used by the figure experiments.
@@ -119,6 +119,7 @@ pub fn run_experiment(id: &str, quick: bool) -> String {
         "n2" => n2_fault(quick),
         "n3" => n3_bus_saturation(quick),
         "q1" => q1_serving(quick),
+        "e1" => e1_scale(quick),
         other => panic!("unknown experiment id {other:?}"),
     }
 }
@@ -1665,6 +1666,131 @@ fn q1_serving(quick: bool) -> String {
     out
 }
 
+fn e1_scale(quick: bool) -> String {
+    use apps::{RunMetrics, RunOpts};
+    use o2k_serve::ServeConfig;
+    use parallel::{thread_pe_cap, ExecMode, SchedPolicy};
+
+    // E1: event-core scaling. The thread backend stops at the OS-thread
+    // cap ([`parallel::thread_pe_cap`], 512 by default); the event core
+    // runs every PE as a coroutine on one thread and carries the same
+    // deterministic schedules to P = 1024. This table is simulated time
+    // only, so it replays bitwise — the wall-clock trajectory of thread
+    // vs event lives in BENCH_exec.json, which is allowed to vary by
+    // host.
+    let pes: Vec<usize> = if quick {
+        vec![16, 64, 256]
+    } else {
+        vec![64, 256, 1024]
+    };
+    let nb = NBodyConfig {
+        n: if quick { 512 } else { 4_096 },
+        steps: 2,
+        ..NBodyConfig::default()
+    };
+    let am = AmrConfig {
+        nx: if quick { 32 } else { 64 },
+        ny: if quick { 32 } else { 64 },
+        steps: if quick { 1 } else { 2 },
+        sweeps: if quick { 1 } else { 2 },
+        ..AmrConfig::default()
+    };
+    // SHMEM serving scales one-sidedly (no per-pair DONE protocol), so it
+    // is the model that meaningfully reaches 1024 shards.
+    let sv = ServeConfig {
+        keys: if quick { 16_384 } else { 65_536 },
+        requests: if quick { 2_048 } else { 8_192 },
+        seed: 0x00C0_FFEE,
+        ..ServeConfig::default()
+    };
+    let event = RunOpts::det_event();
+    let thread = RunOpts {
+        sched: Some(SchedPolicy::Det),
+        exec: Some(ExecMode::Thread),
+    };
+
+    let workloads: [(&str, &str); 3] = [
+        ("nbody", "N-body / MPI"),
+        ("amr", "AMR / MPI"),
+        ("serve", "KV-serve / SHMEM"),
+    ];
+    let run = |p: usize, wl: &str, opts: RunOpts| -> RunMetrics {
+        match wl {
+            "nbody" => apps::run_app_opts(machine(p), App::NBody, Model::Mp, &nb, &am, opts),
+            "amr" => apps::run_app_opts(machine(p), App::Amr, Model::Mp, &nb, &am, opts),
+            "serve" => o2k_serve::run_opts(machine(p), Model::Shmem, &sv, opts),
+            other => unreachable!("unknown workload {other}"),
+        }
+    };
+
+    let mut out = format!(
+        "E1: event-core scaling to P={top} (deterministic schedule, simulated\n\
+         time; the thread backend is capped at {cap} OS threads, so past that\n\
+         only the event core can run the team)\n\n",
+        top = pes.last().unwrap(),
+        cap = thread_pe_cap(),
+    );
+
+    let p0 = pes[0];
+    let mut rows = Vec::new();
+    for (wl, label) in &workloads {
+        for &p in &pes {
+            let r = run(p, wl, event);
+            assert!(r.sim_time > 0, "{wl} at P={p} must do work");
+            let s = r.sched.expect("det runs carry SchedStats");
+            if p == p0 {
+                // Anchor: where both backends can run, the event core must
+                // reproduce the thread run bitwise — same simulated time,
+                // same physics, same pick sequence.
+                let t = run(p, wl, thread);
+                assert_eq!(t.sim_time, r.sim_time, "{wl}: sim time must match");
+                assert_eq!(
+                    t.checksum.to_bits(),
+                    r.checksum.to_bits(),
+                    "{wl}: checksum must match bitwise"
+                );
+                let ts = t.sched.expect("det runs carry SchedStats");
+                assert_eq!(ts.fingerprint, s.fingerprint, "{wl}: same pick sequence");
+                assert_eq!(ts.switches, s.switches, "{wl}: same handoff count");
+                out.push_str(&format!(
+                    "  P={p0} {label}: thread and event backends agree bitwise \
+                     (fingerprint {:016x})\n",
+                    s.fingerprint
+                ));
+            }
+            rows.push(vec![
+                label.to_string(),
+                p.to_string(),
+                ms(r.sim_time),
+                format!("{:.6e}", r.checksum),
+                format!("{:016x}", s.fingerprint),
+                s.switches.to_string(),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&render(
+        &cells(&[
+            "workload",
+            "P",
+            "sim ms",
+            "checksum",
+            "schedule fingerprint",
+            "switches",
+        ]),
+        &rows,
+    ));
+    if pes.last().copied().unwrap_or(0) > thread_pe_cap() {
+        out.push_str(&format!(
+            "\nP={} exceeds the thread cap; those rows ran on the event core\n\
+             alone (one OS thread, {} coroutine stacks).\n",
+            pes.last().unwrap(),
+            pes.last().unwrap()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1740,6 +1866,27 @@ mod tests {
         assert!(
             out.contains("[deg8]"),
             "hotspot report must mark the sick port:\n{out}"
+        );
+    }
+
+    #[test]
+    fn e1_scales_on_the_event_core_and_anchors_to_threads() {
+        // The experiment itself asserts that at the smallest P the thread
+        // and event backends agree bitwise (sim time, checksum bits,
+        // schedule fingerprint, handoff count) and that every larger P
+        // completes on the event core.
+        let out = run_experiment("e1", true);
+        assert!(
+            out.contains("agree bitwise"),
+            "missing cross-backend anchor:\n{out}"
+        );
+        assert!(
+            out.contains("schedule fingerprint"),
+            "missing scaling table:\n{out}"
+        );
+        assert!(
+            out.contains("256"),
+            "must reach the top of the sweep:\n{out}"
         );
     }
 

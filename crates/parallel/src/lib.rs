@@ -36,7 +36,7 @@ mod team;
 pub use ctx::Ctx;
 pub use element::{Element, IntElement};
 pub use lock::{SimLock, SimLockGuard};
-pub use team::{PeReport, Team, TeamRun};
+pub use team::{thread_pe_cap, PeReport, Team, TeamRun};
 
 // Re-export the tracing vocabulary so model runtimes built on `Ctx` can
 // name event kinds and dependency edges without a separate dependency.
@@ -45,7 +45,7 @@ pub use o2k_trace::{Dep, Event, EventKind};
 // Re-export the scheduler so applications and tests can pick policies
 // (`Team::sched`) without a separate dependency.
 pub use o2k_sched as sched;
-pub use o2k_sched::{SchedPolicy, SchedStats};
+pub use o2k_sched::{ExecMode, SchedPolicy, SchedStats};
 
 // Re-export the interconnect contention model so applications and
 // experiments can read `TeamRun::net` stats and hotspot reports without a

@@ -38,13 +38,39 @@
 //!
 //! Everything here is *simulation machinery*: it decides host execution
 //! order only, and never charges virtual time itself.
+//!
+//! ## Execution backends
+//!
+//! The protocol above says nothing about *how* a PE waits for the floor,
+//! and that choice is the [`ExecMode`]:
+//!
+//! * [`ExecMode::Thread`] — one OS thread per PE; a PE without the floor
+//!   parks on its condvar. Simple, but a P-PE team costs P stacks of
+//!   resident memory and every handoff is a kernel round trip, which
+//!   caps practical team sizes near the paper's 64 CPUs.
+//! * [`ExecMode::Event`] — every PE is a stackful coroutine
+//!   ([`coro`]) on **one** OS thread, driven by a discrete-event loop: a
+//!   binary heap keyed on `(virtual clock, PE id)` yields the next PE to
+//!   resume, and "waiting for the floor" is a ~20 ns user-space stack
+//!   switch. This is the corten-style simulation core that reaches
+//!   P=1024 and beyond.
+//!
+//! Under any cooperative policy at most one PE runs at a time, so the two
+//! backends execute the *same* logical schedule: the pick sequence is
+//! produced by the same [`CoopSched::hand_off`] code either way, and
+//! `det` runs are bitwise identical between backends (enforced by the
+//! cross-backend golden tests).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::OnceLock;
 
 use machine::SimTime;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
+
+pub mod coro;
 
 /// Panic message used when a PE unwinds because *another* PE panicked or
 /// the team deadlocked. [`team`](../parallel) filters these out when
@@ -130,6 +156,81 @@ impl std::fmt::Display for SchedPolicy {
 }
 
 // ---------------------------------------------------------------------------
+// Execution backend
+// ---------------------------------------------------------------------------
+
+/// How a team's PEs are executed on the host. Orthogonal to
+/// [`SchedPolicy`], which decides *which* PE runs next; the exec mode
+/// decides what a PE *is* (an OS thread or a coroutine). See the crate
+/// docs for the trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One OS thread per PE, condvar handoffs (the pre-event behaviour
+    /// and the only mode that supports [`SchedPolicy::Os`]).
+    #[default]
+    Thread,
+    /// One OS thread total: PEs are stackful coroutines resumed by a
+    /// binary-heap event loop in virtual-time order.
+    Event,
+}
+
+impl ExecMode {
+    /// Parse the `--exec` / `O2K_EXEC` syntax: `thread` or `event`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "thread" => Ok(ExecMode::Thread),
+            "event" => Ok(ExecMode::Event),
+            other => Err(format!(
+                "unknown exec mode {other:?} (expected thread or event)"
+            )),
+        }
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExecMode::parse(s)
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Thread => write!(f, "thread"),
+            ExecMode::Event => write!(f, "event"),
+        }
+    }
+}
+
+static EXEC_OVERRIDE: std::sync::Mutex<Option<ExecMode>> = std::sync::Mutex::new(None);
+
+fn env_exec() -> ExecMode {
+    static ENV: OnceLock<ExecMode> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("O2K_EXEC")
+            .ok()
+            .and_then(|s| ExecMode::parse(&s).ok())
+            .unwrap_or(ExecMode::Thread)
+    })
+}
+
+/// The exec mode a `Team` uses when none is set explicitly: the last
+/// [`set_default_exec`] value, else `O2K_EXEC` from the environment, else
+/// [`ExecMode::Thread`].
+pub fn default_exec() -> ExecMode {
+    let g = EXEC_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+    g.unwrap_or_else(env_exec)
+}
+
+/// Override the process-wide default exec mode (the `repro` binary's
+/// `--exec` flag and the cross-backend test harness).
+pub fn set_default_exec(e: ExecMode) {
+    *EXEC_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner()) = Some(e);
+}
+
+// ---------------------------------------------------------------------------
 // Process-wide default policy
 // ---------------------------------------------------------------------------
 
@@ -211,6 +312,21 @@ struct Inner {
     gates: Vec<Gate>,
     switches: u64,
     fingerprint: u64,
+    /// Event backend only — the heap-based det picker and the pending
+    /// resume the single-threaded driver consumes. Unused (empty/None)
+    /// under the thread backend, whose det picker is the linear scan.
+    event: bool,
+    /// Pending events: `(clock, pe, stamp)` in min order. Entries are
+    /// invalidated *lazily*: a PE leaving `Runnable` bumps its stamp and
+    /// the stale entry is discarded when it surfaces, the standard
+    /// decrease-key workaround for a d-ary heap.
+    heap: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
+    /// Validity stamp per PE; only the entry carrying the current stamp
+    /// speaks for the PE.
+    stamp: Vec<u64>,
+    /// The PE the event driver must resume next, set by `hand_off` when
+    /// the floor goes to a PE other than the caller.
+    next_resume: Option<usize>,
 }
 
 impl Inner {
@@ -222,9 +338,54 @@ impl Inner {
             .map(|(p, _)| p)
     }
 
+    /// Transition `pe` to `Runnable` with its clock already final,
+    /// scheduling it in the event heap when that backend is active.
+    fn make_runnable(&mut self, pe: usize) {
+        self.status[pe] = Status::Runnable;
+        if self.event {
+            self.stamp[pe] += 1;
+            self.heap
+                .push(Reverse((self.clock[pe], pe, self.stamp[pe])));
+        }
+    }
+
+    /// Invalidate `pe`'s heap entry as it leaves `Runnable` (picked to
+    /// run, or force-finished by poison).
+    fn leave_runnable(&mut self, pe: usize) {
+        if self.event {
+            self.stamp[pe] += 1;
+        }
+    }
+
     /// Virtual-time order: lowest clock, ties to the lowest PE id.
-    fn pick_det(&self) -> Option<usize> {
-        self.runnable().min_by_key(|&p| (self.clock[p], p))
+    ///
+    /// The thread backend scans the status table (P ≤ a few dozen). The
+    /// event backend peeks the heap — O(log P) amortised, which is what
+    /// makes P=1024 handoffs cheap — discarding stale entries but *not*
+    /// consuming the winner: `BoundedPreempt` may overrule the det base
+    /// pick, and an unconsumed entry is simply invalidated when the
+    /// chosen PE leaves `Runnable`.
+    fn pick_det(&mut self) -> Option<usize> {
+        if !self.event {
+            return self.runnable().min_by_key(|&p| (self.clock[p], p));
+        }
+        let picked = loop {
+            let &Reverse((c, p, s)) = match self.heap.peek() {
+                Some(e) => e,
+                None => break None,
+            };
+            if self.stamp[p] == s && self.status[p] == Status::Runnable {
+                debug_assert_eq!(c, self.clock[p], "live heap entry with stale clock");
+                break Some(p);
+            }
+            self.heap.pop();
+        };
+        debug_assert_eq!(
+            picked,
+            self.runnable().min_by_key(|&p| (self.clock[p], p)),
+            "heap pick diverged from the linear-scan reference"
+        );
+        picked
     }
 
     /// Pick the next PE to run among the runnable ones, or `None` if
@@ -278,21 +439,34 @@ pub struct SchedStats {
 pub struct CoopSched {
     npes: usize,
     policy: SchedPolicy,
+    exec: ExecMode,
     inner: Mutex<Inner>,
     /// One condvar per PE; PE `p` waits on `cvs[p]` until it holds the
-    /// floor (or the scheduler is poisoned).
+    /// floor (or the scheduler is poisoned). Thread backend only — under
+    /// [`ExecMode::Event`] a PE without the floor is a suspended
+    /// coroutine and nothing ever waits here.
     cvs: Vec<Condvar>,
 }
 
 impl CoopSched {
-    /// Build a scheduler for `npes` PEs. `gate_sizes[0]` is the team-wide
-    /// rendezvous size (= `npes`); `gate_sizes[1 + n]` the PE count of
-    /// node `n`.
+    /// Build a thread-backend scheduler for `npes` PEs. `gate_sizes[0]`
+    /// is the team-wide rendezvous size (= `npes`); `gate_sizes[1 + n]`
+    /// the PE count of node `n`.
     ///
     /// # Panics
     /// Panics on [`SchedPolicy::Os`] (no scheduler is needed) or an empty
     /// team.
     pub fn new(npes: usize, policy: SchedPolicy, gate_sizes: Vec<usize>) -> Self {
+        Self::with_exec(npes, policy, gate_sizes, ExecMode::Thread)
+    }
+
+    /// [`Self::new`] with an explicit execution backend.
+    pub fn with_exec(
+        npes: usize,
+        policy: SchedPolicy,
+        gate_sizes: Vec<usize>,
+        exec: ExecMode,
+    ) -> Self {
         assert!(npes > 0, "empty team");
         let chooser = match policy {
             SchedPolicy::Os => panic!("SchedPolicy::Os does not use a CoopSched"),
@@ -303,9 +477,11 @@ impl CoopSched {
                 budget,
             },
         };
+        let event = exec == ExecMode::Event;
         CoopSched {
             npes,
             policy,
+            exec,
             inner: Mutex::new(Inner {
                 status: vec![Status::Unstarted; npes],
                 clock: vec![0; npes],
@@ -323,6 +499,10 @@ impl CoopSched {
                     .collect(),
                 switches: 0,
                 fingerprint: 0xcbf2_9ce4_8422_2325,
+                event,
+                heap: BinaryHeap::new(),
+                stamp: vec![0; if event { npes } else { 0 }],
+                next_resume: None,
             }),
             cvs: (0..npes).map(|_| Condvar::new()).collect(),
         }
@@ -331,6 +511,11 @@ impl CoopSched {
     /// The policy this scheduler runs.
     pub fn policy(&self) -> SchedPolicy {
         self.policy
+    }
+
+    /// The execution backend this scheduler was built for.
+    pub fn exec(&self) -> ExecMode {
+        self.exec
     }
 
     /// Run statistics so far (final once the team joined).
@@ -355,6 +540,7 @@ impl CoopSched {
                 // yet and which thread happens to register last is OS
                 // timing, so the initial grant must never count.
                 let prev = inner.current;
+                inner.leave_runnable(next);
                 inner.status[next] = Status::Running;
                 inner.current = Some(next);
                 inner.fingerprint =
@@ -365,7 +551,18 @@ impl CoopSched {
                 if next == pe {
                     false
                 } else {
-                    self.cvs[next].notify_all();
+                    // Grant delivery is the only backend-specific line in
+                    // the whole scheduler: wake the winner's parked
+                    // thread, or queue it for the event driver to resume.
+                    if inner.event {
+                        debug_assert!(
+                            inner.next_resume.is_none(),
+                            "two floor grants pending at once"
+                        );
+                        inner.next_resume = Some(next);
+                    } else {
+                        self.cvs[next].notify_all();
+                    }
                     true
                 }
             }
@@ -413,7 +610,7 @@ impl CoopSched {
     }
 
     /// Wait until `pe` holds the floor (or panic if poisoned).
-    fn wait_for_floor(&self, mut inner: parking_lot::MutexGuard<'_, Inner>, pe: usize) {
+    fn wait_for_floor<'a>(&'a self, mut inner: parking_lot::MutexGuard<'a, Inner>, pe: usize) {
         loop {
             if inner.poisoned {
                 drop(inner);
@@ -422,7 +619,17 @@ impl CoopSched {
             if inner.status[pe] == Status::Running {
                 return;
             }
-            self.cvs[pe].wait(&mut inner);
+            if self.exec == ExecMode::Event {
+                // Suspend this PE's coroutine; the driver resumes it once
+                // a hand_off grants it the floor (or poison makes the
+                // re-check above unwind it). Never suspend holding the
+                // scheduler lock — the driver and the granted PE need it.
+                drop(inner);
+                coro::yield_current();
+                inner = self.inner.lock();
+            } else {
+                self.cvs[pe].wait(&mut inner);
+            }
         }
     }
 
@@ -435,7 +642,7 @@ impl CoopSched {
             Status::Unstarted,
             "PE {pe} registered twice"
         );
-        inner.status[pe] = Status::Runnable;
+        inner.make_runnable(pe);
         inner.registered += 1;
         if inner.registered == self.npes && !self.hand_off(&mut inner, pe) {
             return;
@@ -448,7 +655,7 @@ impl CoopSched {
     pub fn yield_now(&self, pe: usize, clock: SimTime) -> bool {
         let mut inner = self.inner.lock();
         inner.clock[pe] = clock;
-        inner.status[pe] = Status::Runnable;
+        inner.make_runnable(pe);
         if self.hand_off(&mut inner, pe) {
             self.wait_for_floor(inner, pe);
             true
@@ -476,8 +683,8 @@ impl CoopSched {
     pub fn unblock(&self, pe: usize, hint: SimTime, reason: BlockReason) {
         let mut inner = self.inner.lock();
         if inner.status[pe] == Status::Blocked(reason) {
-            inner.status[pe] = Status::Runnable;
             inner.clock[pe] = inner.clock[pe].max(hint);
+            inner.make_runnable(pe);
         }
     }
 
@@ -492,10 +699,10 @@ impl CoopSched {
             inner.gates[gate].arrived = 0;
             for q in 0..self.npes {
                 if inner.status[q] == Status::Blocked(BlockReason::Gate(gate)) {
-                    inner.status[q] = Status::Runnable;
+                    inner.make_runnable(q);
                 }
             }
-            inner.status[pe] = Status::Runnable;
+            inner.make_runnable(pe);
         } else {
             inner.status[pe] = Status::Blocked(BlockReason::Gate(gate));
         }
@@ -523,6 +730,7 @@ impl CoopSched {
     pub fn poison(&self, pe: usize) {
         let mut inner = self.inner.lock();
         if inner.status[pe] != Status::Done {
+            inner.leave_runnable(pe);
             inner.status[pe] = Status::Done;
             inner.done += 1;
         }
@@ -530,6 +738,28 @@ impl CoopSched {
         for cv in &self.cvs {
             cv.notify_all();
         }
+    }
+
+    // -- Event-driver interface ---------------------------------------------
+    //
+    // Under [`ExecMode::Event`] one plain loop on the team's only thread
+    // drives everything (see `parallel::team`): resume each PE coroutine
+    // once so it registers, then repeatedly resume whichever PE the last
+    // hand_off granted the floor to. These two accessors are that loop's
+    // entire view of the scheduler.
+
+    /// Take the pending floor grant, if any. `None` means no PE is
+    /// waiting to be resumed: either the currently-running PE kept the
+    /// floor, or the team is finished (or poisoned — check
+    /// [`Self::is_poisoned`]).
+    pub fn event_take_next(&self) -> Option<usize> {
+        self.inner.lock().next_resume.take()
+    }
+
+    /// Whether a PE panicked or a deadlock was detected. The event driver
+    /// polls this to know it must unwind the surviving coroutines.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
     }
 }
 
@@ -582,6 +812,49 @@ mod tests {
         });
         let stats = sched.stats();
         (Arc::try_unwrap(log).unwrap().into_inner(), stats)
+    }
+
+    /// The same logged workload as [`run_logged`], but on the event
+    /// backend: one coroutine per PE, driven by the minimal event loop
+    /// the `parallel` team driver also implements.
+    fn run_logged_event(
+        policy: SchedPolicy,
+        npes: usize,
+        steps: usize,
+    ) -> (Vec<usize>, SchedStats) {
+        let sched = Arc::new(CoopSched::with_exec(
+            npes,
+            policy,
+            vec![npes],
+            ExecMode::Event,
+        ));
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut coros: Vec<coro::Coro> = (0..npes)
+            .map(|pe| {
+                let sched = Arc::clone(&sched);
+                let log = std::rc::Rc::clone(&log);
+                coro::Coro::new(256 * 1024, move || {
+                    sched.register(pe);
+                    let mut clock = 0u64;
+                    for step in 0..steps {
+                        log.borrow_mut().push(pe);
+                        clock += 10 + (pe as u64) + (step as u64 % 3);
+                        sched.yield_now(pe, clock);
+                    }
+                    sched.finish(pe, clock);
+                })
+            })
+            .collect();
+        for c in &mut coros {
+            c.resume();
+        }
+        while let Some(p) = sched.event_take_next() {
+            coros[p].resume();
+        }
+        assert!(coros.iter().all(|c| c.finished()), "driver exited early");
+        let stats = sched.stats();
+        drop(coros);
+        (std::rc::Rc::try_unwrap(log).unwrap().into_inner(), stats)
     }
 
     #[test]
@@ -795,6 +1068,107 @@ mod tests {
         });
         assert!(r0.is_err(), "blocked peer must unwind after poison");
         assert!(r1.is_ok());
+    }
+
+    #[test]
+    fn exec_mode_parse_roundtrip() {
+        for e in [ExecMode::Thread, ExecMode::Event] {
+            assert_eq!(ExecMode::parse(&e.to_string()), Ok(e));
+        }
+        assert!(ExecMode::parse("fiber").is_err());
+    }
+
+    #[test]
+    fn event_backend_replays_the_thread_backend_det_schedule() {
+        let (a, sa) = run_logged(SchedPolicy::Det, 4, 20);
+        let (b, sb) = run_logged_event(SchedPolicy::Det, 4, 20);
+        assert_eq!(a, b, "pick sequences must be identical across backends");
+        assert_eq!(sa.fingerprint, sb.fingerprint);
+        assert_eq!(sa.switches, sb.switches);
+    }
+
+    #[test]
+    fn event_backend_replays_seeded_policies_too() {
+        for policy in [
+            SchedPolicy::Explore { seed: 11 },
+            SchedPolicy::BoundedPreempt { seed: 5, budget: 6 },
+        ] {
+            let (a, sa) = run_logged(policy, 3, 30);
+            let (b, sb) = run_logged_event(policy, 3, 30);
+            assert_eq!(a, b, "{policy} diverged across backends");
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn event_backend_scales_to_1024_pes() {
+        // The point of the backend: a P=1024 team on one OS thread. Two
+        // steps each keeps it a smoke test, not a benchmark.
+        let (log, stats) = run_logged_event(SchedPolicy::Det, 1024, 2);
+        assert_eq!(log.len(), 1024 * 2);
+        // First sweep is clock-0 ties broken by PE id.
+        assert!(log[..1024].iter().copied().eq(0..1024));
+        assert!(stats.switches > 0);
+    }
+
+    #[test]
+    fn event_backend_detects_deadlock_and_unwinds_all_coroutines() {
+        let sched = Arc::new(CoopSched::with_exec(
+            2,
+            SchedPolicy::Det,
+            vec![2],
+            ExecMode::Event,
+        ));
+        let mut coros: Vec<coro::Coro> = (0..2)
+            .map(|pe| {
+                let sched = Arc::clone(&sched);
+                coro::Coro::new(256 * 1024, move || {
+                    sched.register(pe);
+                    let reason = if pe == 0 {
+                        BlockReason::Mailbox
+                    } else {
+                        BlockReason::Lock
+                    };
+                    sched.block(pe, 0, reason); // nobody will unblock us
+                })
+            })
+            .collect();
+        for c in &mut coros {
+            if !sched.is_poisoned() {
+                c.resume();
+            }
+        }
+        while !sched.is_poisoned() {
+            match sched.event_take_next() {
+                Some(p) => {
+                    coros[p].resume();
+                }
+                None => break,
+            }
+        }
+        assert!(sched.is_poisoned(), "deadlock must poison the scheduler");
+        // Unwind the survivors so their stacks are cleanly dropped.
+        for c in &mut coros {
+            if c.started() && !c.finished() {
+                c.resume();
+            }
+        }
+        let msgs: Vec<String> = coros
+            .iter_mut()
+            .filter_map(|c| c.take_panic())
+            .map(|p| {
+                p.downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default()
+            })
+            .collect();
+        assert_eq!(msgs.len(), 2, "both PEs unwind");
+        let diag = msgs
+            .iter()
+            .find(|m| *m != POISON_MSG)
+            .expect("one PE carries the diagnostic");
+        assert!(diag.contains("cooperative scheduler deadlock"), "{diag}");
     }
 
     #[test]

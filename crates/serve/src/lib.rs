@@ -224,12 +224,24 @@ pub fn run_sched(
     cfg: &ServeConfig,
     sched: Option<SchedPolicy>,
 ) -> RunMetrics {
+    run_opts(machine, model, cfg, apps::RunOpts::with_sched(sched))
+}
+
+/// [`run`] with full execution options (scheduling policy *and* execution
+/// backend — see [`apps::RunOpts`]). The event backend is how serving
+/// scales past the thread cap to P = 1024 shards.
+pub fn run_opts(
+    machine: Arc<Machine>,
+    model: Model,
+    cfg: &ServeConfig,
+    opts: apps::RunOpts,
+) -> RunMetrics {
     assert!(cfg.keys >= machine.pes(), "need at least one key per shard");
     assert!(cfg.val_words > 0, "values must have at least one word");
     match model {
-        Model::Mp => mp::run_sched(machine, cfg, sched),
-        Model::Shmem => shmem::run_sched(machine, cfg, sched),
-        Model::Sas => sas::run_sched(machine, cfg, sched),
+        Model::Mp => mp::run_opts(machine, cfg, opts),
+        Model::Shmem => shmem::run_opts(machine, cfg, opts),
+        Model::Sas => sas::run_opts(machine, cfg, opts),
         Model::Hybrid => unimplemented!("the serving workload covers the paper's three models"),
     }
 }

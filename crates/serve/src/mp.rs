@@ -21,7 +21,7 @@ use std::sync::Arc;
 use apps::{Model, RunMetrics};
 use machine::Machine;
 use mp::{MpWorld, RecvSpec, Tag};
-use parallel::{Ctx, EventKind, SchedPolicy, Team};
+use parallel::{Ctx, EventKind, Team};
 
 use crate::clients;
 use crate::{finish, serve_cost, ClientLog, PeOut, ServeConfig, BUILD_NS_PER_WORD};
@@ -30,16 +30,9 @@ const TAG_REQ: Tag = 1;
 const TAG_REP: Tag = 2;
 const TAG_DONE: Tag = 3;
 
-pub fn run_sched(
-    machine: Arc<Machine>,
-    cfg: &ServeConfig,
-    sched: Option<SchedPolicy>,
-) -> RunMetrics {
+pub fn run_opts(machine: Arc<Machine>, cfg: &ServeConfig, opts: apps::RunOpts) -> RunMetrics {
     let world = MpWorld::new(Arc::clone(&machine));
-    let mut team = Team::new(machine).seed(cfg.seed);
-    if let Some(s) = sched {
-        team = team.sched(s);
-    }
+    let team = opts.configure(Team::new(machine).seed(cfg.seed));
     let run = team.run(|ctx| rank_main(ctx, &world, cfg));
     finish(Model::Mp, cfg, &run)
 }

@@ -11,22 +11,15 @@ use std::sync::Arc;
 
 use apps::{Model, RunMetrics};
 use machine::Machine;
-use parallel::{Ctx, SchedPolicy, Team};
+use parallel::{Ctx, Team};
 use shmem::SymWorld;
 
 use crate::clients;
 use crate::{await_arrival, finish, serve_cost, ClientLog, PeOut, ServeConfig, BUILD_NS_PER_WORD};
 
-pub fn run_sched(
-    machine: Arc<Machine>,
-    cfg: &ServeConfig,
-    sched: Option<SchedPolicy>,
-) -> RunMetrics {
+pub fn run_opts(machine: Arc<Machine>, cfg: &ServeConfig, opts: apps::RunOpts) -> RunMetrics {
     let world = SymWorld::new(Arc::clone(&machine));
-    let mut team = Team::new(machine).seed(cfg.seed);
-    if let Some(s) = sched {
-        team = team.sched(s);
-    }
+    let team = opts.configure(Team::new(machine).seed(cfg.seed));
     let run = team.run(|ctx| rank_main(ctx, &world, cfg));
     finish(Model::Shmem, cfg, &run)
 }

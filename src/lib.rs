@@ -47,10 +47,12 @@ pub use shmem;
 
 /// The most common imports for driving experiments.
 pub mod prelude {
-    pub use apps::{run_app, AmrConfig, App, Model, NBodyConfig, RunMetrics, ServeStats};
+    pub use apps::{
+        run_app, run_app_opts, AmrConfig, App, Model, NBodyConfig, RunMetrics, RunOpts, ServeStats,
+    };
     pub use machine::{Machine, MachineConfig};
     pub use o2k_core::{effort_table, sweep_models};
-    pub use o2k_sched::SchedPolicy;
+    pub use o2k_sched::{ExecMode, SchedPolicy};
     pub use o2k_serve::ServeConfig;
     pub use parallel::Team;
 }

@@ -40,10 +40,10 @@ const T2_LOC: [(&str, &str, usize); 6] = [
 ];
 const T2_NBODY_MP: usize = 139;
 const T2_NBODY_SHMEM: usize = 212;
-const T2_NBODY_SAS: usize = 158;
+const T2_NBODY_SAS: usize = 163;
 const T2_AMR_MP: usize = 174;
 const T2_AMR_SHMEM: usize = 171;
-const T2_AMR_SAS: usize = 133;
+const T2_AMR_SAS: usize = 138;
 
 #[test]
 fn t2_effort_line_counts_are_pinned() {
