@@ -241,6 +241,35 @@ pub fn balance_series(cfg: &AmrConfig, nparts: usize) -> Vec<(f64, f64, f64, f64
     out
 }
 
+/// Serialise one PE's replicated AMR locals at a step boundary — the
+/// solution field and the ownership map. The mesh itself is *not* stored:
+/// adaptation is a pure function of the config and the step count, so a
+/// restore rebuilds it by replaying [`ReplicatedMesh::adapt`].
+pub(crate) fn encode_step_state(step: u64, field: &[f64], owner: &[u32]) -> Vec<u8> {
+    let mut w = o2k_snap::wire::WireWriter::new();
+    w.u64(step);
+    w.f64s(field);
+    let owner64: Vec<u64> = owner.iter().map(|&o| u64::from(o)).collect();
+    w.u64s(&owner64);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_step_state`].
+pub(crate) fn decode_step_state(bytes: &[u8], step: u64) -> (Vec<f64>, Vec<u32>) {
+    let mut r = o2k_snap::wire::WireReader::new(bytes);
+    let got = r.u64().expect("snapshot app payload: step");
+    assert_eq!(got, step, "snapshot payload is for a different step");
+    let field = r.f64s().expect("snapshot app payload: field");
+    let owner: Vec<u32> = r
+        .u64s()
+        .expect("snapshot app payload: owner")
+        .into_iter()
+        .map(|v| v as u32)
+        .collect();
+    r.finish().expect("snapshot app payload: trailing bytes");
+    (field, owner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

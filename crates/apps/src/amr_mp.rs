@@ -17,8 +17,13 @@ use parallel::{Ctx, SchedPolicy, Team};
 use partition::rcb_partition;
 use partition::WeightedPoint;
 
-use crate::amr_common::{partition_active, AmrConfig, ReplicatedMesh};
+use crate::amr_common::{
+    decode_step_state, encode_step_state, partition_active, AmrConfig, ReplicatedMesh,
+};
 use crate::metrics::{App, Model, RunMetrics};
+// snap:begin
+use crate::snapshot::Snapshotter;
+// snap:end
 use crate::workcost as W;
 
 /// Run the MP AMR application; returns uniform metrics.
@@ -35,8 +40,11 @@ pub fn run_sched(machine: Arc<Machine>, cfg: &AmrConfig, sched: Option<SchedPoli
 /// [`run`] with full execution options (see [`crate::RunOpts`]).
 pub fn run_opts(machine: Arc<Machine>, cfg: &AmrConfig, opts: crate::RunOpts) -> RunMetrics {
     let world = MpWorld::new(Arc::clone(&machine));
+    // snap:begin — checkpoint plumbing, shared by every model
+    let snap = Snapshotter::new(&opts, App::Amr, Model::Mp, &machine, &format!("{cfg:?}"));
+    // snap:end
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| rank_main(ctx, &world, cfg, &snap));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);
         for s in 0..cfg.steps {
@@ -47,14 +55,38 @@ pub fn run_opts(machine: Arc<Machine>, cfg: &AmrConfig, opts: crate::RunOpts) ->
     RunMetrics::collect(App::Amr, Model::Mp, &run, size)
 }
 
-fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig) -> f64 {
+fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig, snap: &Snapshotter) -> f64 {
     let p = ctx.npes();
     let me = ctx.pe();
-    let mut state = ReplicatedMesh::new(cfg);
 
-    // Initial ownership: RCB over the base mesh, replicated.
-    let mut owner = vec![0u32; state.mesh.num_tris_total()];
-    {
+    // snap:begin — warm start: the mesh topology is a pure function of the
+    // config and the step count, so replay the adaptation host-side (zero
+    // virtual-time charges — the restored clocks already paid for it),
+    // then overlay the captured field and ownership map.
+    let (start, mut state, mut owner) = if let Some(at) = snap.resume_index("step") {
+        let mut state = ReplicatedMesh::new(cfg);
+        for s in 0..at as usize {
+            state.adapt(cfg, s);
+        }
+        let (field, owner) = decode_step_state(snap.payload(me).expect("resume payload"), at);
+        assert_eq!(
+            field.len(),
+            state.mesh.num_tris_total(),
+            "snapshot/config mismatch"
+        );
+        assert_eq!(
+            owner.len(),
+            state.mesh.num_tris_total(),
+            "snapshot/config mismatch"
+        );
+        state.field = field;
+        (at as usize, state, owner)
+    } else {
+        // snap:end
+        let state = ReplicatedMesh::new(cfg);
+
+        // Initial ownership: RCB over the base mesh, replicated.
+        let mut owner = vec![0u32; state.mesh.num_tris_total()];
         let dual = dual_graph(&state.mesh);
         ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
         let pts: Vec<WeightedPoint> = dual
@@ -66,9 +98,27 @@ fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &AmrConfig) -> f64 {
         for (i, &t) in dual.tris.iter().enumerate() {
             owner[t as usize] = parts[i];
         }
-    }
+        // snap:begin — closes the warm-start branch
+        (0, state, owner)
+    };
+    // snap:end
 
-    for step in 0..cfg.steps {
+    for step in start..cfg.steps {
+        // snap:begin — zero-cost quiescence gate: every rank's state is in
+        // `state`/`owner`, no messages in flight (the previous step ended
+        // in collectives).
+        snap.point(
+            ctx,
+            "step",
+            step as u64,
+            || encode_step_state(step as u64, &state.field, &owner),
+            || {
+                w.assert_quiescent();
+                Vec::new()
+            },
+        );
+        // snap:end
+
         // (1) Make the field globally consistent before remeshing: gather
         // owned values at the root, rebroadcast the full field.
         ctx.net_phase("sync");
@@ -246,6 +296,54 @@ mod tests {
             run(machine(3), &cfg).checksum,
             run(machine(3), &cfg).checksum
         );
+    }
+
+    #[test]
+    fn snapshot_restore_matches_straight_run() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        let cfg = AmrConfig::small();
+        let dir = crate::snapshot::testutil::scratch("amr-mp");
+        let det = crate::RunOpts::with_sched(Some(SchedPolicy::Det));
+        let straight = run_opts(machine(4), &cfg, det.clone());
+        let captured = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Capture {
+                    dir: dir.clone(),
+                    point: SnapPoint {
+                        name: "step".into(),
+                        index: 1,
+                    },
+                }),
+                ..det.clone()
+            },
+        );
+        let restored = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Restore { dir: dir.clone() }),
+                ..det
+            },
+        );
+        // The capturing run is bitwise identical to the straight run, and
+        // the restored tail replays it bitwise too — checksum, virtual
+        // time, counters, and the full schedule fingerprint.
+        for m in [&captured, &restored] {
+            assert_eq!(m.checksum.to_bits(), straight.checksum.to_bits());
+            assert_eq!(m.sim_time, straight.sim_time);
+            assert_eq!(m.counters, straight.counters);
+            assert_eq!(
+                m.sched.as_ref().unwrap().fingerprint,
+                straight.sched.as_ref().unwrap().fingerprint
+            );
+            assert_eq!(
+                m.sched.as_ref().unwrap().switches,
+                straight.sched.as_ref().unwrap().switches
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,6 +19,31 @@ use crate::amr_common::{AmrConfig, ReplicatedMesh};
 use crate::metrics::{App, Model, RunMetrics};
 use crate::workcost as W;
 
+// snap:begin — checkpoint plumbing, shared by every model
+use crate::snapshot::Snapshotter;
+use o2k_snap::wire::{WireReader, WireWriter};
+
+/// Serialise one PE's SAS locals at a step boundary: just the private
+/// cache (the shared field, directory, and page homes travel in the world
+/// section; the replicated mesh is replayed from the config on restore).
+fn encode_sas_state(step: u64, pe: &sas::SasPe) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(step);
+    w.u64s(&pe.export_cache_words());
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_sas_state`].
+fn decode_sas_state(bytes: &[u8], step: u64) -> Vec<u64> {
+    let mut r = WireReader::new(bytes);
+    let got = r.u64().expect("snapshot app payload: step");
+    assert_eq!(got, step, "snapshot payload is for a different step");
+    let cache = r.u64s().expect("snapshot app payload: cache");
+    r.finish().expect("snapshot app payload: trailing bytes");
+    cache
+}
+// snap:end
+
 /// Run the CC-SAS AMR application with first-touch paging.
 pub fn run(machine: Arc<Machine>, cfg: &AmrConfig) -> RunMetrics {
     run_with(machine, cfg, PagePolicy::FirstTouch, None)
@@ -48,8 +73,18 @@ pub fn run_with_opts(
     opts: crate::RunOpts,
 ) -> RunMetrics {
     let world = SasWorld::with_paging(Arc::clone(&machine), policy);
+    // snap:begin — checkpoint plumbing, shared by every model
+    let mut snap = Snapshotter::new(
+        &opts,
+        App::Amr,
+        Model::Sas,
+        &machine,
+        &format!("{cfg:?}/{policy:?}"),
+    );
+    snap.import_world(|b| world.import_state_bytes(b));
+    // snap:end
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| pe_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| pe_main(ctx, &world, cfg, &snap));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);
         for s in 0..cfg.steps {
@@ -60,29 +95,63 @@ pub fn run_with_opts(
     RunMetrics::collect(App::Amr, Model::Sas, &run, size)
 }
 
-fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &AmrConfig) -> f64 {
+fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &AmrConfig, snap: &Snapshotter) -> f64 {
     let p = ctx.npes();
     let me = ctx.pe();
     let cap = cfg.tri_capacity();
     let mut pe = w.pe();
-    let mut state = ReplicatedMesh::new(cfg);
-
-    // The shared field, indexed by triangle id. Pages are homed by genuine
-    // first touch: owners touch their own blocks first during the
-    // inheritance and sweep phases, so placement follows ownership.
-    let field: SasSlice<f64> = w.alloc(ctx, cap);
-    // Work-claim cursors for self-scheduled sweeps (one slot per sweep so
-    // no reset is ever needed).
-    let cursors: SasSlice<u64> = w.alloc(ctx, cfg.steps * cfg.sweeps + 1);
     const CHUNK: usize = 32;
-    if me == 0 {
-        for (t, v) in state.field.iter().enumerate() {
-            field.write_raw(t, *v);
-        }
-    }
-    w.barrier(ctx);
 
-    for step in 0..cfg.steps {
+    // snap:begin — warm start: the shared field, page homes, and directory
+    // came back through the world import; attach to the regions in
+    // allocation order, reload this PE's private cache, and replay the
+    // deterministic adaptation to rebuild the replicated mesh.
+    let (start, mut state, field, cursors) = if let Some(at) = snap.resume_index("step") {
+        let mut state = ReplicatedMesh::new(cfg);
+        for s in 0..at as usize {
+            state.adapt(cfg, s);
+        }
+        let field: SasSlice<f64> = w.attach(ctx, cap);
+        let cursors: SasSlice<u64> = w.attach(ctx, cfg.steps * cfg.sweeps + 1);
+        let cache = decode_sas_state(snap.payload(me).expect("resume payload"), at);
+        pe.import_cache_words(&cache)
+            .expect("snapshot cache import");
+        (at as usize, state, field, cursors)
+    } else {
+        // snap:end
+        let state = ReplicatedMesh::new(cfg);
+
+        // The shared field, indexed by triangle id. Pages are homed by
+        // genuine first touch: owners touch their own blocks first during
+        // the inheritance and sweep phases, so placement follows ownership.
+        let field: SasSlice<f64> = w.alloc(ctx, cap);
+        // Work-claim cursors for self-scheduled sweeps (one slot per sweep
+        // so no reset is ever needed).
+        let cursors: SasSlice<u64> = w.alloc(ctx, cfg.steps * cfg.sweeps + 1);
+        if me == 0 {
+            for (t, v) in state.field.iter().enumerate() {
+                field.write_raw(t, *v);
+            }
+        }
+        w.barrier(ctx);
+        // snap:begin — closes the warm-start branch
+        (0, state, field, cursors)
+    };
+    // snap:end
+
+    for step in start..cfg.steps {
+        // snap:begin — zero-cost quiescence gate: the previous step ended
+        // in a barrier; shared state is in the SAS world, private state in
+        // `pe`'s cache.
+        snap.point(
+            ctx,
+            "step",
+            step as u64,
+            || encode_sas_state(step as u64, &pe),
+            || w.export_state_bytes(),
+        );
+        // snap:end
+
         // (1) Remesh: replicated metadata, distributed charge. No field
         // synchronisation is needed — shared memory is always consistent.
         ctx.net_phase("adapt");
@@ -264,6 +333,49 @@ mod tests {
         let t1 = run(machine(1), &cfg).sim_time;
         let t8 = run(machine(8), &cfg).sim_time;
         assert!(t8 < t1);
+    }
+
+    #[test]
+    fn snapshot_restore_matches_straight_run() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        // Self-scheduling on: the claim race is the most schedule-sensitive
+        // code in the repo, so restoring through it is the strongest check.
+        let cfg = AmrConfig {
+            sas_self_schedule: true,
+            ..AmrConfig::small()
+        };
+        let dir = crate::snapshot::testutil::scratch("amr-sas");
+        let go = |snap| {
+            run_with_opts(
+                machine(4),
+                &cfg,
+                PagePolicy::FirstTouch,
+                crate::RunOpts {
+                    sched: Some(SchedPolicy::Det),
+                    snap,
+                    ..crate::RunOpts::default()
+                },
+            )
+        };
+        let straight = go(None);
+        let captured = go(Some(SnapSpec::Capture {
+            dir: dir.clone(),
+            point: SnapPoint {
+                name: "step".into(),
+                index: 1,
+            },
+        }));
+        let restored = go(Some(SnapSpec::Restore { dir: dir.clone() }));
+        for m in [&captured, &restored] {
+            assert_eq!(m.checksum.to_bits(), straight.checksum.to_bits());
+            assert_eq!(m.sim_time, straight.sim_time);
+            assert_eq!(m.counters, straight.counters);
+            assert_eq!(
+                m.sched.as_ref().unwrap().fingerprint,
+                straight.sched.as_ref().unwrap().fingerprint
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

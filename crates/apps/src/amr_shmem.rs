@@ -20,8 +20,13 @@ use partition::rcb_partition;
 use partition::WeightedPoint;
 use shmem::{SymSlice, SymWorld};
 
-use crate::amr_common::{partition_active, AmrConfig, ReplicatedMesh};
+use crate::amr_common::{
+    decode_step_state, encode_step_state, partition_active, AmrConfig, ReplicatedMesh,
+};
 use crate::metrics::{App, Model, RunMetrics};
+// snap:begin
+use crate::snapshot::Snapshotter;
+// snap:end
 use crate::workcost as W;
 
 /// Run the SHMEM AMR application; returns uniform metrics.
@@ -38,8 +43,12 @@ pub fn run_sched(machine: Arc<Machine>, cfg: &AmrConfig, sched: Option<SchedPoli
 /// [`run`] with full execution options (see [`crate::RunOpts`]).
 pub fn run_opts(machine: Arc<Machine>, cfg: &AmrConfig, opts: crate::RunOpts) -> RunMetrics {
     let world = SymWorld::new(Arc::clone(&machine));
+    // snap:begin — checkpoint plumbing, shared by every model
+    let mut snap = Snapshotter::new(&opts, App::Amr, Model::Shmem, &machine, &format!("{cfg:?}"));
+    snap.import_world(|b| world.import_state_bytes(b));
+    // snap:end
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| pe_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| pe_main(ctx, &world, cfg, &snap));
     let size = {
         let mut probe = ReplicatedMesh::new(cfg);
         for s in 0..cfg.steps {
@@ -50,21 +59,42 @@ pub fn run_opts(machine: Arc<Machine>, cfg: &AmrConfig, opts: crate::RunOpts) ->
     RunMetrics::collect(App::Amr, Model::Shmem, &run, size)
 }
 
-fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
+fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig, snap: &Snapshotter) -> f64 {
     let p = ctx.npes();
     let me = ctx.pe();
     let cap = cfg.tri_capacity();
-    let mut state = ReplicatedMesh::new(cfg);
 
-    // Symmetric field mirror, indexed by triangle id.
-    let field: SymSlice<f64> = w.alloc(ctx, cap);
-    for (t, v) in state.field.iter().enumerate() {
-        field.write_local(ctx, t, &[*v]);
-    }
+    // snap:begin — warm start: attach to the imported symmetric heap (the
+    // field mirror's cells were restored bitwise), replay the deterministic
+    // adaptation to rebuild the mesh, and overlay the captured replica and
+    // ownership map. No virtual-time charges — the restored clocks already
+    // include the prologue.
+    let (start, mut state, mut owner, field) = if let Some(at) = snap.resume_index("step") {
+        let mut state = ReplicatedMesh::new(cfg);
+        for s in 0..at as usize {
+            state.adapt(cfg, s);
+        }
+        let (f, owner) = decode_step_state(snap.payload(me).expect("resume payload"), at);
+        assert_eq!(
+            f.len(),
+            state.mesh.num_tris_total(),
+            "snapshot/config mismatch"
+        );
+        state.field = f;
+        let field: SymSlice<f64> = w.attach(ctx, cap);
+        (at as usize, state, owner, field)
+    } else {
+        // snap:end
+        let state = ReplicatedMesh::new(cfg);
 
-    // Initial ownership: RCB over the base mesh, replicated.
-    let mut owner = vec![0u32; state.mesh.num_tris_total()];
-    {
+        // Symmetric field mirror, indexed by triangle id.
+        let field: SymSlice<f64> = w.alloc(ctx, cap);
+        for (t, v) in state.field.iter().enumerate() {
+            field.write_local(ctx, t, &[*v]);
+        }
+
+        // Initial ownership: RCB over the base mesh, replicated.
+        let mut owner = vec![0u32; state.mesh.num_tris_total()];
         let dual = dual_graph(&state.mesh);
         ctx.compute_units((dual.len() / p + 1) as u64, W::PARTITION_PER_TRI_NS);
         let pts: Vec<WeightedPoint> = dual
@@ -76,9 +106,24 @@ fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &AmrConfig) -> f64 {
         for (i, &t) in dual.tris.iter().enumerate() {
             owner[t as usize] = parts[i];
         }
-    }
+        // snap:begin — closes the warm-start branch
+        (0, state, owner, field)
+    };
+    // snap:end
 
-    for step in 0..cfg.steps {
+    for step in start..cfg.steps {
+        // snap:begin — zero-cost quiescence gate: the previous step ended
+        // in a barrier; every PE's state is in `state`/`owner` and the
+        // symmetric heap.
+        snap.point(
+            ctx,
+            "step",
+            step as u64,
+            || encode_step_state(step as u64, &state.field, &owner),
+            || w.export_state_bytes(),
+        );
+        // snap:end
+
         // (1) Consistency: owners put values into PE 0's instance, the
         // root instance is broadcast, everyone refreshes its replica.
         ctx.net_phase("sync");
@@ -262,5 +307,46 @@ mod tests {
         let t1 = run(machine(1), &cfg).sim_time;
         let t8 = run(machine(8), &cfg).sim_time;
         assert!(t8 < t1);
+    }
+
+    #[test]
+    fn snapshot_restore_matches_straight_run() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        let cfg = AmrConfig::small();
+        let dir = crate::snapshot::testutil::scratch("amr-shmem");
+        let det = crate::RunOpts::with_sched(Some(SchedPolicy::Det));
+        let straight = run_opts(machine(4), &cfg, det.clone());
+        let captured = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Capture {
+                    dir: dir.clone(),
+                    point: SnapPoint {
+                        name: "step".into(),
+                        index: 1,
+                    },
+                }),
+                ..det.clone()
+            },
+        );
+        let restored = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Restore { dir: dir.clone() }),
+                ..det
+            },
+        );
+        for m in [&captured, &restored] {
+            assert_eq!(m.checksum.to_bits(), straight.checksum.to_bits());
+            assert_eq!(m.sim_time, straight.sim_time);
+            assert_eq!(m.counters, straight.counters);
+            assert_eq!(
+                m.sched.as_ref().unwrap().fingerprint,
+                straight.sched.as_ref().unwrap().fingerprint
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

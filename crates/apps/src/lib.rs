@@ -30,11 +30,13 @@ pub mod nbody_hybrid;
 pub mod nbody_mp;
 pub mod nbody_sas;
 pub mod nbody_shmem;
+pub mod snapshot;
 pub mod workcost;
 
 pub use amr_common::AmrConfig;
 pub use metrics::{App, Model, RunMetrics, ServeStats};
 pub use nbody_common::NBodyConfig;
+pub use snapshot::Snapshotter;
 
 use std::sync::Arc;
 
@@ -42,21 +44,27 @@ use machine::Machine;
 use parallel::{ExecMode, SchedPolicy, Team};
 
 /// Per-run execution options every model entry point honours: an optional
-/// scheduling-policy override and an optional execution-backend override.
-/// `None` keeps the process defaults
-/// ([`parallel::sched::default_policy`] / [`parallel::sched::default_exec`]).
-#[derive(Debug, Clone, Copy, Default)]
+/// scheduling-policy override, an optional execution-backend override, and
+/// an optional snapshot capture/restore request. `None` keeps the process
+/// defaults ([`parallel::sched::default_policy`] /
+/// [`parallel::sched::default_exec`] / [`o2k_snap::current_spec`]).
+#[derive(Debug, Clone, Default)]
 pub struct RunOpts {
     /// Scheduling policy (which PE runs next).
     pub sched: Option<SchedPolicy>,
     /// Execution backend (what a PE is: OS thread or coroutine).
     pub exec: Option<ExecMode>,
+    /// Snapshot capture/restore for this run (see [`snapshot`]).
+    pub snap: Option<o2k_snap::SnapSpec>,
 }
 
 impl RunOpts {
     /// Only a scheduling policy — the legacy `run_sched` surface.
     pub fn with_sched(sched: Option<SchedPolicy>) -> Self {
-        RunOpts { sched, exec: None }
+        RunOpts {
+            sched,
+            ..Self::default()
+        }
     }
 
     /// Deterministic schedule on the single-threaded event backend: the
@@ -66,6 +74,7 @@ impl RunOpts {
         RunOpts {
             sched: Some(SchedPolicy::Det),
             exec: Some(ExecMode::Event),
+            ..Self::default()
         }
     }
 

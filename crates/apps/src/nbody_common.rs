@@ -86,6 +86,31 @@ pub fn decode_body(w: &[f64]) -> BodyCost {
     }
 }
 
+/// Serialise one rank's owned bodies at a step boundary (snapshot app
+/// payload): everything else in the N-body step — trees, essential sets,
+/// partitions — is rebuilt from these each iteration.
+pub(crate) fn encode_bodies_state(step: u64, mine: &[BodyCost]) -> Vec<u8> {
+    let mut w = o2k_snap::wire::WireWriter::new();
+    w.u64(step);
+    let mut flat = vec![0.0; BODY_WORDS * mine.len()];
+    for (i, b) in mine.iter().enumerate() {
+        encode_body(b, &mut flat[BODY_WORDS * i..BODY_WORDS * (i + 1)]);
+    }
+    w.f64s(&flat);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_bodies_state`].
+pub(crate) fn decode_bodies_state(bytes: &[u8], step: u64) -> Vec<BodyCost> {
+    let mut r = o2k_snap::wire::WireReader::new(bytes);
+    let got = r.u64().expect("snapshot app payload: step");
+    assert_eq!(got, step, "snapshot payload is for a different step");
+    let flat = r.f64s().expect("snapshot app payload: bodies");
+    r.finish().expect("snapshot app payload: trailing bytes");
+    assert_eq!(flat.len() % BODY_WORDS, 0, "snapshot body payload shape");
+    flat.chunks_exact(BODY_WORDS).map(decode_body).collect()
+}
+
 /// Position checksum: Σ |pos| over bodies — the cross-model agreement
 /// figure (models approximate forces slightly differently through their
 /// different tree decompositions, so compare with a small tolerance).

@@ -23,7 +23,12 @@ use nbody::{Octree, Vec3};
 use parallel::{Ctx, SchedPolicy, Team};
 
 use crate::metrics::{App, Model, RunMetrics};
-use crate::nbody_common::{checksum_positions, BodyCost, NBodyConfig};
+use crate::nbody_common::{
+    checksum_positions, decode_bodies_state, encode_bodies_state, BodyCost, NBodyConfig,
+};
+// snap:begin
+use crate::snapshot::Snapshotter;
+// snap:end
 use crate::workcost as W;
 
 /// Tag for the rebalance scatter.
@@ -48,32 +53,63 @@ pub fn run_sched(
 pub fn run_opts(machine: Arc<Machine>, cfg: &NBodyConfig, opts: crate::RunOpts) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per rank");
     let world = MpWorld::new(Arc::clone(&machine));
+    // snap:begin — checkpoint plumbing, shared by every model
+    let snap = Snapshotter::new(&opts, App::NBody, Model::Mp, &machine, &format!("{cfg:?}"));
+    // snap:end
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| rank_main(ctx, &world, cfg, &snap));
     RunMetrics::collect(App::NBody, Model::Mp, &run, cfg.n)
 }
 
-fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig) -> f64 {
+fn rank_main(ctx: &mut Ctx, w: &MpWorld, cfg: &NBodyConfig, snap: &Snapshotter) -> f64 {
     let p = ctx.npes();
     let me = ctx.pe();
 
-    // Initial decomposition: every rank derives the same startup ORB from
-    // the (deterministically generated) body set, then keeps its share.
-    let all = cfg.bodies();
-    let pos0: Vec<Vec3> = all.iter().map(|b| b.pos).collect();
-    ctx.compute_units(cfg.n as u64, W::PARTITION_PER_BODY_NS);
-    let assign = orb_partition(&pos0, &vec![1.0; cfg.n], p);
-    let mut mine: Vec<BodyCost> = all
-        .iter()
-        .zip(&assign)
-        .filter(|(_, &a)| a as usize == me)
-        .map(|(b, _)| BodyCost {
-            body: *b,
-            cost: 1.0,
-        })
-        .collect();
+    // snap:begin — warm start: a rank's whole N-body state is its owned
+    // bodies — trees and partitions are rebuilt from them every step.
+    let (start, mut mine) = if let Some(at) = snap.resume_index("step") {
+        (
+            at as usize,
+            decode_bodies_state(snap.payload(me).expect("resume payload"), at),
+        )
+    } else {
+        // snap:end
+        // Initial decomposition: every rank derives the same startup ORB
+        // from the (deterministically generated) body set, keeps its share.
+        let all = cfg.bodies();
+        let pos0: Vec<Vec3> = all.iter().map(|b| b.pos).collect();
+        ctx.compute_units(cfg.n as u64, W::PARTITION_PER_BODY_NS);
+        let assign = orb_partition(&pos0, &vec![1.0; cfg.n], p);
+        let mine: Vec<BodyCost> = all
+            .iter()
+            .zip(&assign)
+            .filter(|(_, &a)| a as usize == me)
+            .map(|(b, _)| BodyCost {
+                body: *b,
+                cost: 1.0,
+            })
+            .collect();
+        // snap:begin — closes the warm-start branch
+        (0, mine)
+    };
+    // snap:end
 
-    for _step in 0..cfg.steps {
+    for step in start..cfg.steps {
+        // snap:begin — zero-cost quiescence gate: every rank's state is in
+        // `mine`, no messages in flight (the previous step ended in a
+        // matched scatter).
+        snap.point(
+            ctx,
+            "step",
+            step as u64,
+            || encode_bodies_state(step as u64, &mine),
+            || {
+                w.assert_quiescent();
+                Vec::new()
+            },
+        );
+        // snap:end
+
         // (1) Exchange bounding boxes.
         ctx.net_phase("tree");
         let my_pos: Vec<Vec3> = mine.iter().map(|b| b.body.pos).collect();
@@ -220,6 +256,47 @@ mod tests {
         let b = run(machine(2), &cfg);
         let rel = (a.checksum - b.checksum).abs() / a.checksum;
         assert!(rel < 0.02, "decomposition changed physics too much: {rel}");
+    }
+
+    #[test]
+    fn snapshot_restore_matches_straight_run() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        let cfg = NBodyConfig::small();
+        let dir = crate::snapshot::testutil::scratch("nbody-mp");
+        let det = crate::RunOpts::with_sched(Some(SchedPolicy::Det));
+        let straight = run_opts(machine(4), &cfg, det.clone());
+        let captured = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Capture {
+                    dir: dir.clone(),
+                    point: SnapPoint {
+                        name: "step".into(),
+                        index: 1,
+                    },
+                }),
+                ..det.clone()
+            },
+        );
+        let restored = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Restore { dir: dir.clone() }),
+                ..det
+            },
+        );
+        for m in [&captured, &restored] {
+            assert_eq!(m.checksum.to_bits(), straight.checksum.to_bits());
+            assert_eq!(m.sim_time, straight.sim_time);
+            assert_eq!(m.counters, straight.counters);
+            assert_eq!(
+                m.sched.as_ref().unwrap().fingerprint,
+                straight.sched.as_ref().unwrap().fingerprint
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

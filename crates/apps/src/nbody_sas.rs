@@ -24,6 +24,31 @@ use crate::nbody_common::{
 };
 use crate::workcost as W;
 
+// snap:begin — checkpoint plumbing, shared by every model
+use crate::snapshot::Snapshotter;
+use o2k_snap::wire::{WireReader, WireWriter};
+
+/// Serialise one PE's SAS locals at a step boundary: just the private
+/// cache — all body and tree state is shared and travels in the world
+/// section of the snapshot.
+fn encode_sas_state(step: u64, pe: &sas::SasPe) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u64(step);
+    w.u64s(&pe.export_cache_words());
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_sas_state`].
+fn decode_sas_state(bytes: &[u8], step: u64) -> Vec<u64> {
+    let mut r = WireReader::new(bytes);
+    let got = r.u64().expect("snapshot app payload: step");
+    assert_eq!(got, step, "snapshot payload is for a different step");
+    let cache = r.u64s().expect("snapshot app payload: cache");
+    r.finish().expect("snapshot app payload: trailing bytes");
+    cache
+}
+// snap:end
+
 /// Run the CC-SAS N-body application with first-touch paging.
 pub fn run(machine: Arc<Machine>, cfg: &NBodyConfig) -> RunMetrics {
     run_with(machine, cfg, PagePolicy::FirstTouch, None)
@@ -54,8 +79,18 @@ pub fn run_with_opts(
 ) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per PE");
     let world = SasWorld::with_paging(Arc::clone(&machine), policy);
+    // snap:begin — checkpoint plumbing, shared by every model
+    let mut snap = Snapshotter::new(
+        &opts,
+        App::NBody,
+        Model::Sas,
+        &machine,
+        &format!("{cfg:?}/{policy:?}"),
+    );
+    snap.import_world(|b| world.import_state_bytes(b));
+    // snap:end
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| pe_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| pe_main(ctx, &world, cfg, &snap));
     RunMetrics::collect(App::NBody, Model::Sas, &run, cfg.n)
 }
 
@@ -70,53 +105,89 @@ struct Shared {
     tree_leaves: SasSlice<u64>,
 }
 
-fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &NBodyConfig) -> f64 {
+fn pe_main(ctx: &mut Ctx, w: &SasWorld, cfg: &NBodyConfig, snap: &Snapshotter) -> f64 {
     let p = ctx.npes();
     let me = ctx.pe();
     let n = cfg.n;
     let node_cap = 8 * n + 64;
     let mut pe = w.pe();
 
-    let s = Shared {
-        pos: w.alloc(ctx, 3 * n),
-        vel: w.alloc(ctx, 3 * n),
-        mass: w.alloc(ctx, n),
-        acc: w.alloc(ctx, 3 * n),
-        cost: w.alloc(ctx, n),
-        zone: w.alloc(ctx, n),
-        tree_nodes: w.alloc(ctx, node_cap * NODE_WORDS),
-        tree_leaves: w.alloc(ctx, n),
-    };
+    // snap:begin — warm start: every body and tree word, page home, and
+    // directory line came back through the world import; attach to the
+    // regions in allocation order and reload this PE's private cache.
+    let (start, s) = if let Some(at) = snap.resume_index("step") {
+        let s = Shared {
+            pos: w.attach(ctx, 3 * n),
+            vel: w.attach(ctx, 3 * n),
+            mass: w.attach(ctx, n),
+            acc: w.attach(ctx, 3 * n),
+            cost: w.attach(ctx, n),
+            zone: w.attach(ctx, n),
+            tree_nodes: w.attach(ctx, node_cap * NODE_WORDS),
+            tree_leaves: w.attach(ctx, n),
+        };
+        let cache = decode_sas_state(snap.payload(me).expect("resume payload"), at);
+        pe.import_cache_words(&cache)
+            .expect("snapshot cache import");
+        (at as usize, s)
+    } else {
+        // snap:end
+        let s = Shared {
+            pos: w.alloc(ctx, 3 * n),
+            vel: w.alloc(ctx, 3 * n),
+            mass: w.alloc(ctx, n),
+            acc: w.alloc(ctx, 3 * n),
+            cost: w.alloc(ctx, n),
+            zone: w.alloc(ctx, n),
+            tree_nodes: w.alloc(ctx, node_cap * NODE_WORDS),
+            tree_leaves: w.alloc(ctx, n),
+        };
 
-    // Parallel-initialisation idiom: each PE first-touches its block so
-    // pages spread across nodes (a no-op under round-robin paging).
-    let lo = me * n / p;
-    let hi = (me + 1) * n / p;
-    s.pos.home_pages(ctx, 3 * lo, 3 * hi);
-    s.vel.home_pages(ctx, 3 * lo, 3 * hi);
-    s.acc.home_pages(ctx, 3 * lo, 3 * hi);
-    s.mass.home_pages(ctx, lo, hi);
-    s.cost.home_pages(ctx, lo, hi);
-    s.zone.home_pages(ctx, lo, hi);
-    let tn = node_cap * NODE_WORDS;
-    s.tree_nodes.home_pages(ctx, me * tn / p, (me + 1) * tn / p);
-    s.tree_leaves.home_pages(ctx, lo, hi);
+        // Parallel-initialisation idiom: each PE first-touches its block so
+        // pages spread across nodes (a no-op under round-robin paging).
+        let lo = me * n / p;
+        let hi = (me + 1) * n / p;
+        s.pos.home_pages(ctx, 3 * lo, 3 * hi);
+        s.vel.home_pages(ctx, 3 * lo, 3 * hi);
+        s.acc.home_pages(ctx, 3 * lo, 3 * hi);
+        s.mass.home_pages(ctx, lo, hi);
+        s.cost.home_pages(ctx, lo, hi);
+        s.zone.home_pages(ctx, lo, hi);
+        let tn = node_cap * NODE_WORDS;
+        s.tree_nodes.home_pages(ctx, me * tn / p, (me + 1) * tn / p);
+        s.tree_leaves.home_pages(ctx, lo, hi);
 
-    if me == 0 {
-        for (i, b) in cfg.bodies().iter().enumerate() {
-            s.pos.write_raw(3 * i, b.pos.x);
-            s.pos.write_raw(3 * i + 1, b.pos.y);
-            s.pos.write_raw(3 * i + 2, b.pos.z);
-            s.vel.write_raw(3 * i, b.vel.x);
-            s.vel.write_raw(3 * i + 1, b.vel.y);
-            s.vel.write_raw(3 * i + 2, b.vel.z);
-            s.mass.write_raw(i, b.mass);
-            s.cost.write_raw(i, 1.0);
+        if me == 0 {
+            for (i, b) in cfg.bodies().iter().enumerate() {
+                s.pos.write_raw(3 * i, b.pos.x);
+                s.pos.write_raw(3 * i + 1, b.pos.y);
+                s.pos.write_raw(3 * i + 2, b.pos.z);
+                s.vel.write_raw(3 * i, b.vel.x);
+                s.vel.write_raw(3 * i + 1, b.vel.y);
+                s.vel.write_raw(3 * i + 2, b.vel.z);
+                s.mass.write_raw(i, b.mass);
+                s.cost.write_raw(i, 1.0);
+            }
         }
-    }
-    w.barrier(ctx);
+        w.barrier(ctx);
+        // snap:begin — closes the warm-start branch
+        (0, s)
+    };
+    // snap:end
 
-    for _step in 0..cfg.steps {
+    for step in start..cfg.steps {
+        // snap:begin — zero-cost quiescence gate: the previous step ended
+        // in a barrier; shared state is in the SAS world, private state in
+        // `pe`'s cache.
+        snap.point(
+            ctx,
+            "step",
+            step as u64,
+            || encode_sas_state(step as u64, &pe),
+            || w.export_state_bytes(),
+        );
+        // snap:end
+
         // The tree is rebuilt in place each step; drop cached lines (models
         // the rebuild's invalidation storm conservatively).
         ctx.net_phase("tree");
@@ -262,6 +333,44 @@ mod tests {
         let mpv = crate::nbody_mp::run(machine(1), &cfg).checksum;
         let rel = (sas - mpv).abs() / mpv;
         assert!(rel < 1e-9, "global tree vs P=1 MP: {rel}");
+    }
+
+    #[test]
+    fn snapshot_restore_matches_straight_run() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        let cfg = NBodyConfig::small();
+        let dir = crate::snapshot::testutil::scratch("nbody-sas");
+        let go = |snap| {
+            run_with_opts(
+                machine(4),
+                &cfg,
+                PagePolicy::FirstTouch,
+                crate::RunOpts {
+                    sched: Some(SchedPolicy::Det),
+                    snap,
+                    ..crate::RunOpts::default()
+                },
+            )
+        };
+        let straight = go(None);
+        let captured = go(Some(SnapSpec::Capture {
+            dir: dir.clone(),
+            point: SnapPoint {
+                name: "step".into(),
+                index: 1,
+            },
+        }));
+        let restored = go(Some(SnapSpec::Restore { dir: dir.clone() }));
+        for m in [&captured, &restored] {
+            assert_eq!(m.checksum.to_bits(), straight.checksum.to_bits());
+            assert_eq!(m.sim_time, straight.sim_time);
+            assert_eq!(m.counters, straight.counters);
+            assert_eq!(
+                m.sched.as_ref().unwrap().fingerprint,
+                straight.sched.as_ref().unwrap().fingerprint
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

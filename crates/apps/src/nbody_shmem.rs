@@ -27,8 +27,12 @@ use shmem::{SymSlice, SymWorld};
 
 use crate::metrics::{App, Model, RunMetrics};
 use crate::nbody_common::{
-    checksum_positions, decode_body, encode_body, BodyCost, NBodyConfig, BODY_WORDS,
+    checksum_positions, decode_bodies_state, decode_body, encode_bodies_state, encode_body,
+    BodyCost, NBodyConfig, BODY_WORDS,
 };
+// snap:begin
+use crate::snapshot::Snapshotter;
+// snap:end
 use crate::workcost as W;
 
 /// Run the SHMEM N-body application; returns uniform metrics.
@@ -50,8 +54,18 @@ pub fn run_sched(
 pub fn run_opts(machine: Arc<Machine>, cfg: &NBodyConfig, opts: crate::RunOpts) -> RunMetrics {
     assert!(cfg.n >= machine.pes(), "need at least one body per PE");
     let world = SymWorld::new(Arc::clone(&machine));
+    // snap:begin — checkpoint plumbing, shared by every model
+    let mut snap = Snapshotter::new(
+        &opts,
+        App::NBody,
+        Model::Shmem,
+        &machine,
+        &format!("{cfg:?}"),
+    );
+    snap.import_world(|b| world.import_state_bytes(b));
+    // snap:end
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| pe_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| pe_main(ctx, &world, cfg, &snap));
     RunMetrics::collect(App::NBody, Model::Shmem, &run, cfg.n)
 }
 
@@ -88,27 +102,71 @@ fn alloc_state(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> SymState {
     }
 }
 
-fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig) -> f64 {
+// snap:begin
+/// [`alloc_state`]'s restore twin: attach to the imported symmetric heap
+/// in the same region order, with no barriers or allocation charges.
+fn attach_state(ctx: &Ctx, w: &SymWorld, cfg: &NBodyConfig) -> SymState {
+    let p = ctx.npes();
+    let n = cfg.n;
+    SymState {
+        boxes: w.attach(ctx, 6 * p),
+        counts: w.attach(ctx, p),
+        offsets: w.attach(ctx, p),
+        imports: w.attach(ctx, 4 * n + 4),
+        gather: w.attach(ctx, BODY_WORDS * n),
+        cursor: w.attach(ctx, 1),
+        rebal: w.attach(ctx, BODY_WORDS * n),
+        rebal_n: w.attach(ctx, 1),
+    }
+}
+// snap:end
+
+fn pe_main(ctx: &mut Ctx, w: &SymWorld, cfg: &NBodyConfig, snap: &Snapshotter) -> f64 {
     let p = ctx.npes();
     let me = ctx.pe();
-    let s = alloc_state(ctx, w, cfg);
 
-    // Startup decomposition, derived identically on every PE.
-    let all = cfg.bodies();
-    let pos0: Vec<Vec3> = all.iter().map(|b| b.pos).collect();
-    ctx.compute_units(cfg.n as u64, W::PARTITION_PER_BODY_NS);
-    let assign = orb_partition(&pos0, &vec![1.0; cfg.n], p);
-    let mut mine: Vec<BodyCost> = all
-        .iter()
-        .zip(&assign)
-        .filter(|(_, &a)| a as usize == me)
-        .map(|(b, _)| BodyCost {
-            body: *b,
-            cost: 1.0,
-        })
-        .collect();
+    // snap:begin — warm start: scratch regions came back through the heap
+    // import; a PE's live state is just its owned bodies.
+    let (start, s, mut mine) = if let Some(at) = snap.resume_index("step") {
+        let s = attach_state(ctx, w, cfg);
+        let mine = decode_bodies_state(snap.payload(me).expect("resume payload"), at);
+        (at as usize, s, mine)
+    } else {
+        // snap:end
+        let s = alloc_state(ctx, w, cfg);
 
-    for _step in 0..cfg.steps {
+        // Startup decomposition, derived identically on every PE.
+        let all = cfg.bodies();
+        let pos0: Vec<Vec3> = all.iter().map(|b| b.pos).collect();
+        ctx.compute_units(cfg.n as u64, W::PARTITION_PER_BODY_NS);
+        let assign = orb_partition(&pos0, &vec![1.0; cfg.n], p);
+        let mine: Vec<BodyCost> = all
+            .iter()
+            .zip(&assign)
+            .filter(|(_, &a)| a as usize == me)
+            .map(|(b, _)| BodyCost {
+                body: *b,
+                cost: 1.0,
+            })
+            .collect();
+        // snap:begin — closes the warm-start branch
+        (0, s, mine)
+    };
+    // snap:end
+
+    for step in start..cfg.steps {
+        // snap:begin — zero-cost quiescence gate: the previous step ended
+        // in a barrier; every PE's state is in `mine` plus the symmetric
+        // scratch regions.
+        snap.point(
+            ctx,
+            "step",
+            step as u64,
+            || encode_bodies_state(step as u64, &mine),
+            || w.export_state_bytes(),
+        );
+        // snap:end
+
         // (1) Publish my bounding box into everyone's table.
         ctx.net_phase("tree");
         let my_pos: Vec<Vec3> = mine.iter().map(|b| b.body.pos).collect();
@@ -297,6 +355,47 @@ mod tests {
             run(machine(2), &cfg).checksum,
             run(machine(2), &cfg).checksum
         );
+    }
+
+    #[test]
+    fn snapshot_restore_matches_straight_run() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        let cfg = NBodyConfig::small();
+        let dir = crate::snapshot::testutil::scratch("nbody-shmem");
+        let det = crate::RunOpts::with_sched(Some(SchedPolicy::Det));
+        let straight = run_opts(machine(4), &cfg, det.clone());
+        let captured = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Capture {
+                    dir: dir.clone(),
+                    point: SnapPoint {
+                        name: "step".into(),
+                        index: 1,
+                    },
+                }),
+                ..det.clone()
+            },
+        );
+        let restored = run_opts(
+            machine(4),
+            &cfg,
+            crate::RunOpts {
+                snap: Some(SnapSpec::Restore { dir: dir.clone() }),
+                ..det
+            },
+        );
+        for m in [&captured, &restored] {
+            assert_eq!(m.checksum.to_bits(), straight.checksum.to_bits());
+            assert_eq!(m.sim_time, straight.sim_time);
+            assert_eq!(m.counters, straight.counters);
+            assert_eq!(
+                m.sched.as_ref().unwrap().fingerprint,
+                straight.sched.as_ref().unwrap().fingerprint
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

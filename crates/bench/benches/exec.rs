@@ -25,6 +25,7 @@ fn opts(exec: ExecMode) -> RunOpts {
     RunOpts {
         sched: Some(SchedPolicy::Det),
         exec: Some(exec),
+        ..RunOpts::default()
     }
 }
 

@@ -1,7 +1,8 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <id>... [--quick] [--sched <policy>] [--exec <mode>] [--fault <spec>] [--trace <dir>]
+//! repro <id>... [--quick] [--sched <policy>] [--exec <mode>] [--fault <spec>]
+//!               [--snapshot <dir>@<gate>[:index] | --restore <dir>] [--trace <dir>]
 //! repro all [--quick]                       run the whole suite
 //! ```
 //!
@@ -31,6 +32,15 @@
 //! `r<R>d<D>` and actions `kill` / `deg<F>` / `heal` (see DESIGN.md §4c).
 //! Faults only bite when the contention model is on; N2 carries its own
 //! plans and ignores this default.
+//!
+//! `--snapshot <dir>@<gate>[:index]` writes a checkpoint of every team
+//! run into `<dir>` when execution reaches the named snap gate (`step:4`,
+//! `warm`, …); `--restore <dir>` warm-starts every run whose snapshot
+//! exists in `<dir>` (runs with no matching snapshot fall back to
+//! from-scratch). Snap gates cost zero virtual time, so a capturing run's
+//! tables are bitwise identical to a plain run's and a restored run
+//! replays the plain run's tail exactly — see DESIGN.md §4g. Experiment
+//! C1 manages its own snapshot directory and ignores these flags.
 
 use std::fs;
 use std::time::Instant;
@@ -53,6 +63,7 @@ fn main() {
         .unwrap_or(o2k_sched::ExecMode::Thread);
     // `None` leaves the `O2K_FAULT` / healthy default in place.
     let mut fault: Option<machine::FaultMode> = None;
+    let mut snap: Option<o2k_snap::SnapSpec> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter().filter(|a| *a != "--quick");
     while let Some(a) = it.next() {
@@ -93,13 +104,33 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--snapshot" {
+            match it.next().map(|s| o2k_snap::SnapSpec::parse_capture(s)) {
+                Some(Ok(s)) => snap = Some(s),
+                Some(Err(e)) => {
+                    eprintln!("--snapshot: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--snapshot requires <dir>@<gate>[:index], e.g. snaps@step:4");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--restore" {
+            match it.next().map(|s| o2k_snap::SnapSpec::parse_restore(s)) {
+                Some(Ok(s)) => snap = Some(s),
+                _ => {
+                    eprintln!("--restore requires a snapshot directory");
+                    std::process::exit(2);
+                }
+            }
         } else {
             ids.push(a.to_lowercase());
         }
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro <id>... [--quick] [--sched <policy>] [--exec <mode>] [--fault <spec>] [--trace <dir>]   ids: {} all",
+            "usage: repro <id>... [--quick] [--sched <policy>] [--exec <mode>] [--fault <spec>] [--snapshot <dir>@<gate>[:index] | --restore <dir>] [--trace <dir>]   ids: {} all",
             EXPERIMENT_IDS.join(" ")
         );
         std::process::exit(2);
@@ -109,6 +140,7 @@ fn main() {
     if let Some(f) = fault {
         machine::fault::set_default_fault(f);
     }
+    o2k_snap::set_spec(snap);
     if ids.iter().any(|i| i == "all") {
         ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
     }

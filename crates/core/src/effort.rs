@@ -28,19 +28,22 @@ fn source(app: App, model: Model) -> &'static str {
 /// Count effective source lines: stop at the unit-test marker, drop
 /// simulator-shim regions (between `// sim:begin` and `// sim:end` —
 /// code that on real hardware is a plain load/store or a reused sequential
-/// routine, and exists only to drive the cache simulator), and skip blank
-/// or comment-only lines.
+/// routine, and exists only to drive the cache simulator), drop
+/// checkpoint-harness regions (between `// snap:begin` and `// snap:end` —
+/// snapshot capture/restore plumbing shared by every model, orthogonal to
+/// the programming effort the table compares), and skip blank or
+/// comment-only lines.
 pub fn count_loc(src: &str) -> usize {
     let src = src.split("#[cfg(test)]").next().unwrap_or(src);
     let mut in_shim = false;
     let mut count = 0;
     for line in src.lines() {
         let l = line.trim();
-        if l.starts_with("// sim:begin") {
+        if l.starts_with("// sim:begin") || l.starts_with("// snap:begin") {
             in_shim = true;
             continue;
         }
-        if l.starts_with("// sim:end") {
+        if l.starts_with("// sim:end") || l.starts_with("// snap:end") {
             in_shim = false;
             continue;
         }
@@ -87,6 +90,12 @@ mod tests {
     #[test]
     fn loc_counting_rules() {
         let src = "fn a() {}\n\n// comment\n   // indented comment\nlet x = 1;\n#[cfg(test)]\nmod tests { lots and lots }\n";
+        assert_eq!(count_loc(src), 2);
+    }
+
+    #[test]
+    fn loc_counting_drops_shim_and_snap_regions() {
+        let src = "real();\n// sim:begin\nshim();\n// sim:end\n// snap:begin\nresume();\nrestore();\n// snap:end\nreal2();\n";
         assert_eq!(count_loc(src), 2);
     }
 

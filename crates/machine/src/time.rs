@@ -121,6 +121,14 @@ impl Clock {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Rebuild a clock from checkpointed state. `now` must equal the
+    /// breakdown's total (every advance is categorised, so a consistent
+    /// snapshot always satisfies this).
+    pub fn restore(now: SimTime, breakdown: TimeBreakdown) -> Self {
+        debug_assert_eq!(now, breakdown.total(), "uncategorised clock time");
+        Clock { now, breakdown }
+    }
 }
 
 #[cfg(test)]

@@ -243,6 +243,38 @@ impl MpWorld {
         (env.src, env.tag, *data)
     }
 
+    /// Messages queued across all mailboxes (sent but not yet received).
+    pub fn pending_messages(&self) -> usize {
+        self.mailboxes.iter().map(|mb| mb.queue.lock().len()).sum()
+    }
+
+    /// Snapshot quiescence check: envelopes carry `Box<dyn Any>` payloads
+    /// and cannot be serialised, so a checkpoint is only legal when every
+    /// mailbox is empty — which the apps guarantee by matching all sends
+    /// within the step that precedes a snap gate. (Collective sequence
+    /// numbers are deliberately not captured: a restored world restarts
+    /// them at zero on every rank consistently, and tags never affect
+    /// cost.)
+    ///
+    /// # Panics
+    /// Panics, naming the offending ranks, if any message is in flight.
+    pub fn assert_quiescent(&self) {
+        let stuck: Vec<String> = self
+            .mailboxes
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, mb)| {
+                let n = mb.queue.lock().len();
+                (n > 0).then(|| format!("rank {rank}: {n} queued"))
+            })
+            .collect();
+        assert!(
+            stuck.is_empty(),
+            "MP world not quiescent at snapshot point — unreceived messages ({})",
+            stuck.join(", ")
+        );
+    }
+
     /// Combined send-then-receive (like `MPI_Sendrecv`): eager send to `dst`
     /// followed by a blocking receive matching `(src, recv_tag)`.
     pub fn sendrecv<T: Clone + Send + 'static>(

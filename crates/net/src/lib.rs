@@ -241,6 +241,73 @@ impl Resource {
     }
 }
 
+/// Spans per arena chunk: 16 Ki spans ≈ 256 KiB, small enough to keep in
+/// cache while filling, large enough that chunk turnover is rare.
+pub const SPAN_CHUNK: usize = 1 << 14;
+
+/// Chunked arena for recorded occupancy spans. A flat `Vec` doubles its
+/// allocation as a trace grows, copying up to tens of megabytes of spans
+/// mid-`route` with the state lock held; the arena instead pushes into
+/// fixed-size chunks that never move once allocated, and `clear` recycles
+/// exhausted chunks for the next recording session instead of returning
+/// them to the allocator. Per-transfer span recording therefore allocates
+/// only once every [`SPAN_CHUNK`] pushes, and never copies.
+///
+/// Public so the criterion suite (`benches/net.rs`) can measure the real
+/// structure against a flat-`Vec` baseline.
+#[derive(Debug, Default)]
+pub struct SpanArena {
+    chunks: Vec<Vec<LinkSpan>>,
+    /// Emptied chunks with their capacity intact, awaiting reuse.
+    free: Vec<Vec<LinkSpan>>,
+    len: usize,
+}
+
+impl SpanArena {
+    /// Spans currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no spans are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one span; amortises to one allocation per [`SPAN_CHUNK`].
+    #[inline]
+    pub fn push(&mut self, s: LinkSpan) {
+        if self.chunks.last().is_none_or(|c| c.len() == SPAN_CHUNK) {
+            let chunk = self
+                .free
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(SPAN_CHUNK));
+            self.chunks.push(chunk);
+        }
+        self.chunks.last_mut().expect("chunk just ensured").push(s);
+        self.len += 1;
+    }
+
+    /// Flatten into one contiguous `Vec` (the export path).
+    pub fn to_vec(&self) -> Vec<LinkSpan> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in &self.chunks {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// Drop all spans, recycling chunk capacity for the next session.
+    pub fn clear(&mut self) {
+        let mut drained = std::mem::take(&mut self.chunks);
+        for c in &mut drained {
+            c.clear();
+        }
+        self.free.append(&mut drained);
+        self.len = 0;
+    }
+}
+
 /// Per-resource (queued_ns, bytes, transfers) snapshot at a phase boundary.
 type LinkSnap = (u64, u64, u64);
 
@@ -255,7 +322,7 @@ struct Phase {
 
 struct NetState {
     resources: Vec<Resource>,
-    spans: Vec<LinkSpan>,
+    spans: SpanArena,
     spans_dropped: u64,
     phases: Vec<Phase>,
     detoured: u64,
@@ -371,7 +438,7 @@ impl NetSim {
             fault_path_cache: Mutex::new(HashMap::new()),
             state: Mutex::new(NetState {
                 resources,
-                spans: Vec::new(),
+                spans: SpanArena::default(),
                 spans_dropped: 0,
                 phases: Vec::new(),
                 detoured: 0,
@@ -971,7 +1038,7 @@ impl NetSim {
         let names = (0..st.resources.len())
             .map(|id| self.link_name(id))
             .collect();
-        (names, st.spans.clone())
+        (names, st.spans.to_vec())
     }
 
     /// Spans dropped after [`MAX_SPANS`] (0 in any reasonable run).
@@ -999,6 +1066,149 @@ impl NetSim {
             }
         }
         out
+    }
+
+    // -- Checkpoint interface -----------------------------------------------
+    //
+    // The fabric's resumable state is the busy-until queue and cumulative
+    // counters of every resource, the detour count, and the per-phase
+    // baseline snapshots (phase hotspot reports must survive a restore).
+    // Recorded trace spans are *not* exported: a restored run's trace
+    // covers post-restore traffic only. The encoding is self-contained
+    // (u64 little-endian with its own version word) so the snapshot
+    // container can treat it as an opaque blob.
+
+    /// Fabric-state layout version inside [`NetSim::export_state_bytes`].
+    pub const STATE_VERSION: u64 = 1;
+
+    /// Serialise the resumable fabric state.
+    pub fn export_state_bytes(&self) -> Vec<u8> {
+        fn kind_code(k: ResourceKind) -> u64 {
+            match k {
+                ResourceKind::Link => 0,
+                ResourceKind::Bus => 1,
+                ResourceKind::Hub => 2,
+            }
+        }
+        let st = self.lock();
+        let mut out = Vec::with_capacity(32 + st.resources.len() * 48);
+        {
+            let mut w = |v: u64| out.extend_from_slice(&v.to_le_bytes());
+            w(Self::STATE_VERSION);
+            w(st.detoured);
+            w(st.spans_dropped);
+            w(st.resources.len() as u64);
+            for r in &st.resources {
+                w(kind_code(r.kind));
+                w(r.busy_until);
+                w(r.bytes);
+                w(r.busy_ns);
+                w(r.queued_ns);
+                w(r.transfers);
+            }
+            w(st.phases.len() as u64);
+        }
+        for ph in &st.phases {
+            out.extend_from_slice(&(ph.name.len() as u64).to_le_bytes());
+            out.extend_from_slice(ph.name.as_bytes());
+            out.extend_from_slice(&(ph.at_start.len() as u64).to_le_bytes());
+            for &(q, b, t) in &ph.at_start {
+                out.extend_from_slice(&q.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restore state exported by [`NetSim::export_state_bytes`]. Errors —
+    /// leaving this fabric untouched — when the bytes are malformed or
+    /// the resource tables differ in size or kind layout (the snapshot
+    /// came from a different topology or contention mode; the caller
+    /// falls back to a cold fabric, which is the correct model for "same
+    /// computation, different machine").
+    pub fn import_state_bytes(&self, bytes: &[u8]) -> Result<(), String> {
+        struct Rd<'a>(&'a [u8], usize);
+        impl Rd<'_> {
+            fn u64(&mut self) -> Result<u64, String> {
+                let end = self.1 + 8;
+                if end > self.0.len() {
+                    return Err("truncated fabric state".into());
+                }
+                let v = u64::from_le_bytes(self.0[self.1..end].try_into().expect("8 bytes"));
+                self.1 = end;
+                Ok(v)
+            }
+            fn str(&mut self, n: usize) -> Result<String, String> {
+                let end = self.1 + n;
+                if end > self.0.len() {
+                    return Err("truncated fabric state".into());
+                }
+                let s = String::from_utf8(self.0[self.1..end].to_vec())
+                    .map_err(|e| format!("bad fabric phase name: {e}"))?;
+                self.1 = end;
+                Ok(s)
+            }
+        }
+        let mut r = Rd(bytes, 0);
+        let version = r.u64()?;
+        if version != Self::STATE_VERSION {
+            return Err(format!("fabric state v{version} unsupported"));
+        }
+        let detoured = r.u64()?;
+        let spans_dropped = r.u64()?;
+        let n = r.u64()? as usize;
+        let mut resources = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kind = match r.u64()? {
+                0 => ResourceKind::Link,
+                1 => ResourceKind::Bus,
+                2 => ResourceKind::Hub,
+                k => return Err(format!("unknown resource kind {k}")),
+            };
+            resources.push(Resource {
+                kind,
+                busy_until: r.u64()?,
+                bytes: r.u64()?,
+                busy_ns: r.u64()?,
+                queued_ns: r.u64()?,
+                transfers: r.u64()?,
+            });
+        }
+        let nphases = r.u64()? as usize;
+        let mut phases = Vec::with_capacity(nphases);
+        for _ in 0..nphases {
+            let name_len = r.u64()? as usize;
+            let name = r.str(name_len)?;
+            let nsnap = r.u64()? as usize;
+            if nsnap != n {
+                return Err("fabric phase snapshot size mismatch".into());
+            }
+            let mut at_start = Vec::with_capacity(nsnap);
+            for _ in 0..nsnap {
+                at_start.push((r.u64()?, r.u64()?, r.u64()?));
+            }
+            phases.push(Phase { name, at_start });
+        }
+        let mut st = self.lock();
+        if resources.len() != st.resources.len()
+            || resources
+                .iter()
+                .zip(st.resources.iter())
+                .any(|(a, b)| a.kind != b.kind)
+        {
+            return Err(format!(
+                "fabric resource table mismatch: snapshot has {} resources, this machine {}",
+                resources.len(),
+                st.resources.len()
+            ));
+        }
+        st.resources = resources;
+        st.detoured = detoured;
+        st.spans_dropped = spans_dropped;
+        st.phases = phases;
+        st.spans.clear();
+        Ok(())
     }
 }
 
@@ -1700,5 +1910,54 @@ mod tests {
         assert!(net.try_route(0, 0, 3, 256, 0).is_err());
         assert!(net.try_route(0, 0, 3, 256, 100).is_err(), "cached miss");
         assert!(net.try_route(0, 0, 3, 256, 9_000).is_ok(), "heals on time");
+    }
+
+    #[test]
+    fn state_export_import_restores_busy_queues_and_stats() {
+        let a = sim_fabric(8, 2);
+        a.begin_phase("build");
+        for pe in 0..8u32 {
+            a.route(pe, pe as usize % 4, (pe as usize + 1) % 4, 4096, 10);
+        }
+        a.begin_phase("solve");
+        a.route(0, 0, 3, 1 << 16, 50);
+        let bytes = a.export_state_bytes();
+
+        // A fresh fabric on the same machine continues identically after
+        // import: same stats, same phase tables, same queueing for the
+        // next transfer.
+        let b = sim_fabric(8, 2);
+        b.import_state_bytes(&bytes).unwrap();
+        assert_eq!(format!("{:?}", b.stats()), format!("{:?}", a.stats()));
+        assert_eq!(
+            format!("{:?}", b.phase_hotspots(3)),
+            format!("{:?}", a.phase_hotspots(3))
+        );
+        let ra = a.route(1, 0, 3, 512, 55);
+        let rb = b.route(1, 0, 3, 512, 55);
+        assert_eq!(ra, rb, "post-import routing must match the original");
+
+        // A different topology or contention mode must refuse the bytes.
+        assert!(sim_fabric(16, 2).import_state_bytes(&bytes).is_err());
+        assert!(sim(8).import_state_bytes(&bytes).is_err());
+        assert!(b.import_state_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn span_arena_survives_chunk_turnover() {
+        let net = sim(8);
+        net.set_record_spans(true);
+        // More routed spans than one SPAN_CHUNK holds (each route crosses
+        // several links), exercising chunk turnover without reallocation.
+        let per_route = net.route(0, 0, 3, 64, 0).links as usize;
+        let routes = SPAN_CHUNK / per_route + 10;
+        for i in 1..routes {
+            net.route(0, 0, 3, 64, i as SimTime * 1000);
+        }
+        let (_, spans) = net.spans();
+        assert_eq!(spans.len(), routes * per_route);
+        assert_eq!(net.spans_dropped(), 0);
+        // Spans arrive in push order across the chunk boundary.
+        assert!(spans.windows(2).all(|w| w[0].t0 <= w[1].t0));
     }
 }

@@ -72,6 +72,42 @@ impl Ctx {
         }
     }
 
+    /// Capture this PE's substrate state for a checkpoint: clock,
+    /// counters, RNG stream, barrier epochs and pending network backlog.
+    /// Only valid at a quiescence point — in particular no lock may be
+    /// held, since locksets are not part of the snapshot.
+    ///
+    /// # Panics
+    /// Panics if this PE holds a [`SimLock`](crate::SimLock).
+    pub fn export_core(&self) -> o2k_snap::PeCore {
+        assert!(
+            self.locks_held.is_empty(),
+            "PE {} snapshot with {} lock(s) held — not a quiescence point",
+            self.pe,
+            self.locks_held.len()
+        );
+        o2k_snap::PeCore {
+            now: self.clock.now(),
+            breakdown: self.clock.breakdown(),
+            counters: self.counters.clone(),
+            rng_state: self.rng.state(),
+            global_epoch: self.global_epoch,
+            node_epoch: self.node_epoch,
+            net_pending: self.net_pending,
+        }
+    }
+
+    /// Restore state captured by [`Ctx::export_core`], applied right
+    /// after construction when a team resumes from a snapshot.
+    pub(crate) fn apply_core(&mut self, core: &o2k_snap::PeCore) {
+        self.clock = Clock::restore(core.now, core.breakdown);
+        self.counters = core.counters.clone();
+        self.rng = SmallRng::from_state(core.rng_state);
+        self.global_epoch = core.global_epoch;
+        self.node_epoch = core.node_epoch;
+        self.net_pending = core.net_pending;
+    }
+
     /// The cooperative scheduler for this run, if the team's policy uses
     /// one. Model runtimes use it to block/unblock around waits; plain
     /// application code never needs it.

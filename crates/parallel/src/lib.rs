@@ -36,7 +36,7 @@ mod team;
 pub use ctx::Ctx;
 pub use element::{Element, IntElement};
 pub use lock::{SimLock, SimLockGuard};
-pub use team::{thread_pe_cap, PeReport, Team, TeamRun};
+pub use team::{thread_pe_cap, PeReport, Team, TeamResume, TeamRun};
 
 // Re-export the tracing vocabulary so model runtimes built on `Ctx` can
 // name event kinds and dependency edges without a separate dependency.

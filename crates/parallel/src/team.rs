@@ -178,6 +178,28 @@ impl Drop for PoisonOnPanic {
     }
 }
 
+/// Substrate state a team needs to resume from a snapshot: the
+/// scheduler's pick-sequence state, every PE's core state, and the
+/// fabric's busy-until queues. Model and app state (heaps, regions,
+/// domain data) are restored by the caller — this is only the layer
+/// [`Team::run_resumed`] owns.
+#[derive(Debug, Clone)]
+pub struct TeamResume {
+    /// Scheduler state exported at the snap gate. Applied in full when
+    /// the resuming team runs the same policy; under a different
+    /// cooperative policy only the virtual clocks carry over (the pick
+    /// sequence, fingerprint and chooser stream start fresh).
+    pub sched: o2k_sched::SchedResume,
+    /// Per-PE core state, `cores[pe]`, applied to each [`Ctx`] at spawn.
+    pub cores: Vec<o2k_snap::PeCore>,
+    /// Fabric state from [`NetSim::export_state_bytes`]. Imported when
+    /// this machine's resource table matches; silently skipped otherwise
+    /// (restoring under a different topology or contention mode starts
+    /// from a cold fabric, the correct model for "same computation,
+    /// different machine").
+    pub fabric: Option<Vec<u8>>,
+}
+
 /// A team of simulated PEs bound to a [`Machine`].
 #[derive(Clone)]
 pub struct Team {
@@ -252,6 +274,25 @@ impl Team {
         R: Send,
         F: Fn(&mut Ctx) -> R + Sync,
     {
+        self.run_resumed(None, f)
+    }
+
+    /// [`Team::run`], optionally resuming substrate state captured at a
+    /// snapshot quiescence point: the scheduler is preseeded before any
+    /// PE registers (so the first floor grant replays the snap-gate
+    /// release), each PE's [`Ctx`] starts from its captured core, and the
+    /// fabric's busy-until queues are reloaded. The closure `f` is
+    /// expected to rebuild model/app state from the snapshot's own
+    /// sections and enter its loop at the captured step.
+    ///
+    /// # Panics
+    /// Panics when resuming under [`SchedPolicy::Os`] (free-running
+    /// threads have no capturable schedule) or with a PE-count mismatch.
+    pub fn run_resumed<R, F>(&self, resume: Option<TeamResume>, f: F) -> TeamRun<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
         let pes = self.machine.pes();
         // SchedPolicy::Os *means* free-running OS threads, so the event
         // backend cannot apply; everything else keeps the requested mode.
@@ -278,7 +319,35 @@ impl Team {
                 Some(Arc::new(CoopSched::with_exec(pes, policy, gates, exec)))
             }
         };
+        if let Some(res) = &resume {
+            assert!(
+                !matches!(self.sched, SchedPolicy::Os),
+                "cannot resume a snapshot under SchedPolicy::Os: free-running \
+                 threads have no capturable schedule (pick a cooperative policy)"
+            );
+            assert_eq!(
+                res.cores.len(),
+                pes,
+                "snapshot holds {} PE cores, this team has {pes}",
+                res.cores.len()
+            );
+            let cs = coop.as_ref().expect("cooperative policy has a scheduler");
+            if res.sched.policy == self.sched {
+                cs.preseed_resume(&res.sched);
+            } else {
+                // Restoring under a different policy: virtual time carries
+                // over, the pick sequence starts fresh.
+                cs.preseed_clocks(&res.sched.clocks);
+            }
+        }
         let shared = Arc::new(TeamShared::new(&self.machine, coop.clone()));
+        if let Some(bytes) = resume.as_ref().and_then(|r| r.fabric.as_deref()) {
+            if let Some(net) = &shared.net {
+                // Mismatch (different topology / contention mode) means a
+                // cold fabric, by design — see [`TeamResume::fabric`].
+                let _ = net.import_state_bytes(bytes);
+            }
+        }
         let globally_traced = o2k_trace::enabled();
         let trace = self.trace || globally_traced;
         if trace {
@@ -305,6 +374,9 @@ impl Team {
                 self.seed,
                 trace,
             );
+            if let Some(res) = &resume {
+                ctx.apply_core(&res.cores[pe]);
+            }
             let r = f(&mut ctx);
             if let Some(cs) = &coop {
                 cs.finish(pe, ctx.now());
@@ -601,6 +673,125 @@ mod tests {
         let run = t.run(|ctx| ctx.pe() * 2);
         assert_eq!(run.results, vec![0, 2]);
         assert!(run.sched.is_none());
+    }
+
+    /// One round of the resume-test workload: an RNG draw, a PE- and
+    /// round-dependent compute, a barrier.
+    fn resume_round(ctx: &mut Ctx, acc: u64, round: usize) -> u64 {
+        let acc = acc.wrapping_mul(31).wrapping_add(ctx.rng_u64());
+        ctx.compute(100 + (ctx.pe() as u64 * 13 + round as u64 * 7) % 50);
+        ctx.barrier();
+        acc
+    }
+
+    /// Full substrate capture/resume round trip: a straight run exports
+    /// its state at a mid-run snap gate; a second team resumed from it
+    /// must replay the tail bitwise — results, sim time, counters,
+    /// breakdowns, and the schedule fingerprint.
+    #[test]
+    fn run_resumed_replays_straight_run_tail_bitwise() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        const CUT: usize = 3;
+        const ROUNDS: usize = 6;
+        for policy in [SchedPolicy::Det, SchedPolicy::Explore { seed: 11 }] {
+            let cores: Mutex<Vec<Option<o2k_snap::PeCore>>> = Mutex::new(vec![None; 3]);
+            let sched_state = Mutex::new(None);
+            let claimed = AtomicBool::new(false);
+            let straight = team(3).sched(policy).run(|ctx| {
+                let mut acc = 0;
+                for round in 0..CUT {
+                    acc = resume_round(ctx, acc, round);
+                }
+                // The snap gate: deposit core state host-side, rendezvous
+                // at zero virtual cost, then the first PE past the gate
+                // (the floor holder) exports the scheduler state.
+                cores.lock()[ctx.pe()] = Some(ctx.export_core());
+                ctx.os_barrier();
+                if !claimed.swap(true, Ordering::SeqCst) {
+                    *sched_state.lock() = Some(ctx.coop().unwrap().export_resume());
+                }
+                let mut tail_acc = 0;
+                for round in CUT..ROUNDS {
+                    tail_acc = resume_round(ctx, tail_acc, round);
+                }
+                (acc, tail_acc)
+            });
+
+            let resume = TeamResume {
+                sched: sched_state.into_inner().expect("floor holder exported"),
+                cores: cores
+                    .into_inner()
+                    .into_iter()
+                    .map(|c| c.expect("every PE deposited"))
+                    .collect(),
+                fabric: None,
+            };
+            let resumed = team(3).sched(policy).run_resumed(Some(resume), |ctx| {
+                let mut tail_acc = 0;
+                for round in CUT..ROUNDS {
+                    tail_acc = resume_round(ctx, tail_acc, round);
+                }
+                tail_acc
+            });
+
+            let straight_tails: Vec<u64> = straight.results.iter().map(|&(_, t)| t).collect();
+            assert_eq!(resumed.results, straight_tails, "{policy}: tail values");
+            assert_eq!(resumed.sim_time(), straight.sim_time(), "{policy}");
+            assert_eq!(
+                resumed.merged_counters(),
+                straight.merged_counters(),
+                "{policy}"
+            );
+            assert_eq!(
+                resumed.merged_breakdown(),
+                straight.merged_breakdown(),
+                "{policy}"
+            );
+            let (ss, rs) = (straight.sched.unwrap(), resumed.sched.unwrap());
+            assert_eq!(rs.fingerprint, ss.fingerprint, "{policy}: fingerprint");
+            assert_eq!(rs.switches, ss.switches, "{policy}: switches");
+        }
+    }
+
+    /// Restoring under a *different* policy keeps virtual time and core
+    /// state but starts a fresh pick sequence.
+    #[test]
+    fn run_resumed_under_new_policy_keeps_clocks_not_fingerprint() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cores: Mutex<Vec<Option<o2k_snap::PeCore>>> = Mutex::new(vec![None; 3]);
+        let sched_state = Mutex::new(None);
+        let claimed = AtomicBool::new(false);
+        let straight = team(3).sched(SchedPolicy::Det).run(|ctx| {
+            let mut acc = 0;
+            for round in 0..3 {
+                acc = resume_round(ctx, acc, round);
+            }
+            cores.lock()[ctx.pe()] = Some(ctx.export_core());
+            ctx.os_barrier();
+            if !claimed.swap(true, Ordering::SeqCst) {
+                *sched_state.lock() = Some(ctx.coop().unwrap().export_resume());
+            }
+            ctx.now()
+        });
+        let cut_time = straight.results[0];
+        let resume = TeamResume {
+            sched: sched_state.into_inner().unwrap(),
+            cores: cores.into_inner().into_iter().map(|c| c.unwrap()).collect(),
+            fabric: None,
+        };
+        let resumed =
+            team(3)
+                .sched(SchedPolicy::Explore { seed: 5 })
+                .run_resumed(Some(resume), |ctx| {
+                    assert_eq!(ctx.now(), cut_time, "virtual clock must carry over");
+                    resume_round(ctx, 0, 3);
+                    ctx.now()
+                });
+        assert!(resumed.sim_time() > cut_time);
+        assert_eq!(
+            resumed.sched.unwrap().policy,
+            SchedPolicy::Explore { seed: 5 }
+        );
     }
 
     #[test]

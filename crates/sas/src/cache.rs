@@ -208,6 +208,62 @@ impl CacheSim {
             e.valid = false;
         }
     }
+
+    /// Dump the complete cache state — geometry, LRU clock, stats, and
+    /// every way — as plain words, for checkpoints. Restoring with
+    /// [`CacheSim::import_words`] makes the post-restore hit/miss stream
+    /// bitwise-identical to an uninterrupted run.
+    pub fn export_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(6 + self.sets.len() * 4);
+        out.push(self.num_sets as u64);
+        out.push(self.assoc as u64);
+        out.push(self.tick);
+        out.push(self.hits);
+        out.push(self.misses);
+        out.push(u64::from(self.last_probe_hit));
+        for e in &self.sets {
+            out.push(e.tag);
+            out.push(e.version);
+            out.push((u64::from(e.dirty) << 1) | u64::from(e.valid));
+            out.push(e.used);
+        }
+        out
+    }
+
+    /// Restore state captured by [`CacheSim::export_words`].
+    ///
+    /// # Errors
+    /// Errors (leaving the cache untouched) if the word count or the
+    /// recorded geometry disagrees with this cache's configuration.
+    pub fn import_words(&mut self, words: &[u64]) -> Result<(), String> {
+        let expect = 6 + self.sets.len() * 4;
+        if words.len() != expect {
+            return Err(format!(
+                "cache snapshot has {} words, expected {expect}",
+                words.len()
+            ));
+        }
+        if words[0] != self.num_sets as u64 || words[1] != self.assoc as u64 {
+            return Err(format!(
+                "cache snapshot geometry {}x{}, cache is {}x{}",
+                words[0], words[1], self.num_sets, self.assoc
+            ));
+        }
+        self.tick = words[2];
+        self.hits = words[3];
+        self.misses = words[4];
+        self.last_probe_hit = words[5] != 0;
+        for (e, chunk) in self.sets.iter_mut().zip(words[6..].chunks_exact(4)) {
+            *e = Entry {
+                tag: chunk[0],
+                version: chunk[1],
+                dirty: chunk[2] & 0b10 != 0,
+                valid: chunk[2] & 0b01 != 0,
+                used: chunk[3],
+            };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +422,32 @@ mod tests {
                 dirty: true
             }
         );
+    }
+
+    #[test]
+    fn export_import_words_roundtrips_exactly() {
+        let mut c = tiny();
+        c.insert(line_tag(0, 1), 3, true);
+        c.probe(line_tag(0, 1)); // hit
+        c.probe(line_tag(2, 9)); // miss
+        let words = c.export_words();
+        let mut d = tiny();
+        d.import_words(&words).unwrap();
+        assert_eq!(d.export_words(), words);
+        assert_eq!(d.stats(), c.stats());
+        assert_eq!(
+            d.probe(line_tag(0, 1)),
+            Probe::Hit {
+                version: 3,
+                dirty: true
+            }
+        );
+        // Geometry mismatch and truncation are rejected, state untouched.
+        let mut other = CacheSim::new(1024, 64, 2);
+        assert!(other.import_words(&words).is_err());
+        let before = d.export_words();
+        assert!(d.import_words(&words[..words.len() - 1]).is_err());
+        assert_eq!(d.export_words(), before);
     }
 
     #[test]

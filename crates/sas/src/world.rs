@@ -207,7 +207,164 @@ impl SasWorld {
     pub fn barrier(&self, ctx: &mut Ctx) {
         ctx.barrier();
     }
+
+    /// Wire-format version of [`SasWorld::export_state_bytes`].
+    pub const STATE_VERSION: u64 = 1;
+
+    /// Serialise every shared region — storage bits, page homes, and the
+    /// full per-line MSI directory — for a checkpoint. Race-detector
+    /// access history is deliberately not captured: a restored run
+    /// re-detects from the restore point onward.
+    pub fn export_state_bytes(&self) -> Vec<u8> {
+        let mut w = o2k_snap::wire::WireWriter::new();
+        w.u64(Self::STATE_VERSION);
+        w.u64(self.size() as u64);
+        w.u64(match self.policy {
+            PagePolicy::FirstTouch => 0,
+            PagePolicy::RoundRobin => 1,
+        });
+        let regions = self.regions.lock();
+        w.u64(regions.len() as u64);
+        for r in regions.iter() {
+            w.u64(r.len as u64);
+            w.u64(r.words_per_line as u64);
+            w.u64(r.words_per_page as u64);
+            for cell in r.storage.iter() {
+                w.u64(cell.load(Ordering::Relaxed));
+            }
+            w.u64(r.page_home.len() as u64);
+            for h in r.page_home.iter() {
+                w.u64(u64::from(h.load(Ordering::Relaxed)));
+            }
+            w.u64(r.lines.len() as u64);
+            for line in r.lines.iter() {
+                let d = line.dir.lock();
+                w.u64(d.version);
+                w.u64(d.sharers);
+                w.u64((u64::from(d.owner) << 1) | u64::from(d.dirty));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild regions from [`SasWorld::export_state_bytes`] output.
+    /// Host-side, before the team runs; PEs then re-acquire handles with
+    /// [`SasWorld::attach`] in the original allocation order.
+    ///
+    /// # Errors
+    /// Errors on version/PE-count/paging/line-geometry mismatch,
+    /// truncation, or a non-fresh world; the world is left untouched.
+    pub fn import_state_bytes(&self, bytes: &[u8]) -> Result<(), String> {
+        let mut rd = o2k_snap::wire::WireReader::new(bytes);
+        let ver = rd.u64()?;
+        if ver != Self::STATE_VERSION {
+            return Err(format!(
+                "sas snapshot version {ver}, expected {}",
+                Self::STATE_VERSION
+            ));
+        }
+        let pes = rd.u64()? as usize;
+        if pes != self.size() {
+            return Err(format!(
+                "sas snapshot has {pes} PEs, world has {}",
+                self.size()
+            ));
+        }
+        let policy = rd.u64()?;
+        let my_policy = match self.policy {
+            PagePolicy::FirstTouch => 0,
+            PagePolicy::RoundRobin => 1,
+        };
+        if policy != my_policy {
+            return Err(format!(
+                "sas snapshot paging policy {policy} != world's {my_policy}"
+            ));
+        }
+        let n_regions = rd.u64()? as usize;
+        let mut imported = Vec::with_capacity(n_regions);
+        for idx in 0..n_regions {
+            let len = rd.u64()? as usize;
+            let wpl = rd.u64()? as usize;
+            let wpp = rd.u64()? as usize;
+            let region = self.build_region(idx as u32, TypeId::of::<Imported>(), len);
+            if wpl != region.words_per_line || wpp != region.words_per_page {
+                return Err(format!(
+                    "sas snapshot line/page geometry {wpl}/{wpp} words, machine gives {}/{}",
+                    region.words_per_line, region.words_per_page
+                ));
+            }
+            for cell in region.storage.iter() {
+                cell.store(rd.u64()?, Ordering::Relaxed);
+            }
+            let n_pages = rd.u64()? as usize;
+            if n_pages != region.page_home.len() {
+                return Err(format!(
+                    "sas snapshot region {idx}: {n_pages} pages, expected {}",
+                    region.page_home.len()
+                ));
+            }
+            for h in region.page_home.iter() {
+                h.store(rd.u64()? as u32, Ordering::Relaxed);
+            }
+            let n_lines = rd.u64()? as usize;
+            if n_lines != region.lines.len() {
+                return Err(format!(
+                    "sas snapshot region {idx}: {n_lines} lines, expected {}",
+                    region.lines.len()
+                ));
+            }
+            for line in region.lines.iter() {
+                let mut d = line.dir.lock();
+                d.version = rd.u64()?;
+                d.sharers = rd.u64()?;
+                let od = rd.u64()?;
+                d.owner = (od >> 1) as u32;
+                d.dirty = od & 1 != 0;
+                line.meta
+                    .store(pack_meta(d.version, d.owner, d.dirty), Ordering::Release);
+            }
+            imported.push(Arc::new(region));
+        }
+        rd.finish()?;
+        let mut regions = self.regions.lock();
+        if !regions.is_empty() {
+            return Err("sas import into a world that already has regions".into());
+        }
+        *regions = imported;
+        Ok(())
+    }
+
+    /// Re-acquire the next region in allocation order after an import.
+    /// Charges nothing and does not rendezvous — the straight run paid the
+    /// alloc barrier before the snapshot, so it is already inside the
+    /// restored clocks.
+    ///
+    /// # Panics
+    /// Panics if the next region's length disagrees, or its element type
+    /// (when known) is not `T`.
+    pub fn attach<T: Element>(&self, ctx: &Ctx, len: usize) -> SasSlice<T> {
+        let idx = self.alloc_seq[ctx.pe()].fetch_add(1, Ordering::Relaxed) as usize;
+        let regions = self.regions.lock();
+        let r = regions
+            .get(idx)
+            .unwrap_or_else(|| panic!("attach #{idx}: snapshot has only {} regions", regions.len()))
+            .clone();
+        assert!(
+            r.type_id == TypeId::of::<Imported>() || r.type_id == TypeId::of::<T>(),
+            "attach #{idx}: element type mismatch"
+        );
+        assert_eq!(r.len, len, "attach #{idx}: length mismatch");
+        SasSlice {
+            region: r,
+            _t: PhantomData,
+        }
+    }
 }
+
+/// Sentinel element type for regions rebuilt from a snapshot: the wire
+/// format stores raw bit patterns with no type information, so imported
+/// regions accept any [`SasWorld::attach`] of the right length.
+struct Imported;
 
 /// Handle to a shared region of `T`. Clones alias the same region.
 pub struct SasSlice<T: Element> {
@@ -289,6 +446,21 @@ impl SasPe {
     /// Invalidate the PE's entire cache (between experiment phases).
     pub fn flush_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Dump this PE's cache state for a checkpoint (see
+    /// [`CacheSim::export_words`]).
+    pub fn export_cache_words(&self) -> Vec<u64> {
+        self.cache.export_words()
+    }
+
+    /// Restore this PE's cache from [`SasPe::export_cache_words`] output.
+    ///
+    /// # Errors
+    /// Errors if the snapshot's geometry disagrees with this machine's
+    /// cache configuration.
+    pub fn import_cache_words(&mut self, words: &[u64]) -> Result<(), String> {
+        self.cache.import_words(words)
     }
 
     /// Costed read of one element.
@@ -797,6 +969,75 @@ mod tests {
             dt > plain_fill,
             "dirty remote read must exceed a clean local fill"
         );
+    }
+
+    #[test]
+    fn export_import_attach_preserves_storage_directory_and_cache() {
+        let (w, t) = setup(2);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 64);
+            let mut pe = w.pe();
+            if ctx.pe() == 0 {
+                pe.write(ctx, &s, 5, 42);
+            }
+            w.barrier(ctx);
+            let _ = pe.read(ctx, &s, 5); // both PEs now cache the line
+            w.barrier(ctx);
+            (pe.export_cache_words(), s.home_of(5))
+        });
+        let world_bytes = w.export_state_bytes();
+        let caches: Arc<Vec<Vec<u64>>> =
+            Arc::new(run.results.iter().map(|(c, _)| c.clone()).collect());
+        let homes: Vec<_> = run.results.iter().map(|(_, h)| *h).collect();
+
+        let machine = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        let w2 = Arc::new(SasWorld::new(Arc::clone(&machine)));
+        w2.import_state_bytes(&world_bytes).unwrap();
+        let run2 = Team::new(machine).run(|ctx| {
+            let s = w2.attach::<u64>(ctx, 64);
+            let mut pe = w2.pe();
+            pe.import_cache_words(&caches[ctx.pe()]).unwrap();
+            let home = s.home_of(5);
+            let t0 = ctx.now();
+            let v = pe.read(ctx, &s, 5); // restored copy must still be a hit
+            let hit_free = ctx.now() == t0;
+            w2.barrier(ctx);
+            // Coherence must still work across the restore: a write by PE 0
+            // invalidates PE 1's restored copy.
+            if ctx.pe() == 0 {
+                pe.write(ctx, &s, 5, 99);
+            }
+            w2.barrier(ctx);
+            (v, hit_free, home, pe.read(ctx, &s, 5))
+        });
+        for (pe, (v, hit_free, home, after)) in run2.results.iter().enumerate() {
+            assert_eq!(*v, 42);
+            assert!(hit_free, "PE {pe}: restored cache copy must hit for free");
+            assert_eq!(*home, homes[pe], "page homes must survive the restore");
+            assert_eq!(*after, 99);
+        }
+        assert!(run2.reports[0].counters.invalidations >= 1);
+    }
+
+    #[test]
+    fn import_rejects_wrong_shape() {
+        let (w, t) = setup(2);
+        t.run(|ctx| {
+            let _ = w.alloc::<u64>(ctx, 16);
+        });
+        let bytes = w.export_state_bytes();
+        let m3 = Arc::new(Machine::new(3, MachineConfig::test_tiny()));
+        assert!(SasWorld::new(m3).import_state_bytes(&bytes).is_err());
+        let m2 = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        assert!(
+            SasWorld::with_paging(Arc::clone(&m2), PagePolicy::RoundRobin)
+                .import_state_bytes(&bytes)
+                .is_err()
+        );
+        let fresh = SasWorld::new(Arc::clone(&m2));
+        assert!(fresh.import_state_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(w.import_state_bytes(&bytes).is_err());
+        assert!(fresh.import_state_bytes(&bytes).is_ok());
     }
 
     /// Regression for the schedule-dependent first-touch race: when several

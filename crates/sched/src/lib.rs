@@ -327,6 +327,12 @@ struct Inner {
     /// The PE the event driver must resume next, set by `hand_off` when
     /// the floor goes to a PE other than the caller.
     next_resume: Option<usize>,
+    /// One-shot direct grant consumed by the first `hand_off` after a
+    /// [`CoopSched::preseed_resume`]: the floor goes straight to the PE
+    /// that held it when the snapshot was taken, with no pick, no
+    /// fingerprint update and no switch count — that grant was already
+    /// accounted in the run the snapshot came from.
+    resume_grant: Option<usize>,
 }
 
 impl Inner {
@@ -434,6 +440,36 @@ pub struct SchedStats {
     pub fingerprint: u64,
 }
 
+/// Scheduler state captured at a snapshot quiescence point, sufficient to
+/// resume a fresh [`CoopSched`] exactly where the captured one stood.
+///
+/// Exported by the floor-holding PE *after* the snap gate released (so
+/// `fingerprint`/`switches` include the release pick and `current` is the
+/// exporter itself), and fed to [`CoopSched::preseed_resume`] before any
+/// PE registers in the restored team.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedResume {
+    /// Policy of the run the snapshot was taken from. A restore under a
+    /// *different* policy must use [`CoopSched::preseed_clocks`] instead:
+    /// the fingerprint and chooser stream are policy-specific.
+    pub policy: SchedPolicy,
+    /// Per-PE advisory clocks at the quiescence point.
+    pub clocks: Vec<SimTime>,
+    /// Pick-sequence fingerprint including the snap-gate release pick.
+    pub fingerprint: u64,
+    /// Floor switches so far, including the release pick.
+    pub switches: u64,
+    /// The PE holding the floor after the snap gate — the one the
+    /// restored run's first hand_off must grant to directly.
+    pub current: usize,
+    /// Raw RNG state of a seeded chooser (`Explore`/`BoundedPreempt`);
+    /// zero (unused) under `Det`.
+    pub rng_state: u64,
+    /// Remaining preemption budget of a `BoundedPreempt` chooser; zero
+    /// otherwise.
+    pub budget: u32,
+}
+
 /// The cooperative scheduler shared by one team run. See the crate docs
 /// for the protocol.
 pub struct CoopSched {
@@ -503,6 +539,7 @@ impl CoopSched {
                 heap: BinaryHeap::new(),
                 stamp: vec![0; if event { npes } else { 0 }],
                 next_resume: None,
+                resume_grant: None,
             }),
             cvs: (0..npes).map(|_| Condvar::new()).collect(),
         }
@@ -528,12 +565,100 @@ impl CoopSched {
         }
     }
 
+    /// Export resumable state at a quiescence point. Must be called by
+    /// the PE currently holding the floor, with every other PE runnable
+    /// or done (i.e. right after a team-wide gate released) — mid-wait
+    /// blocked states are not capturable.
+    ///
+    /// # Panics
+    /// Panics if no PE holds the floor or a PE is blocked.
+    pub fn export_resume(&self) -> SchedResume {
+        let inner = self.inner.lock();
+        let current = inner.current.expect("export_resume: no PE holds the floor");
+        assert!(
+            !inner
+                .status
+                .iter()
+                .any(|s| matches!(s, Status::Blocked(_) | Status::Unstarted)),
+            "export_resume: a PE is blocked or unstarted — not a quiescence point"
+        );
+        let (rng_state, budget) = match &inner.chooser {
+            Chooser::Det => (0, 0),
+            Chooser::Explore(rng) => (rng.state(), 0),
+            Chooser::BoundedPreempt { rng, budget } => (rng.state(), *budget),
+        };
+        SchedResume {
+            policy: self.policy,
+            clocks: inner.clock.clone(),
+            fingerprint: inner.fingerprint,
+            switches: inner.switches,
+            current,
+            rng_state,
+            budget,
+        }
+    }
+
+    /// Preseed a fresh scheduler from captured state, before any PE
+    /// registers. The first hand_off (triggered by the last registrant)
+    /// grants the floor directly to `r.current` with no pick, exactly
+    /// replaying the snap-gate release the accumulators already include.
+    ///
+    /// # Panics
+    /// Panics if any PE has registered, the PE counts differ, or the
+    /// policy differs from the snapshot's (use
+    /// [`Self::preseed_clocks`] to restore under a new policy).
+    pub fn preseed_resume(&self, r: &SchedResume) {
+        assert_eq!(r.policy, self.policy, "preseed_resume across policies");
+        let mut inner = self.inner.lock();
+        assert_eq!(inner.registered, 0, "preseed after registration");
+        assert_eq!(r.clocks.len(), self.npes, "preseed PE count mismatch");
+        inner.clock.copy_from_slice(&r.clocks);
+        inner.fingerprint = r.fingerprint;
+        inner.switches = r.switches;
+        inner.resume_grant = Some(r.current);
+        match &mut inner.chooser {
+            Chooser::Det => {}
+            Chooser::Explore(rng) => *rng = SmallRng::from_state(r.rng_state),
+            Chooser::BoundedPreempt { rng, budget } => {
+                *rng = SmallRng::from_state(r.rng_state);
+                *budget = r.budget;
+            }
+        }
+    }
+
+    /// Clocks-only preseed for restoring a snapshot under a *different*
+    /// policy: virtual time carries over, but the pick sequence (and so
+    /// the fingerprint, switch count and any chooser RNG stream) starts
+    /// fresh — the first registration pick is a normal chooser pick.
+    pub fn preseed_clocks(&self, clocks: &[SimTime]) {
+        let mut inner = self.inner.lock();
+        assert_eq!(inner.registered, 0, "preseed after registration");
+        assert_eq!(clocks.len(), self.npes, "preseed PE count mismatch");
+        inner.clock.copy_from_slice(clocks);
+    }
+
     /// Hand the floor to the next runnable PE. The caller must already
     /// have moved `pe` out of `Running`. Returns true if the floor went
     /// to a different PE (the caller must then [`Self::wait_for_floor`]
     /// unless it is done).
     fn hand_off(&self, inner: &mut Inner, pe: usize) -> bool {
-        match inner.pick() {
+        // A pending resume grant replays the pick the snapshot already
+        // accounted (its fingerprint/switch effects are in the preseeded
+        // accumulators), so it bypasses the chooser entirely — including
+        // any RNG draw a seeded policy would spend.
+        let granted = inner.resume_grant.take();
+        let picked = match granted {
+            Some(w) => {
+                debug_assert_eq!(
+                    inner.status[w],
+                    Status::Runnable,
+                    "resume grant to a PE that is not runnable"
+                );
+                Some(w)
+            }
+            None => inner.pick(),
+        };
+        match picked {
             Some(next) => {
                 // Count switches against the previous floor holder, not
                 // the caller: during `register` no one holds the floor
@@ -543,10 +668,12 @@ impl CoopSched {
                 inner.leave_runnable(next);
                 inner.status[next] = Status::Running;
                 inner.current = Some(next);
-                inner.fingerprint =
-                    (inner.fingerprint ^ next as u64).wrapping_mul(0x0000_0100_0000_01b3);
-                if prev.is_some() && prev != Some(next) {
-                    inner.switches += 1;
+                if granted.is_none() {
+                    inner.fingerprint =
+                        (inner.fingerprint ^ next as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                    if prev.is_some() && prev != Some(next) {
+                        inner.switches += 1;
+                    }
                 }
                 if next == pe {
                     false
@@ -1169,6 +1296,90 @@ mod tests {
             .find(|m| *m != POISON_MSG)
             .expect("one PE carries the diagnostic");
         assert!(diag.contains("cooperative scheduler deadlock"), "{diag}");
+    }
+
+    #[test]
+    fn preseed_resume_replays_the_tail_of_a_straight_run() {
+        // A two-phase workload with a mid-run gate: the straight run
+        // exports resumable state right after the gate; a second team
+        // preseeded from it must replay phase 2 pick-for-pick and land on
+        // the same final fingerprint and switch count.
+        for policy in [
+            SchedPolicy::Det,
+            SchedPolicy::Explore { seed: 3 },
+            SchedPolicy::BoundedPreempt { seed: 5, budget: 4 },
+        ] {
+            let npes = 3;
+            let steps = 10usize;
+            let clock_at = |pe: usize, step: usize| (step as u64 + 1) * 10 + pe as u64 * 3;
+
+            let sched = Arc::new(CoopSched::new(npes, policy, vec![npes]));
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let resume = Arc::new(parking_lot::Mutex::new(None));
+            std::thread::scope(|scope| {
+                for pe in 0..npes {
+                    let sched = Arc::clone(&sched);
+                    let log = Arc::clone(&log);
+                    let resume = Arc::clone(&resume);
+                    scope.spawn(move || {
+                        sched.register(pe);
+                        for step in 0..steps {
+                            log.lock().push((1u8, pe));
+                            sched.yield_now(pe, clock_at(pe, step));
+                        }
+                        sched.gate_wait(0, pe, clock_at(pe, steps));
+                        // First PE past the gate is the floor holder: the
+                        // only place export_resume is legal.
+                        {
+                            let mut r = resume.lock();
+                            if r.is_none() {
+                                *r = Some(sched.export_resume());
+                            }
+                        }
+                        for step in steps..2 * steps {
+                            log.lock().push((2u8, pe));
+                            sched.yield_now(pe, clock_at(pe, step + 1));
+                        }
+                        sched.finish(pe, u64::MAX);
+                    });
+                }
+            });
+            let straight = sched.stats();
+            let straight_tail: Vec<usize> = log
+                .lock()
+                .iter()
+                .filter(|(phase, _)| *phase == 2)
+                .map(|(_, pe)| *pe)
+                .collect();
+            let resume = resume.lock().take().expect("floor holder exported");
+            assert_eq!(resume.clocks.len(), npes);
+
+            let sched2 = Arc::new(CoopSched::new(npes, policy, vec![npes]));
+            sched2.preseed_resume(&resume);
+            let log2 = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            std::thread::scope(|scope| {
+                for pe in 0..npes {
+                    let sched2 = Arc::clone(&sched2);
+                    let log2 = Arc::clone(&log2);
+                    scope.spawn(move || {
+                        sched2.register(pe);
+                        for step in steps..2 * steps {
+                            log2.lock().push(pe);
+                            sched2.yield_now(pe, clock_at(pe, step + 1));
+                        }
+                        sched2.finish(pe, u64::MAX);
+                    });
+                }
+            });
+            let resumed = sched2.stats();
+            assert_eq!(
+                log2.lock().clone(),
+                straight_tail,
+                "{policy}: resumed tail diverged from the straight run"
+            );
+            assert_eq!(resumed.fingerprint, straight.fingerprint, "{policy}");
+            assert_eq!(resumed.switches, straight.switches, "{policy}");
+        }
     }
 
     #[test]

@@ -356,6 +356,56 @@ mod tests {
     }
 
     #[test]
+    fn warm_snapshot_restore_matches_straight_run_all_models() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        let cfg = ServeConfig::small();
+        for model in [Model::Mp, Model::Shmem, Model::Sas] {
+            let dir = std::env::temp_dir()
+                .join(format!("o2ksnap-serve-{model:?}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let go = |snap| {
+                run_opts(
+                    queued_machine(8),
+                    model,
+                    &cfg,
+                    apps::RunOpts {
+                        sched: det(),
+                        snap,
+                        ..apps::RunOpts::default()
+                    },
+                )
+            };
+            let straight = go(None);
+            let captured = go(Some(SnapSpec::Capture {
+                dir: dir.clone(),
+                point: SnapPoint {
+                    name: "warm".into(),
+                    index: 0,
+                },
+            }));
+            let restored = go(Some(SnapSpec::Restore { dir: dir.clone() }));
+            for m in [&captured, &restored] {
+                assert_eq!(m.checksum, straight.checksum, "{model:?}");
+                assert_eq!(m.sim_time, straight.sim_time, "{model:?}");
+                assert_eq!(m.counters, straight.counters, "{model:?}");
+                assert_eq!(m.net, straight.net, "{model:?}");
+                assert_eq!(
+                    m.serve.as_ref().unwrap().p999_ns,
+                    straight.serve.as_ref().unwrap().p999_ns,
+                    "{model:?}"
+                );
+                assert_eq!(
+                    m.sched.as_ref().unwrap().fingerprint,
+                    straight.sched.as_ref().unwrap().fingerprint,
+                    "{model:?}"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
     fn overload_sheds_but_conserves_requests() {
         // A brutal arrival rate with a tight deadline: the MP servers
         // cannot keep up, so admission control must shed — and issued

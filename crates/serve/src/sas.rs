@@ -10,8 +10,9 @@
 
 use std::sync::Arc;
 
-use apps::{Model, RunMetrics};
+use apps::{App, Model, RunMetrics, Snapshotter};
 use machine::Machine;
+use o2k_snap::wire::{WireReader, WireWriter};
 use parallel::{Ctx, Team};
 use sas::SasWorld;
 
@@ -20,37 +21,66 @@ use crate::{await_arrival, finish, serve_cost, ClientLog, PeOut, ServeConfig, BU
 
 pub fn run_opts(machine: Arc<Machine>, cfg: &ServeConfig, opts: apps::RunOpts) -> RunMetrics {
     let world = SasWorld::new(Arc::clone(&machine));
+    let mut snap = Snapshotter::new(&opts, App::Serve, Model::Sas, &machine, &format!("{cfg:?}"));
+    snap.import_world(|b| world.import_state_bytes(b));
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| rank_main(ctx, &world, cfg, &snap));
     finish(Model::Sas, cfg, &run)
 }
 
-fn rank_main(ctx: &mut Ctx, world: &SasWorld, cfg: &ServeConfig) -> PeOut {
+fn rank_main(ctx: &mut Ctx, world: &SasWorld, cfg: &ServeConfig, snap: &Snapshotter) -> PeOut {
     let p = ctx.npes();
     let me = ctx.pe();
     let v = cfg.val_words;
-
-    // --- build: shared table, my shard written and homed here ---
-    ctx.net_phase("build");
-    let table = world.alloc::<u64>(ctx, cfg.keys * v);
-    let start = clients::shard_start(me, cfg.keys, p);
-    let len = clients::shard_len(me, cfg.keys, p);
-    // sim:begin — on real hardware this loop is the same table fill every
-    // model does; write_raw/home_pages exist to seed the cache simulator.
-    for k in 0..len {
-        for w in 0..v {
-            table.write_raw(
-                (start + k) * v + w,
-                clients::value_word(cfg.seed, start + k, w),
-            );
-        }
-    }
-    table.home_pages(ctx, start * v, (start + len) * v);
-    // sim:end
-    ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
-    let stream = clients::stream(cfg, me, p);
     let mut pe = world.pe();
-    ctx.barrier();
+
+    let table = if snap.resume_index("warm").is_some() {
+        // Warm start: the shared table, its page homes, and the coherence
+        // directory came back through the world import.
+        let table = world.attach::<u64>(ctx, cfg.keys * v);
+        let mut r = WireReader::new(snap.payload(me).expect("resume payload"));
+        let cache = r.u64s().expect("snapshot app payload: cache");
+        r.finish().expect("snapshot app payload: trailing bytes");
+        pe.import_cache_words(&cache)
+            .expect("snapshot cache import");
+        table
+    } else {
+        // --- build: shared table, my shard written and homed here ---
+        ctx.net_phase("build");
+        let table = world.alloc::<u64>(ctx, cfg.keys * v);
+        let start = clients::shard_start(me, cfg.keys, p);
+        let len = clients::shard_len(me, cfg.keys, p);
+        // sim:begin — on real hardware this loop is the same table fill
+        // every model does; write_raw/home_pages seed the cache simulator.
+        for k in 0..len {
+            for w in 0..v {
+                table.write_raw(
+                    (start + k) * v + w,
+                    clients::value_word(cfg.seed, start + k, w),
+                );
+            }
+        }
+        table.home_pages(ctx, start * v, (start + len) * v);
+        // sim:end
+        ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
+        ctx.barrier();
+        table
+    };
+    let stream = clients::stream(cfg, me, p);
+
+    // Warm-table quiescence point: the shared table is built and homed,
+    // no request has been issued yet.
+    snap.point(
+        ctx,
+        "warm",
+        0,
+        || {
+            let mut w = WireWriter::new();
+            w.u64s(&pe.export_cache_words());
+            w.into_bytes()
+        },
+        || world.export_state_bytes(),
+    );
 
     // --- serve: every lookup reads the value through the coherence
     // protocol (one access per covered cache line) ---

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use apps::{Model, RunMetrics};
+use apps::{App, Model, RunMetrics, Snapshotter};
 use machine::Machine;
 use parallel::{Ctx, Team};
 use shmem::SymWorld;
@@ -19,32 +19,51 @@ use crate::{await_arrival, finish, serve_cost, ClientLog, PeOut, ServeConfig, BU
 
 pub fn run_opts(machine: Arc<Machine>, cfg: &ServeConfig, opts: apps::RunOpts) -> RunMetrics {
     let world = SymWorld::new(Arc::clone(&machine));
+    let mut snap = Snapshotter::new(
+        &opts,
+        App::Serve,
+        Model::Shmem,
+        &machine,
+        &format!("{cfg:?}"),
+    );
+    snap.import_world(|b| world.import_state_bytes(b));
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run(|ctx| rank_main(ctx, &world, cfg));
+    let run = team.run_resumed(snap.team_resume(), |ctx| rank_main(ctx, &world, cfg, &snap));
     finish(Model::Shmem, cfg, &run)
 }
 
-fn rank_main(ctx: &mut Ctx, world: &SymWorld, cfg: &ServeConfig) -> PeOut {
+fn rank_main(ctx: &mut Ctx, world: &SymWorld, cfg: &ServeConfig, snap: &Snapshotter) -> PeOut {
     let p = ctx.npes();
     let me = ctx.pe();
     let v = cfg.val_words;
-
-    // --- build: symmetric shard table, my keys written locally ---
-    ctx.net_phase("build");
     let slot = clients::max_shard_len(cfg.keys, p);
-    let table = world.alloc::<u64>(ctx, slot * v);
-    let start = clients::shard_start(me, cfg.keys, p);
-    let len = clients::shard_len(me, cfg.keys, p);
-    let mut vals = vec![0u64; len * v];
-    for k in 0..len {
-        for w in 0..v {
-            vals[k * v + w] = clients::value_word(cfg.seed, start + k, w);
+
+    let table = if snap.resume_index("warm").is_some() {
+        // Warm start: the filled shard tables came back through the heap
+        // import; the client streams are a pure function of the config.
+        world.attach::<u64>(ctx, slot * v)
+    } else {
+        // --- build: symmetric shard table, my keys written locally ---
+        ctx.net_phase("build");
+        let table = world.alloc::<u64>(ctx, slot * v);
+        let start = clients::shard_start(me, cfg.keys, p);
+        let len = clients::shard_len(me, cfg.keys, p);
+        let mut vals = vec![0u64; len * v];
+        for k in 0..len {
+            for w in 0..v {
+                vals[k * v + w] = clients::value_word(cfg.seed, start + k, w);
+            }
         }
-    }
-    table.write_local(ctx, 0, &vals);
-    ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
+        table.write_local(ctx, 0, &vals);
+        ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
+        world.barrier_all(ctx);
+        table
+    };
     let stream = clients::stream(cfg, me, p);
-    world.barrier_all(ctx);
+
+    // Warm-table quiescence point: the shard tables are fully built and
+    // no request has been issued yet.
+    snap.point(ctx, "warm", 0, Vec::new, || world.export_state_bytes());
 
     // --- serve: every lookup is one one-sided get ---
     ctx.net_phase("serve");

@@ -19,6 +19,11 @@ struct Region {
     mem: Vec<Box<[AtomicU64]>>,
 }
 
+/// Sentinel element type for regions rebuilt from a snapshot: the wire
+/// format stores raw bit patterns with no type information, so imported
+/// regions accept any [`SymWorld::attach`] of the right length.
+struct Imported;
+
 /// The SHMEM "world": registry of symmetric regions plus the machine model.
 ///
 /// Created once before [`parallel::Team::run`] and shared by reference into
@@ -94,6 +99,106 @@ impl SymWorld {
     /// SHMEM `barrier_all`: clock-synchronising team barrier.
     pub fn barrier_all(&self, ctx: &mut Ctx) {
         ctx.barrier();
+    }
+
+    /// Wire-format version of [`SymWorld::export_state_bytes`].
+    pub const STATE_VERSION: u64 = 1;
+
+    /// Serialise every symmetric region (raw bit patterns, PE-major) for a
+    /// checkpoint. Call at a quiescence point: puts already landed in the
+    /// blackboard, so the cells are the complete one-sided state.
+    pub fn export_state_bytes(&self) -> Vec<u8> {
+        let mut w = o2k_snap::wire::WireWriter::new();
+        w.u64(Self::STATE_VERSION);
+        w.u64(self.size() as u64);
+        let regions = self.regions.lock();
+        w.u64(regions.len() as u64);
+        for r in regions.iter() {
+            w.u64(r.len as u64);
+            for pe_mem in &r.mem {
+                for cell in pe_mem.iter() {
+                    w.u64(cell.load(Ordering::Relaxed));
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuild regions from [`SymWorld::export_state_bytes`] output.
+    /// Host-side, before the team runs; PEs then re-acquire handles with
+    /// [`SymWorld::attach`] in the original allocation order.
+    ///
+    /// # Errors
+    /// Errors on version/PE-count mismatch, truncation, or a non-fresh
+    /// world; the world is left untouched on error.
+    pub fn import_state_bytes(&self, bytes: &[u8]) -> Result<(), String> {
+        let mut rd = o2k_snap::wire::WireReader::new(bytes);
+        let ver = rd.u64()?;
+        if ver != Self::STATE_VERSION {
+            return Err(format!(
+                "shmem snapshot version {ver}, expected {}",
+                Self::STATE_VERSION
+            ));
+        }
+        let pes = rd.u64()? as usize;
+        if pes != self.size() {
+            return Err(format!(
+                "shmem snapshot has {pes} PEs, world has {}",
+                self.size()
+            ));
+        }
+        let n_regions = rd.u64()? as usize;
+        let mut imported = Vec::with_capacity(n_regions);
+        for _ in 0..n_regions {
+            let len = rd.u64()? as usize;
+            let mem: Vec<Box<[AtomicU64]>> = (0..pes)
+                .map(|_| {
+                    (0..len)
+                        .map(|_| Ok(AtomicU64::new(rd.u64()?)))
+                        .collect::<Result<Box<[_]>, String>>()
+                })
+                .collect::<Result<_, String>>()?;
+            imported.push(Arc::new(Region {
+                type_id: TypeId::of::<Imported>(),
+                len,
+                mem,
+            }));
+        }
+        rd.finish()?;
+        let mut regions = self.regions.lock();
+        if !regions.is_empty() {
+            return Err("shmem import into a world that already has regions".into());
+        }
+        *regions = imported;
+        Ok(())
+    }
+
+    /// Re-acquire the next region in allocation order after an import.
+    /// Unlike [`SymWorld::alloc`] this charges nothing and does not
+    /// rendezvous — the straight run paid those costs before the snapshot,
+    /// so they are already inside the restored clocks, and the regions
+    /// exist before the team starts.
+    ///
+    /// # Panics
+    /// Panics if the next region's length disagrees, or its element type
+    /// (when known) is not `T`.
+    pub fn attach<T: Element>(&self, ctx: &Ctx, len: usize) -> SymSlice<T> {
+        let idx = self.alloc_seq[ctx.pe()].fetch_add(1, Ordering::Relaxed) as usize;
+        let regions = self.regions.lock();
+        let r = regions
+            .get(idx)
+            .unwrap_or_else(|| panic!("attach #{idx}: snapshot has only {} regions", regions.len()))
+            .clone();
+        assert!(
+            r.type_id == TypeId::of::<Imported>() || r.type_id == TypeId::of::<T>(),
+            "attach #{idx}: element type mismatch"
+        );
+        assert_eq!(r.len, len, "attach #{idx}: length mismatch");
+        SymSlice {
+            machine: Arc::clone(&self.machine),
+            region: r,
+            _t: PhantomData,
+        }
     }
 }
 
@@ -497,6 +602,62 @@ mod tests {
         assert_eq!(c.put_bytes, 32);
         assert_eq!(c.gets, 1);
         assert_eq!(c.get_bytes, 16);
+    }
+
+    #[test]
+    fn export_import_attach_preserves_every_cell() {
+        let (w, t) = setup(3);
+        t.run(|ctx| {
+            let a = w.alloc::<u64>(ctx, 4);
+            let b = w.alloc::<f64>(ctx, 2);
+            a.write_local(ctx, 0, &[ctx.pe() as u64; 4]);
+            b.write_local(ctx, 0, &[0.25 * ctx.pe() as f64, -0.0]);
+            w.barrier_all(ctx);
+        });
+        let bytes = w.export_state_bytes();
+
+        let machine = Arc::new(Machine::new(3, MachineConfig::test_tiny()));
+        let w2 = Arc::new(SymWorld::new(Arc::clone(&machine)));
+        w2.import_state_bytes(&bytes).unwrap();
+        let run = Team::new(machine).run(|ctx| {
+            let a = w2.attach::<u64>(ctx, 4);
+            let b = w2.attach::<f64>(ctx, 2);
+            let t0 = ctx.now();
+            let av = a.read_local(ctx, 0, 4);
+            let bv = b.read_local(ctx, 0, 2);
+            // Attach must be free: the straight run already paid alloc.
+            assert_eq!(ctx.now(), t0);
+            // And the region must still be live for one-sided traffic.
+            let other = (ctx.pe() + 1) % 3;
+            let remote = a.get1(ctx, other, 0);
+            (av, bv, remote)
+        });
+        for (pe, (av, bv, remote)) in run.results.iter().enumerate() {
+            assert_eq!(*av, vec![pe as u64; 4]);
+            assert_eq!(bv[0], 0.25 * pe as f64);
+            assert_eq!(bv[1].to_bits(), (-0.0f64).to_bits());
+            assert_eq!(*remote, ((pe + 1) % 3) as u64);
+        }
+    }
+
+    #[test]
+    fn import_rejects_wrong_shape_and_dirty_world() {
+        let (w, t) = setup(2);
+        t.run(|ctx| {
+            let _ = w.alloc::<u64>(ctx, 1);
+        });
+        let bytes = w.export_state_bytes();
+        // PE-count mismatch.
+        let m3 = Arc::new(Machine::new(3, MachineConfig::test_tiny()));
+        assert!(SymWorld::new(m3).import_state_bytes(&bytes).is_err());
+        // Truncation.
+        let m2 = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        let fresh = SymWorld::new(Arc::clone(&m2));
+        assert!(fresh.import_state_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // Importing over existing regions.
+        assert!(w.import_state_bytes(&bytes).is_err());
+        // The clean path still works.
+        assert!(fresh.import_state_bytes(&bytes).is_ok());
     }
 
     #[test]

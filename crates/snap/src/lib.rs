@@ -1,0 +1,638 @@
+//! # o2k-snap — checkpoint / snapshot-restore of full simulation state
+//!
+//! Every study in this repository pays an expensive prologue — building
+//! the octree, converging the AMR mesh, warming the KV shards — before
+//! the phase actually being measured, and the scenario sweeps (fault ×
+//! contention × policy) re-pay it on every cell. This crate captures the
+//! *complete* simulation state at a **virtual-time quiescence point** and
+//! restores it later, so a sweep warm-starts once and fans out.
+//!
+//! ## Quiescence points
+//!
+//! A snapshot can only be taken where every PE's state lives in
+//! model-visible data, not mid-coroutine-stack: a **named team-wide
+//! barrier** (a zero-cost snap gate the apps place at their phase
+//! boundaries). At such a gate:
+//!
+//! * every PE's virtual clock, counters, RNG stream and epochs are in its
+//!   `Ctx` (captured as a [`PeCore`]);
+//! * the scheduler's pick-sequence state is an
+//!   [`o2k_sched::SchedResume`] — exported by the floor holder right
+//!   *after* the gate released, so the release pick is already accounted;
+//! * all mailboxes are empty (asserted), symmetric-heap / shared-region
+//!   contents are quiescent bytes, and the fabric's busy-until queues are
+//!   a plain table.
+//!
+//! The snap gates are present in **every** run (they cost zero virtual
+//! time and touch no counters), so a capturing run is bitwise identical
+//! to a straight run, and a restored run provably replays the straight
+//! run's tail: same schedule fingerprint, same checksums, same stats.
+//!
+//! ## Container format
+//!
+//! One snapshot is one file: magic `O2KSNAP1`, a format version, and a
+//! list of named byte sections (`sched`, `core/<pe>`, `app/<pe>`,
+//! `world`, `fabric`, `meta`). All integers are u64 little-endian via
+//! [`wire`]; sections owned by other crates (fabric, heap regions) are
+//! opaque byte blobs with their own versioning. Snapshots are keyed by a
+//! [`run_tag`] — app, model, PE count and a config digest — so one
+//! directory holds a whole suite's checkpoints and a restore of a
+//! never-captured configuration falls back to running from scratch.
+
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use machine::stats::Counters;
+use machine::{SimTime, TimeBreakdown};
+use o2k_sched::{SchedPolicy, SchedResume};
+
+pub mod wire;
+
+use wire::{WireReader, WireWriter};
+
+/// Container format version; bump on any layout change.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// File magic: 8 bytes at offset zero.
+pub const MAGIC: &[u8; 8] = b"O2KSNAP1";
+
+/// Extension snapshots are written with.
+pub const EXT: &str = "o2ksnap";
+
+// ---------------------------------------------------------------------------
+// Snapshot spec (what the CLI / RunOpts ask for)
+// ---------------------------------------------------------------------------
+
+/// A named snap gate: `"step:8"` captures at the gate named `step` with
+/// index 8; `"warm"` captures at the first `warm` gate (index 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapPoint {
+    /// Gate family name (`step`, `warm`, …).
+    pub name: String,
+    /// Which occurrence of the gate to capture at.
+    pub index: u64,
+}
+
+impl SnapPoint {
+    /// Parse `name[:index]`; a missing index means the first occurrence.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (name, index) = match s.split_once(':') {
+            Some((n, i)) => (
+                n,
+                i.parse::<u64>()
+                    .map_err(|e| format!("bad snap index {i:?}: {e}"))?,
+            ),
+            None => (s, 0),
+        };
+        if name.is_empty() {
+            return Err("empty snap gate name".into());
+        }
+        Ok(SnapPoint {
+            name: name.to_string(),
+            index,
+        })
+    }
+}
+
+impl std::fmt::Display for SnapPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.name, self.index)
+    }
+}
+
+/// What a run should do about snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapSpec {
+    /// Write a snapshot into `dir` when execution reaches `point`, then
+    /// keep running (the capturing run still produces its full result).
+    Capture { dir: PathBuf, point: SnapPoint },
+    /// Start from the snapshot in `dir` matching this run's [`run_tag`],
+    /// falling back to a from-scratch run when no such file exists.
+    Restore { dir: PathBuf },
+}
+
+impl SnapSpec {
+    /// Parse the `--snapshot` argument: `dir@name[:index]`.
+    pub fn parse_capture(s: &str) -> Result<Self, String> {
+        let (dir, point) = s
+            .split_once('@')
+            .ok_or_else(|| format!("--snapshot wants <dir>@<gate>[:index], got {s:?}"))?;
+        if dir.is_empty() {
+            return Err("empty snapshot directory".into());
+        }
+        Ok(SnapSpec::Capture {
+            dir: PathBuf::from(dir),
+            point: SnapPoint::parse(point)?,
+        })
+    }
+
+    /// The `--restore` argument: a directory of snapshots.
+    pub fn parse_restore(s: &str) -> Result<Self, String> {
+        if s.is_empty() {
+            return Err("empty restore directory".into());
+        }
+        Ok(SnapSpec::Restore {
+            dir: PathBuf::from(s),
+        })
+    }
+}
+
+static SPEC: Mutex<Option<SnapSpec>> = Mutex::new(None);
+
+/// Set (or clear) the process-wide snapshot spec — the `repro` binary's
+/// `--snapshot` / `--restore` flags, mirroring
+/// [`o2k_sched::set_default_policy`]. A `RunOpts`-level spec overrides it
+/// per run.
+pub fn set_spec(spec: Option<SnapSpec>) {
+    *SPEC.lock().unwrap_or_else(|e| e.into_inner()) = spec;
+}
+
+/// The current process-wide snapshot spec, if any.
+pub fn current_spec() -> Option<SnapSpec> {
+    SPEC.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+// ---------------------------------------------------------------------------
+// Run tags
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte string; the digest configs are keyed by.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The filename stem identifying one run's snapshot:
+/// `{app}-{model}-p{pes}-{config digest}-m{machine digest}`. The machine
+/// digest (topology, contention mode, fault plan) keeps captures taken
+/// under different scenarios from overwriting each other inside one
+/// snapshot directory. Restore looks for the exact machine first — that
+/// path replays bitwise, interconnect state included — and then falls
+/// back to any machine variant of the same workload via
+/// [`run_tag_prefix`]: application physics is machine-invariant, so a
+/// warm start under a new fault plan, contention mode, or scheduling
+/// policy is still exact where it matters (checksums, fingerprints).
+pub fn run_tag(app: &str, model: &str, pes: usize, cfg_digest: u64, mach_digest: u64) -> String {
+    format!("{app}-{model}-p{pes}-{cfg_digest:016x}-m{mach_digest:016x}")
+}
+
+/// The machine-agnostic prefix of [`run_tag`] — everything up to and
+/// including the `-m` separator. Restore scans the snapshot directory
+/// for files with this prefix when the exact machine's file is absent.
+pub fn run_tag_prefix(app: &str, model: &str, pes: usize, cfg_digest: u64) -> String {
+    format!("{app}-{model}-p{pes}-{cfg_digest:016x}-m")
+}
+
+/// The snapshot path for `tag` inside `dir`.
+pub fn snapshot_path(dir: &Path, tag: &str) -> PathBuf {
+    dir.join(format!("{tag}.{EXT}"))
+}
+
+// ---------------------------------------------------------------------------
+// Container
+// ---------------------------------------------------------------------------
+
+/// An in-memory snapshot: named byte sections under one format version.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) a section.
+    pub fn put(&mut self, name: &str, bytes: Vec<u8>) {
+        if let Some(s) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            s.1 = bytes;
+        } else {
+            self.sections.push((name.to_string(), bytes));
+        }
+    }
+
+    /// A section's bytes, if present.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// A section's bytes, or an error naming the missing section.
+    pub fn require(&self, name: &str) -> Result<&[u8], String> {
+        self.get(name)
+            .ok_or_else(|| format!("snapshot missing section {name:?}"))
+    }
+
+    /// Section names in insertion order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Serialise to the container byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.raw(MAGIC);
+        w.u64(FORMAT_VERSION);
+        w.u64(self.sections.len() as u64);
+        for (name, bytes) in &self.sections {
+            w.str(name);
+            w.bytes(bytes);
+        }
+        w.into_bytes()
+    }
+
+    /// Parse the container byte format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = WireReader::new(bytes);
+        let magic = r.raw(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err("not an o2k snapshot (bad magic)".into());
+        }
+        let version = r.u64()?;
+        if version != FORMAT_VERSION {
+            return Err(format!(
+                "snapshot format v{version} unsupported (this build reads v{FORMAT_VERSION})"
+            ));
+        }
+        let n = r.u64()? as usize;
+        let mut sections = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let bytes = r.bytes()?.to_vec();
+            sections.push((name, bytes));
+        }
+        Ok(Snapshot { sections })
+    }
+
+    /// Write the snapshot to `path`, creating parent directories.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())
+    }
+
+    /// Load a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-PE core state
+// ---------------------------------------------------------------------------
+
+/// The substrate-level state of one PE at a quiescence point: everything
+/// its `Ctx` holds besides references to shared structures. Model and app
+/// state ride in separate sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeCore {
+    /// Virtual clock.
+    pub now: SimTime,
+    /// Categorised time accounting (sums to `now`).
+    pub breakdown: TimeBreakdown,
+    /// Event counters.
+    pub counters: Counters,
+    /// Raw state of the per-PE RNG stream.
+    pub rng_state: u64,
+    /// Barrier epoch (team-wide).
+    pub global_epoch: u64,
+    /// Barrier epoch (node-local).
+    pub node_epoch: u64,
+    /// Pending serialisation point for free-running network accounting.
+    pub net_pending: SimTime,
+}
+
+impl PeCore {
+    /// Serialise into `w`.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.now);
+        w.u64(self.breakdown.busy);
+        w.u64(self.breakdown.local);
+        w.u64(self.breakdown.remote);
+        w.u64(self.breakdown.sync);
+        let c = &self.counters;
+        for v in [
+            c.msgs_sent,
+            c.msg_bytes,
+            c.msgs_recvd,
+            c.puts,
+            c.put_bytes,
+            c.gets,
+            c.get_bytes,
+            c.amos,
+            c.cache_hits,
+            c.misses_local,
+            c.misses_remote,
+            c.invalidations,
+            c.upgrades,
+            c.barriers,
+            c.lock_acquires,
+            c.sched_handoffs,
+            c.requests_served,
+            c.net_transfers,
+            c.net_links,
+            c.net_queued_ns,
+            c.net_bus_queued_ns,
+            c.net_hub_queued_ns,
+        ] {
+            w.u64(v);
+        }
+        for v in c.msg_size_hist {
+            w.u64(v);
+        }
+        w.u64(self.rng_state);
+        w.u64(self.global_epoch);
+        w.u64(self.node_epoch);
+        w.u64(self.net_pending);
+    }
+
+    /// Inverse of [`PeCore::encode`].
+    pub fn decode(r: &mut WireReader) -> Result<Self, String> {
+        let now = r.u64()?;
+        let breakdown = TimeBreakdown {
+            busy: r.u64()?,
+            local: r.u64()?,
+            remote: r.u64()?,
+            sync: r.u64()?,
+        };
+        let mut c = Counters::new();
+        for f in [
+            &mut c.msgs_sent,
+            &mut c.msg_bytes,
+            &mut c.msgs_recvd,
+            &mut c.puts,
+            &mut c.put_bytes,
+            &mut c.gets,
+            &mut c.get_bytes,
+            &mut c.amos,
+            &mut c.cache_hits,
+            &mut c.misses_local,
+            &mut c.misses_remote,
+            &mut c.invalidations,
+            &mut c.upgrades,
+            &mut c.barriers,
+            &mut c.lock_acquires,
+            &mut c.sched_handoffs,
+            &mut c.requests_served,
+            &mut c.net_transfers,
+            &mut c.net_links,
+            &mut c.net_queued_ns,
+            &mut c.net_bus_queued_ns,
+            &mut c.net_hub_queued_ns,
+        ] {
+            *f = r.u64()?;
+        }
+        for f in &mut c.msg_size_hist {
+            *f = r.u64()?;
+        }
+        Ok(PeCore {
+            now,
+            breakdown,
+            counters: c,
+            rng_state: r.u64()?,
+            global_epoch: r.u64()?,
+            node_epoch: r.u64()?,
+            net_pending: r.u64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler section
+// ---------------------------------------------------------------------------
+
+/// Serialise a [`SchedResume`] (the `sched` section).
+pub fn encode_sched(r: &SchedResume) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.str(&r.policy.to_string());
+    w.u64(r.clocks.len() as u64);
+    for &c in &r.clocks {
+        w.u64(c);
+    }
+    w.u64(r.fingerprint);
+    w.u64(r.switches);
+    w.u64(r.current as u64);
+    w.u64(r.rng_state);
+    w.u64(r.budget as u64);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_sched`].
+pub fn decode_sched(bytes: &[u8]) -> Result<SchedResume, String> {
+    let mut r = WireReader::new(bytes);
+    let policy = SchedPolicy::parse(&r.str()?)?;
+    let n = r.u64()? as usize;
+    let mut clocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        clocks.push(r.u64()?);
+    }
+    Ok(SchedResume {
+        policy,
+        clocks,
+        fingerprint: r.u64()?,
+        switches: r.u64()?,
+        current: r.u64()? as usize,
+        rng_state: r.u64()?,
+        budget: r.u64()? as u32,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Meta section
+// ---------------------------------------------------------------------------
+
+/// The `meta` section: what run this snapshot came from and where in it
+/// the state stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapMeta {
+    /// App name (`nbody`, `amr`, `serve`).
+    pub app: String,
+    /// Model name (`mp`, `shmem`, `sas`).
+    pub model: String,
+    /// PE count.
+    pub pes: u64,
+    /// The gate the snapshot was taken at.
+    pub point: SnapPoint,
+    /// Config digest the [`run_tag`] was built from.
+    pub cfg_digest: u64,
+}
+
+impl SnapMeta {
+    /// Serialise the `meta` section.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&self.app);
+        w.str(&self.model);
+        w.u64(self.pes);
+        w.str(&self.point.name);
+        w.u64(self.point.index);
+        w.u64(self.cfg_digest);
+        w.into_bytes()
+    }
+
+    /// Inverse of [`SnapMeta::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = WireReader::new(bytes);
+        Ok(SnapMeta {
+            app: r.str()?,
+            model: r.str()?,
+            pes: r.u64()?,
+            point: SnapPoint {
+                name: r.str()?,
+                index: r.u64()?,
+            },
+            cfg_digest: r.u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            SnapSpec::parse_capture("snaps@step:8").unwrap(),
+            SnapSpec::Capture {
+                dir: PathBuf::from("snaps"),
+                point: SnapPoint {
+                    name: "step".into(),
+                    index: 8
+                }
+            }
+        );
+        assert_eq!(
+            SnapSpec::parse_capture("d@warm").unwrap(),
+            SnapSpec::Capture {
+                dir: PathBuf::from("d"),
+                point: SnapPoint {
+                    name: "warm".into(),
+                    index: 0
+                }
+            }
+        );
+        assert!(SnapSpec::parse_capture("no-gate").is_err());
+        assert!(SnapSpec::parse_capture("d@step:x").is_err());
+        assert!(SnapSpec::parse_capture("@step").is_err());
+        assert!(SnapSpec::parse_restore("").is_err());
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let mut s = Snapshot::new();
+        s.put("sched", vec![1, 2, 3]);
+        s.put("core/0", vec![]);
+        s.put("app/0", vec![0xff; 100]);
+        s.put("sched", vec![9]); // replace
+        let back = Snapshot::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back.get("sched"), Some(&[9u8][..]));
+        assert_eq!(back.get("core/0"), Some(&[][..]));
+        assert_eq!(back.get("app/0").unwrap().len(), 100);
+        assert!(back.get("missing").is_none());
+        assert!(back.require("missing").is_err());
+    }
+
+    #[test]
+    fn container_rejects_foreign_bytes() {
+        assert!(Snapshot::from_bytes(b"GARBAGE!").is_err());
+        let mut ok = Snapshot::new().to_bytes();
+        ok[7] ^= 1; // corrupt the magic
+        assert!(Snapshot::from_bytes(&ok).is_err());
+    }
+
+    #[test]
+    fn pe_core_roundtrip() {
+        let mut counters = Counters::new();
+        counters.record_msg_sent(100);
+        counters.puts = 7;
+        counters.msg_size_hist[4] = 3;
+        let core = PeCore {
+            now: 1234,
+            breakdown: TimeBreakdown {
+                busy: 1000,
+                local: 200,
+                remote: 30,
+                sync: 4,
+            },
+            counters,
+            rng_state: 0xdead_beef,
+            global_epoch: 5,
+            node_epoch: 2,
+            net_pending: 99,
+        };
+        let mut w = WireWriter::new();
+        core.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = PeCore::decode(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(back, core);
+    }
+
+    #[test]
+    fn sched_section_roundtrip() {
+        let r = SchedResume {
+            policy: SchedPolicy::BoundedPreempt { seed: 3, budget: 9 },
+            clocks: vec![10, 20, 30],
+            fingerprint: 0xfeed,
+            switches: 42,
+            current: 1,
+            rng_state: 77,
+            budget: 4,
+        };
+        assert_eq!(decode_sched(&encode_sched(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn meta_roundtrip_and_tag() {
+        let m = SnapMeta {
+            app: "amr".into(),
+            model: "shmem".into(),
+            pes: 8,
+            point: SnapPoint {
+                name: "step".into(),
+                index: 3,
+            },
+            cfg_digest: fnv1a(b"cfg"),
+        };
+        assert_eq!(SnapMeta::decode(&m.encode()).unwrap(), m);
+        let tag = run_tag(
+            &m.app,
+            &m.model,
+            m.pes as usize,
+            m.cfg_digest,
+            fnv1a(b"mach"),
+        );
+        assert!(tag.starts_with(&run_tag_prefix(
+            &m.app,
+            &m.model,
+            m.pes as usize,
+            m.cfg_digest
+        )));
+        assert_eq!(
+            snapshot_path(Path::new("snaps"), &tag),
+            PathBuf::from(format!("snaps/{tag}.o2ksnap"))
+        );
+    }
+
+    #[test]
+    fn global_spec_round_trips() {
+        set_spec(Some(SnapSpec::parse_restore("x").unwrap()));
+        assert_eq!(current_spec(), Some(SnapSpec::parse_restore("x").unwrap()));
+        set_spec(None);
+        assert_eq!(current_spec(), None);
+    }
+}

@@ -40,6 +40,7 @@ pub use o2k_core as core;
 pub use o2k_net as net;
 pub use o2k_sched as sched;
 pub use o2k_serve as serve;
+pub use o2k_snap as snap;
 pub use parallel;
 pub use partition;
 pub use sas;

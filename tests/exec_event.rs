@@ -38,6 +38,7 @@ fn det(exec: ExecMode) -> RunOpts {
     RunOpts {
         sched: Some(SchedPolicy::Det),
         exec: Some(exec),
+        ..RunOpts::default()
     }
 }
 

@@ -38,8 +38,8 @@ const T2_LOC: [(&str, &str, usize); 6] = [
     ("AMR", "SHMEM", T2_AMR_SHMEM),
     ("AMR", "CC-SAS", T2_AMR_SAS),
 ];
-const T2_NBODY_MP: usize = 139;
-const T2_NBODY_SHMEM: usize = 212;
+const T2_NBODY_MP: usize = 141;
+const T2_NBODY_SHMEM: usize = 213;
 const T2_NBODY_SAS: usize = 163;
 const T2_AMR_MP: usize = 174;
 const T2_AMR_SHMEM: usize = 171;

@@ -1,0 +1,229 @@
+//! Snapshot / restore acceptance tests (DESIGN.md §4g).
+//!
+//! The contract under test: a snapshot captured at a virtual-time
+//! quiescence point, restored into a fresh process, replays the
+//! uninterrupted run's tail **bitwise** — same physics checksum bits, same
+//! simulated times, same merged counters, same per-link NetStats, same
+//! schedule fingerprint. And the capturing run itself is indistinguishable
+//! from a plain run: snap gates cost zero virtual time.
+//!
+//! Two layers of evidence:
+//!
+//! * **Golden round-trips** — one MP, one SHMEM, and one CC-SAS workload,
+//!   each captured at a mid-run step barrier and restored, on BOTH the
+//!   thread and event execution backends, on a contended (queued) machine
+//!   so NetStats is live and compared.
+//! * **Property tests** — random (app, model, backend, P ∈ {2,4,8}, gate
+//!   index) round-trips; the invariant never depends on which barrier the
+//!   snapshot lands on.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use origin2k::machine::ContentionMode;
+use origin2k::prelude::*;
+use origin2k::snap::{SnapPoint, SnapSpec};
+
+/// A machine with the queued contention model on, so runs carry NetStats
+/// and the snapshot round-trip exercises the fabric export/import path.
+fn contended(p: usize) -> Arc<Machine> {
+    Arc::new(Machine::new(
+        p,
+        MachineConfig {
+            contention: ContentionMode::Queued,
+            ..MachineConfig::origin2000()
+        },
+    ))
+}
+
+/// Fresh scratch directory for one round-trip.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "o2ksnap-accept-{}-{}",
+        tag.replace('/', "-"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create snapshot scratch dir");
+    dir
+}
+
+fn det(exec: ExecMode, snap: Option<SnapSpec>) -> RunOpts {
+    RunOpts {
+        sched: Some(SchedPolicy::Det),
+        exec: Some(exec),
+        snap,
+    }
+}
+
+/// Byte-level equivalence of two runs: everything the goldens derive from.
+fn assert_same_run(tag: &str, a: &RunMetrics, b: &RunMetrics) {
+    assert_eq!(
+        a.checksum.to_bits(),
+        b.checksum.to_bits(),
+        "{tag}: checksum bits"
+    );
+    assert_eq!(a.sim_time, b.sim_time, "{tag}: sim time");
+    assert_eq!(a.counters, b.counters, "{tag}: merged counters");
+    assert_eq!(a.per_pe, b.per_pe, "{tag}: per-PE breakdowns");
+    assert_eq!(a.net, b.net, "{tag}: NetStats");
+    let (fa, fb) = (a.sched.as_ref().unwrap(), b.sched.as_ref().unwrap());
+    assert_eq!(fa.fingerprint, fb.fingerprint, "{tag}: pick sequence");
+    assert_eq!(fa.switches, fb.switches, "{tag}: handoff count");
+}
+
+/// Straight run, capture run, restored run — all three must agree on every
+/// observable. Returns nothing; panics with `tag` context on divergence.
+fn round_trip(
+    tag: &str,
+    machine: impl Fn() -> Arc<Machine>,
+    app: App,
+    model: Model,
+    exec: ExecMode,
+    gate_index: u64,
+) {
+    let nb = NBodyConfig::small();
+    let am = AmrConfig::small();
+    let dir = scratch(tag);
+    let gate = SnapPoint {
+        name: "step".into(),
+        index: gate_index,
+    };
+    let straight = run_app_opts(machine(), app, model, &nb, &am, det(exec, None));
+    let captured = run_app_opts(
+        machine(),
+        app,
+        model,
+        &nb,
+        &am,
+        det(
+            exec,
+            Some(SnapSpec::Capture {
+                dir: dir.clone(),
+                point: gate,
+            }),
+        ),
+    );
+    let restored = run_app_opts(
+        machine(),
+        app,
+        model,
+        &nb,
+        &am,
+        det(exec, Some(SnapSpec::Restore { dir: dir.clone() })),
+    );
+    assert_same_run(
+        &format!("{tag}: capture run vs straight"),
+        &captured,
+        &straight,
+    );
+    assert_same_run(
+        &format!("{tag}: restored run vs straight"),
+        &restored,
+        &straight,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------- golden round-trips
+
+/// The acceptance matrix: one workload per model, restored at a mid-run
+/// step barrier, on both execution backends, with the contention model on.
+#[test]
+fn mid_run_restore_replays_the_tail_bitwise_per_model_and_backend() {
+    let cases = [
+        (App::Amr, Model::Mp),
+        (App::NBody, Model::Shmem),
+        (App::Amr, Model::Sas),
+    ];
+    for exec in [ExecMode::Thread, ExecMode::Event] {
+        for (app, model) in cases {
+            let tag = format!("{}/{}/{exec:?}", app.name(), model.name());
+            round_trip(&tag, || contended(4), app, model, exec, 1);
+        }
+    }
+}
+
+/// Restoring a snapshot captured on the thread backend into the event
+/// backend (and vice versa) is also exact: the snapshot speaks virtual
+/// time, not host threads.
+#[test]
+fn snapshots_are_portable_across_execution_backends() {
+    let nb = NBodyConfig::small();
+    let am = AmrConfig::small();
+    let dir = scratch("cross-backend");
+    let gate = SnapPoint {
+        name: "step".into(),
+        index: 1,
+    };
+    let straight = run_app_opts(
+        contended(4),
+        App::Amr,
+        Model::Shmem,
+        &nb,
+        &am,
+        det(ExecMode::Event, None),
+    );
+    // Capture on the thread backend...
+    run_app_opts(
+        contended(4),
+        App::Amr,
+        Model::Shmem,
+        &nb,
+        &am,
+        det(
+            ExecMode::Thread,
+            Some(SnapSpec::Capture {
+                dir: dir.clone(),
+                point: gate,
+            }),
+        ),
+    );
+    // ...restore on the event backend.
+    let restored = run_app_opts(
+        contended(4),
+        App::Amr,
+        Model::Shmem,
+        &nb,
+        &am,
+        det(
+            ExecMode::Event,
+            Some(SnapSpec::Restore { dir: dir.clone() }),
+        ),
+    );
+    assert_same_run(
+        "thread-captured snapshot on event core",
+        &restored,
+        &straight,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------- property tests
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// snapshot → restore → run ≡ straight run, whatever the model,
+        /// team size, backend, or gate the snapshot lands on.
+        #[test]
+        fn restore_is_exact_everywhere(
+            p_idx in 0usize..3,
+            model_idx in 0usize..3,
+            app_is_amr in 0usize..2,
+            event in 0usize..2,
+            gate in 0u64..3,
+        ) {
+            let p = [2usize, 4, 8][p_idx];
+            let model = Model::ALL[model_idx];
+            let app = if app_is_amr == 1 { App::Amr } else { App::NBody };
+            let exec = if event == 1 { ExecMode::Event } else { ExecMode::Thread };
+            let tag = format!("prop-{}-{}-p{p}-{exec:?}-g{gate}", app.name(), model.name());
+            round_trip(&tag, || Machine::origin2000(p), app, model, exec, gate);
+        }
+    }
+}

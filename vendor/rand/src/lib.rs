@@ -142,6 +142,30 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw generator state, for checkpointing. Restoring it with
+        /// [`SmallRng::from_state`] resumes the stream exactly where it
+        /// stopped.
+        #[inline]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuild a generator from a previously saved [`SmallRng::state`].
+        /// Zero (which xorshift64* can never reach) is replaced by the same
+        /// sentinel `seed_from_u64` uses, so arbitrary input stays valid.
+        #[inline]
+        pub fn from_state(state: u64) -> Self {
+            SmallRng {
+                state: if state == 0 {
+                    0x4D59_5DF4_D0F3_3173
+                } else {
+                    state
+                },
+            }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
