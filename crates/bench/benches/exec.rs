@@ -4,9 +4,11 @@
 //!   switch (the event core's unit cost, vs ~µs for a condvar handoff);
 //! * `nbody_p64_{thread,event}` / `serve_p64_{thread,event}` — the same
 //!   deterministic run on both backends, head to head;
-//! * `{nbody,serve}_p{256,1024}_event` — the scaling trajectory past the
+//! * `{nbody,serve}_p256_event`, `serve_p1024_event`, and
+//!   `nbody_p1024_event_unfiltered` — the scaling trajectory past the
 //!   thread cap, event core only (the wall-clock curve BENCH_exec.json
 //!   pins; every run replays the det schedule, so sim results are fixed).
+//!   The N-body P=1024 cell is message-volume-bound, hence its own id.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -69,7 +71,14 @@ fn bench_exec(c: &mut Criterion) {
         (256, ExecMode::Event),
         (1024, ExecMode::Event),
     ] {
-        let name = format!("nbody_p{p}_{exec}");
+        // The P=1024 cell is dominated by O(P^2) MP message volume —
+        // simulated work no backend can elide — so its trajectory lives
+        // under its own `_unfiltered` id (see BENCH_exec.json).
+        let name = if p == 1024 {
+            format!("nbody_p{p}_{exec}_unfiltered")
+        } else {
+            format!("nbody_p{p}_{exec}")
+        };
         let nb = nb.clone();
         c.bench_function(&name, move |b| {
             b.iter(|| {

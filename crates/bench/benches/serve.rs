@@ -6,7 +6,9 @@
 //! * `serve_{mp,shmem,sas}` — one full small serving run per model under
 //!   the deterministic schedule on the queued fabric;
 //! * `repro_q1_quick` — the whole Q1 experiment cell grid at quick scale
-//!   (the wall-clock trajectory the BENCH_serve.json numbers pin).
+//!   (the wall-clock trajectory the BENCH_serve.json numbers pin);
+//! * `repro_q2_quick` — the hot-shard mitigation grid at quick scale
+//!   (P=64, skew x mitigation x model on the event core).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -63,6 +65,10 @@ fn bench_serve(c: &mut Criterion) {
 
     c.bench_function("repro_q1_quick", |b| {
         b.iter(|| o2k_bench::run_experiment("q1", true).len())
+    });
+
+    c.bench_function("repro_q2_quick", |b| {
+        b.iter(|| o2k_bench::run_experiment("q2", true).len())
     });
 }
 

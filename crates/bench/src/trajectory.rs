@@ -1,0 +1,395 @@
+//! The `BENCH_*.json` trajectory files: parse, merge, render.
+//!
+//! The repo pins wall-clock trajectories in flat JSON files at the repo
+//! root (`BENCH_apps.json`, `BENCH_exec.json`, `BENCH_serve.json`). Each
+//! entry's `unit_work` string doubles as its config digest: it names
+//! exactly what the bench id measures, so diffs across PRs compare like
+//! with like. [`Suite::merge_entry`] enforces that — refreshing an id
+//! whose `unit_work` changed is refused; a changed workload must move to
+//! a new id (the N-body P=1024 `_unfiltered` split is the precedent).
+//!
+//! The parser is hand-rolled for the one flat shape these files use (no
+//! external JSON dependency): an object of string/number fields plus a
+//! `results` array of entry objects.
+
+/// One bench entry: a pinned mean and the exact workload it measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub id: String,
+    pub mean_ns: u64,
+    /// Human-readable config digest; [`Suite::merge_entry`] treats any
+    /// change to it as "this is a different benchmark".
+    pub unit_work: String,
+    /// Optional per-entry caveat (e.g. why a cell is recorded unfiltered).
+    pub note: Option<String>,
+}
+
+/// One `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suite {
+    pub suite: String,
+    pub bench_command: String,
+    pub date: String,
+    pub toolchain: String,
+    pub note: String,
+    pub results: Vec<Entry>,
+}
+
+impl Suite {
+    /// Parse a trajectory file.
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed construct.
+    pub fn parse(text: &str) -> Result<Suite, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let suite = p.parse_suite()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(suite)
+    }
+
+    /// Fold a fresh measurement into the suite.
+    ///
+    /// An unknown id is appended; a known id has its `mean_ns` (and note)
+    /// refreshed *only* if the incoming `unit_work` matches the recorded
+    /// one bitwise.
+    ///
+    /// # Errors
+    /// Refuses a known id whose `unit_work` changed — the workload moved,
+    /// so the trajectory must continue under a new id.
+    pub fn merge_entry(&mut self, e: Entry) -> Result<(), String> {
+        match self.results.iter_mut().find(|r| r.id == e.id) {
+            None => {
+                self.results.push(e);
+                Ok(())
+            }
+            Some(r) if r.unit_work == e.unit_work => {
+                r.mean_ns = e.mean_ns;
+                if e.note.is_some() {
+                    r.note = e.note;
+                }
+                Ok(())
+            }
+            Some(r) => Err(format!(
+                "bench id {:?}: unit_work changed ({:?} -> {:?}); a changed \
+                 workload must be recorded under a new id so trajectory \
+                 diffs compare like with like",
+                r.id, r.unit_work, e.unit_work
+            )),
+        }
+    }
+
+    /// Render back to the repo's on-disk format (2-space indent, one
+    /// entry per line). `parse(render(s)) == s` for any suite.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (k, v) in [
+            ("suite", &self.suite),
+            ("bench_command", &self.bench_command),
+            ("date", &self.date),
+            ("toolchain", &self.toolchain),
+            ("note", &self.note),
+        ] {
+            out.push_str(&format!("  {}: {},\n", quote(k), quote(v)));
+        }
+        out.push_str("  \"results\": [\n");
+        for (i, e) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"id\": {}, \"mean_ns\": {}, \"unit_work\": {}",
+                quote(&e.id),
+                e.mean_ns,
+                quote(&e.unit_work)
+            ));
+            if let Some(n) = &e.note {
+                out.push_str(&format!(", \"note\": {}", quote(n)));
+            }
+            out.push_str(" }");
+            if i + 1 < self.results.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", c as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.b.get(self.i).ok_or("unterminated escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.i += 4;
+                            char::from_u32(code).ok_or("bad \\u code point")?
+                        }
+                        other => return Err(format!("bad escape \\{}", *other as char)),
+                    });
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Strings are UTF-8; copy whole code points.
+                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected a number at offset {start}"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn parse_suite(&mut self) -> Result<Suite, String> {
+        self.expect(b'{')?;
+        let mut suite = Suite {
+            suite: String::new(),
+            bench_command: String::new(),
+            date: String::new(),
+            toolchain: String::new(),
+            note: String::new(),
+            results: Vec::new(),
+        };
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "suite" => suite.suite = self.string()?,
+                "bench_command" => suite.bench_command = self.string()?,
+                "date" => suite.date = self.string()?,
+                "toolchain" => suite.toolchain = self.string()?,
+                "note" => suite.note = self.string()?,
+                "results" => suite.results = self.entries()?,
+                other => return Err(format!("unknown suite field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(suite);
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn entries(&mut self) -> Result<Vec<Entry>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.entry()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn entry(&mut self) -> Result<Entry, String> {
+        self.expect(b'{')?;
+        let mut e = Entry {
+            id: String::new(),
+            mean_ns: 0,
+            unit_work: String::new(),
+            note: None,
+        };
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "id" => e.id = self.string()?,
+                "mean_ns" => e.mean_ns = self.number()?,
+                "unit_work" => e.unit_work = self.string()?,
+                "note" => e.note = Some(self.string()?),
+                other => return Err(format!("unknown entry field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    if e.id.is_empty() {
+                        return Err("entry without an id".into());
+                    }
+                    return Ok(e);
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Suite {
+        Suite::parse(include_str!("../../../BENCH_exec.json")).expect("repo file parses")
+    }
+
+    #[test]
+    fn parses_the_checked_in_files_and_roundtrips() {
+        for text in [
+            include_str!("../../../BENCH_exec.json"),
+            include_str!("../../../BENCH_apps.json"),
+            include_str!("../../../BENCH_serve.json"),
+        ] {
+            let s = Suite::parse(text).expect("checked-in trajectory parses");
+            assert!(!s.results.is_empty());
+            let again = Suite::parse(&s.render()).expect("rendered form parses");
+            assert_eq!(s, again, "render/parse must round-trip");
+        }
+    }
+
+    #[test]
+    fn the_unfiltered_nbody_cell_carries_its_own_id_and_note() {
+        let s = sample();
+        let e = s
+            .results
+            .iter()
+            .find(|e| e.id == "nbody_p1024_event_unfiltered")
+            .expect("split id present");
+        assert!(
+            e.note.as_deref().is_some_and(|n| n.contains("unfiltered")),
+            "the caveat must live on the entry itself"
+        );
+        assert!(
+            !s.results.iter().any(|e| e.id == "nbody_p1024_event"),
+            "the old id must not linger beside the split one"
+        );
+    }
+
+    #[test]
+    fn merge_refreshes_matching_ids_and_appends_new_ones() {
+        let mut s = sample();
+        let n = s.results.len();
+        let mut e = s.results[0].clone();
+        e.mean_ns += 1;
+        s.merge_entry(e.clone()).expect("same unit_work merges");
+        assert_eq!(s.results[0].mean_ns, e.mean_ns);
+        assert_eq!(s.results.len(), n);
+        s.merge_entry(Entry {
+            id: "brand_new".into(),
+            mean_ns: 7,
+            unit_work: "something else".into(),
+            note: None,
+        })
+        .expect("new ids append");
+        assert_eq!(s.results.len(), n + 1);
+    }
+
+    #[test]
+    fn merge_refuses_a_changed_config_digest() {
+        let mut s = sample();
+        let mut e = s.results[0].clone();
+        e.unit_work = format!("{} but bigger", e.unit_work);
+        let err = s.merge_entry(e).expect_err("changed unit_work must refuse");
+        assert!(err.contains("new id"), "error must point at the fix: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_files() {
+        for bad in [
+            "",
+            "{",
+            r#"{"suite": 3}"#,
+            r#"{"suite": "x", "results": [{"mean_ns": 1}]}"#,
+            r#"{"suite": "x"} trailing"#,
+        ] {
+            assert!(Suite::parse(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+}

@@ -53,6 +53,12 @@ pub struct Counters {
     /// (the serving side: the shard owner under MP, the requester under
     /// the one-sided and shared-memory models).
     pub requests_served: u64,
+    /// Requests this PE claimed out of another PE's mailbox under the MP
+    /// work-stealing mitigation (a subset of `requests_served`).
+    pub requests_stolen: u64,
+    /// Bytes this PE moved to build or refresh hot-shard read replicas
+    /// (the replication mitigation's fan-out traffic).
+    pub replica_bytes: u64,
 
     // --- interconnect contention (nonzero only under queued/fabric) ---
     /// Transfers this PE routed through the contended fabric.
@@ -173,6 +179,12 @@ impl Counters {
                 earlier.requests_served,
                 "requests_served",
             ),
+            requests_stolen: mono_sub(
+                self.requests_stolen,
+                earlier.requests_stolen,
+                "requests_stolen",
+            ),
+            replica_bytes: mono_sub(self.replica_bytes, earlier.replica_bytes, "replica_bytes"),
             net_transfers: mono_sub(self.net_transfers, earlier.net_transfers, "net_transfers"),
             net_links: mono_sub(self.net_links, earlier.net_links, "net_links"),
             net_queued_ns: mono_sub(self.net_queued_ns, earlier.net_queued_ns, "net_queued_ns"),
@@ -209,6 +221,8 @@ impl Counters {
         self.lock_acquires += other.lock_acquires;
         self.sched_handoffs += other.sched_handoffs;
         self.requests_served += other.requests_served;
+        self.requests_stolen += other.requests_stolen;
+        self.replica_bytes += other.replica_bytes;
         self.net_transfers += other.net_transfers;
         self.net_links += other.net_links;
         self.net_queued_ns += other.net_queued_ns;

@@ -243,6 +243,100 @@ impl MpWorld {
         (env.src, env.tag, *data)
     }
 
+    /// Work-stealing claim: remove up to `max` queued envelopes carrying
+    /// `tag` that have already arrived in virtual time (`arrival <= now`)
+    /// from `victim`'s mailbox and deliver them to the calling PE.
+    /// Returns the stolen `(src, payload)` pairs, oldest first; empty when
+    /// nothing is eligible.
+    ///
+    /// This is the MP analogue of the `fetch_add` self-scheduling claim
+    /// the CC-SAS AMR repartitioner uses (`amr_sas`): the claim is a
+    /// deterministic virtual-time race — a scheduler yield point orders
+    /// the stealer against the victim's own receives, then the batch is
+    /// removed atomically under the mailbox lock, so under the
+    /// deterministic policy the same PE always wins the same envelopes.
+    /// The stealer pays a small claim round trip to the victim whether or
+    /// not anything is eligible, plus the batch's payload transfer delay;
+    /// per-message receive overhead and the `msgs_recvd` count land on the
+    /// stealer, preserving the global send/recv balance. Never steals with
+    /// a wildcard: termination tokens and replies must stay matchable at
+    /// the victim, so callers name exactly the request tag.
+    ///
+    /// # Panics
+    /// Panics if `victim` is the calling PE, the tag is in the collective
+    /// space, or a matched payload is not a `Vec<T>`.
+    pub fn steal_batch<T: Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        victim: usize,
+        tag: Tag,
+        max: usize,
+    ) -> Vec<(usize, Vec<T>)> {
+        assert_ne!(victim, ctx.pe(), "a PE cannot steal from itself");
+        assert!(
+            tag < Self::COLLECTIVE_BASE,
+            "user tags must be < COLLECTIVE_BASE"
+        );
+        // The claim point: under a cooperative policy the virtual-time
+        // floor (not the host scheduler) decides whether the victim's own
+        // drain or this steal sees the backlog first.
+        ctx.sched_point();
+        let now = ctx.now();
+        let stolen: Vec<Envelope> = {
+            let mut q = self.mailboxes[victim].queue.lock();
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < q.len() && out.len() < max {
+                if q[i].tag == tag && q[i].arrival <= now {
+                    out.push(q.remove(i).expect("index valid under lock"));
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        };
+        // One claim round trip (8-byte CAS-sized packet) regardless of
+        // yield, plus the stolen payload crossing victim -> stealer.
+        let hops = self.machine.hops_between(ctx.pe(), victim);
+        let claim = cost::msg(&self.machine.config, 8, hops);
+        let batch_bytes: usize = stolen.iter().map(|e| e.bytes).sum();
+        let transfer = if batch_bytes > 0 {
+            cost::msg(&self.machine.config, batch_bytes, hops).network
+                + ctx.net_delay_to_pe(victim, batch_bytes)
+        } else {
+            0
+        };
+        ctx.advance_traced(
+            claim.send_overhead + claim.network + transfer,
+            TimeCat::Remote,
+            EventKind::Steal,
+            batch_bytes.min(u32::MAX as usize) as u32,
+            Some(victim as u32),
+        );
+        stolen
+            .into_iter()
+            .map(|env| {
+                ctx.advance_traced(
+                    self.machine.config.mp_recv_overhead,
+                    TimeCat::Remote,
+                    EventKind::Recv,
+                    env.bytes.min(u32::MAX as usize) as u32,
+                    Some(env.src as u32),
+                );
+                let c = ctx.counters_mut();
+                c.msgs_recvd += 1;
+                c.requests_stolen += 1;
+                let data = env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+                    panic!(
+                        "steal type mismatch from rank {} tag {} ({} bytes)",
+                        env.src, env.tag, env.bytes
+                    )
+                });
+                (env.src, *data)
+            })
+            .collect()
+    }
+
     /// Messages queued across all mailboxes (sent but not yet received).
     pub fn pending_messages(&self) -> usize {
         self.mailboxes.iter().map(|mb| mb.queue.lock().len()).sum()
@@ -414,6 +508,64 @@ mod tests {
             }
         });
         assert!(run.results[1]);
+    }
+
+    /// A stealer claims only *arrived* envelopes bearing the requested
+    /// tag, oldest first, and the victim keeps everything else.
+    #[test]
+    fn steal_batch_claims_arrived_matching_tags_only() {
+        let (w, t) = world_and_team(3);
+        let run = t.run(|ctx| match ctx.pe() {
+            0 => {
+                for i in 0..3u64 {
+                    w.send(ctx, 1, 7, &[i]);
+                }
+                w.send(ctx, 1, 8, &[99u64]);
+                ctx.os_barrier(); // all four queued at PE 1
+                ctx.os_barrier(); // stealer done
+                vec![]
+            }
+            1 => {
+                ctx.os_barrier();
+                ctx.os_barrier();
+                let mut kept = vec![];
+                while let Some((_, _, d)) = w.try_recv::<u64>(
+                    ctx,
+                    RecvSpec {
+                        src: None,
+                        tag: None,
+                    },
+                ) {
+                    kept.push(d[0]);
+                }
+                kept
+            }
+            _ => {
+                ctx.os_barrier();
+                ctx.compute(10_000_000); // far past every arrival time
+                let stolen = w.steal_batch::<u64>(ctx, 1, 7, 2);
+                ctx.os_barrier();
+                stolen
+                    .into_iter()
+                    .map(|(src, d)| {
+                        assert_eq!(src, 0, "stolen envelopes keep their sender");
+                        d[0]
+                    })
+                    .collect()
+            }
+        });
+        assert_eq!(
+            run.results[2],
+            vec![0, 1],
+            "oldest two tag-7 messages stolen"
+        );
+        assert_eq!(
+            run.results[1],
+            vec![2, 99],
+            "victim keeps the rest, in order"
+        );
+        assert_eq!(run.reports[2].counters.requests_stolen, 2);
+        assert_eq!(run.reports[2].counters.msgs_recvd, 2);
     }
 
     #[test]

@@ -24,14 +24,104 @@ pub enum PagePolicy {
 /// Unassigned page-home sentinel.
 const NO_HOME: u32 = u32::MAX;
 
+/// Per-line sharer set that scales past one word: teams of ≤ 64 PEs stay
+/// on the original inline `u64` (no allocation, no indirection on the
+/// common path), and a line promotes to a boxed word array the first time
+/// a PE ≥ 64 shares it — this is what lifts the old 64-PE cap on CC-SAS
+/// teams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SharerSet {
+    One(u64),
+    Many(Box<[u64]>),
+}
+
+impl Default for SharerSet {
+    fn default() -> Self {
+        SharerSet::One(0)
+    }
+}
+
+impl SharerSet {
+    /// Add `pe` to the set, promoting to the wide form if needed.
+    #[inline]
+    fn insert(&mut self, pe: usize) {
+        match self {
+            SharerSet::One(w) if pe < 64 => *w |= 1 << pe,
+            SharerSet::One(w) => {
+                let mut words = vec![0u64; pe / 64 + 1].into_boxed_slice();
+                words[0] = *w;
+                words[pe / 64] |= 1 << (pe % 64);
+                *self = SharerSet::Many(words);
+            }
+            SharerSet::Many(words) => {
+                if pe / 64 >= words.len() {
+                    let mut grown = vec![0u64; pe / 64 + 1].into_boxed_slice();
+                    grown[..words.len()].copy_from_slice(words);
+                    *words = grown;
+                }
+                words[pe / 64] |= 1 << (pe % 64);
+            }
+        }
+    }
+
+    /// Collapse to the single sharer `pe` (an invalidating write).
+    #[inline]
+    fn reset_to(&mut self, pe: usize) {
+        *self = SharerSet::One(0);
+        self.insert(pe);
+    }
+
+    /// Visit every sharer except `me`, ascending.
+    fn for_each_other(&self, me: usize, mut f: impl FnMut(usize)) {
+        let words: &[u64] = match self {
+            SharerSet::One(w) => std::slice::from_ref(w),
+            SharerSet::Many(ws) => ws,
+        };
+        for (wi, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            if me / 64 == wi {
+                bits &= !(1u64 << (me % 64));
+            }
+            while bits != 0 {
+                f(wi * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Exactly `n` wire words (zero-padded) for the snapshot codec.
+    fn to_words(&self, n: usize) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        let words: &[u64] = match self {
+            SharerSet::One(w) => std::slice::from_ref(w),
+            SharerSet::Many(ws) => ws,
+        };
+        for (o, &w) in out.iter_mut().zip(words) {
+            *o = w;
+        }
+        out
+    }
+
+    /// Rebuild from wire words, normalising back to the inline form when
+    /// only the first word is populated.
+    fn from_words(ws: &[u64]) -> SharerSet {
+        let used = ws.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        if used <= 1 {
+            SharerSet::One(ws.first().copied().unwrap_or(0))
+        } else {
+            SharerSet::Many(ws[..used].to_vec().into_boxed_slice())
+        }
+    }
+}
+
 /// Authoritative per-line coherence state (MSI).
 #[derive(Debug, Default)]
 struct LineDir {
     /// Incremented on every invalidating write; cached copies carry the
     /// version they loaded and are stale when it moves on.
     version: u64,
-    /// Bitmask of PEs holding the current version.
-    sharers: u64,
+    /// PEs holding the current version.
+    sharers: SharerSet,
     /// A PE holds the line modified.
     dirty: bool,
     /// Last writer (meaningful when `dirty`).
@@ -102,7 +192,6 @@ impl SasWorld {
 
     /// A world with an explicit paging policy (for the A1 ablation).
     pub fn with_paging(machine: Arc<Machine>, policy: PagePolicy) -> Self {
-        assert!(machine.pes() <= 64, "sharer bitmask limits teams to 64 PEs");
         let pes = machine.pes();
         SasWorld {
             machine,
@@ -208,8 +297,11 @@ impl SasWorld {
         ctx.barrier();
     }
 
-    /// Wire-format version of [`SasWorld::export_state_bytes`].
-    pub const STATE_VERSION: u64 = 1;
+    /// Wire-format version of [`SasWorld::export_state_bytes`]. Version 2
+    /// widened the per-line sharer field from one `u64` to
+    /// `ceil(pes / 64)` words; version-1 sections (single word, teams of
+    /// ≤ 64 PEs) are still read.
+    pub const STATE_VERSION: u64 = 2;
 
     /// Serialise every shared region — storage bits, page homes, and the
     /// full per-line MSI directory — for a checkpoint. Race-detector
@@ -237,10 +329,13 @@ impl SasWorld {
                 w.u64(u64::from(h.load(Ordering::Relaxed)));
             }
             w.u64(r.lines.len() as u64);
+            let swords = self.size().div_ceil(64).max(1);
             for line in r.lines.iter() {
                 let d = line.dir.lock();
                 w.u64(d.version);
-                w.u64(d.sharers);
+                for sw in d.sharers.to_words(swords) {
+                    w.u64(sw);
+                }
                 w.u64((u64::from(d.owner) << 1) | u64::from(d.dirty));
             }
         }
@@ -257,9 +352,9 @@ impl SasWorld {
     pub fn import_state_bytes(&self, bytes: &[u8]) -> Result<(), String> {
         let mut rd = o2k_snap::wire::WireReader::new(bytes);
         let ver = rd.u64()?;
-        if ver != Self::STATE_VERSION {
+        if ver != 1 && ver != Self::STATE_VERSION {
             return Err(format!(
-                "sas snapshot version {ver}, expected {}",
+                "sas snapshot version {ver}, expected 1 or {}",
                 Self::STATE_VERSION
             ));
         }
@@ -313,10 +408,17 @@ impl SasWorld {
                     region.lines.len()
                 ));
             }
+            // Version 1 stored one sharer word per line; version 2 stores
+            // ceil(pes / 64) words (identical bytes for teams of ≤ 64).
+            let swords = if ver == 1 { 1 } else { pes.div_ceil(64).max(1) };
+            let mut ws = vec![0u64; swords];
             for line in region.lines.iter() {
                 let mut d = line.dir.lock();
                 d.version = rd.u64()?;
-                d.sharers = rd.u64()?;
+                for w in ws.iter_mut() {
+                    *w = rd.u64()?;
+                }
+                d.sharers = SharerSet::from_words(&ws);
                 let od = rd.u64()?;
                 d.owner = (od >> 1) as u32;
                 d.dirty = od & 1 != 0;
@@ -582,7 +684,6 @@ impl SasPe {
         let write = class != AccessClass::Read;
         let tag = line_tag(r.id, line as u64);
         let pe = ctx.pe();
-        let me = 1u64 << pe;
         let l = &r.lines[line];
 
         // Single cache probe; fast paths check the lock-free meta mirror.
@@ -660,11 +761,8 @@ impl SasPe {
             // sharer on this node is an SMP-bus operation; reaching a
             // sharer across the machine pays network hops. (This is what
             // makes intra-node sharing cheap for the hybrid model.)
-            let mut others = d.sharers & !me;
             let mut invalidated = 0u32;
-            while others != 0 {
-                let q = others.trailing_zeros() as usize;
-                others &= others - 1;
+            d.sharers.for_each_other(pe, |q| {
                 let qn = topo.node_of(q.min(topo.pes() - 1));
                 // An invalidation is a small coherence packet; cross-node
                 // ones traverse (and queue on) the same fabric links.
@@ -672,18 +770,18 @@ impl SasPe {
                     + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop
                     + ctx.net_delay_to_node(qn, 8);
                 invalidated += 1;
-            }
+            });
             ctx.counters_mut().invalidations += u64::from(invalidated);
             if cached {
                 ctx.counters_mut().upgrades += 1;
                 charge_remote += cfg.lat_directory;
             }
             d.version += 1;
-            d.sharers = me;
+            d.sharers.reset_to(pe);
             d.dirty = true;
             d.owner = pe as u32;
         } else {
-            d.sharers |= me;
+            d.sharers.insert(pe);
         }
 
         l.meta
@@ -1038,6 +1136,61 @@ mod tests {
         assert!(fresh.import_state_bytes(&bytes[..bytes.len() - 1]).is_err());
         assert!(w.import_state_bytes(&bytes).is_err());
         assert!(fresh.import_state_bytes(&bytes).is_ok());
+    }
+
+    /// A version-1 section (pre sharer-widening) differs from version 2
+    /// only in the header word for teams of ≤ 64 PEs, so rewriting the
+    /// version field of a fresh export yields a faithful v1 byte stream —
+    /// which the importer must still accept.
+    #[test]
+    fn import_accepts_version1_sections() {
+        let (w, t) = setup(2);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 16);
+            let mut pe = w.pe();
+            if ctx.pe() == 0 {
+                pe.write(ctx, &s, 3, 77);
+            }
+            w.barrier(ctx);
+            pe.read(ctx, &s, 3)
+        });
+        assert!(run.results.iter().all(|&v| v == 77));
+        let mut bytes = w.export_state_bytes();
+        assert_eq!(bytes[..8], 2u64.to_le_bytes(), "export is version 2");
+        bytes[..8].copy_from_slice(&1u64.to_le_bytes());
+
+        let m2 = Arc::new(Machine::new(2, MachineConfig::test_tiny()));
+        let w2 = Arc::new(SasWorld::new(Arc::clone(&m2)));
+        w2.import_state_bytes(&bytes).unwrap();
+        let run2 = Team::new(m2).run(|ctx| {
+            let s = w2.attach::<u64>(ctx, 16);
+            w2.pe().read(ctx, &s, 3)
+        });
+        assert!(run2.results.iter().all(|&v| v == 77));
+    }
+
+    /// The old single-word sharer bitmask capped CC-SAS teams at 64 PEs;
+    /// with [`SharerSet`] a 128-PE team shares one line across both words
+    /// and a write still invalidates every other sharer.
+    #[test]
+    fn p128_sharers_past_one_word_invalidate() {
+        let (w, t) = setup(128);
+        let run = t.run(|ctx| {
+            let s = w.alloc::<u64>(ctx, 8);
+            let mut pe = w.pe();
+            let _ = pe.read(ctx, &s, 0); // all 128 PEs share the line
+            w.barrier(ctx);
+            if ctx.pe() == 0 {
+                pe.write(ctx, &s, 0, 9);
+            }
+            w.barrier(ctx);
+            pe.read(ctx, &s, 0)
+        });
+        assert!(run.results.iter().all(|&v| v == 9));
+        assert_eq!(
+            run.reports[0].counters.invalidations, 127,
+            "the write must invalidate every PE past the old 64-PE word"
+        );
     }
 
     /// Regression for the schedule-dependent first-touch race: when several

@@ -50,7 +50,7 @@ pub fn stream(cfg: &ServeConfig, pe: usize, pes: usize) -> Vec<Request> {
     let n = stream_len(cfg, pe, pes);
     let mut rng =
         SmallRng::seed_from_u64(cfg.seed ^ (pe as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut t: SimTime = 0;
+    let mut t: SimTime = cfg.start_ns;
     let mut out = Vec::with_capacity(n as usize);
     for _ in 0..n {
         let gap_u: u64 = rng.gen();
@@ -111,7 +111,7 @@ pub fn value_word(seed: u64, key: usize, w: usize) -> u64 {
 }
 
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -100,13 +100,17 @@ impl LatencyHist {
         }
     }
 
-    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
-    /// bucket containing the sample of rank `ceil(q · count)`, clamped to
-    /// the exact maximum. Returns 0 when empty. Monotone in `q`.
+    /// The value at quantile `q`: the upper bound of the bucket containing
+    /// the sample of rank `ceil(q · count)`, clamped to the exact maximum.
+    /// Monotone in `q`. Edge cases are defined, not accidental: an empty
+    /// histogram returns 0 for every `q`; `q` outside `[0, 1]` clamps to
+    /// the recorded range (`q ≤ 0` is the smallest sample's bucket,
+    /// `q ≥ 1` the exact maximum); `NaN` clamps low like `q = 0`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -164,6 +168,22 @@ mod tests {
         // rank ⌈0.5·64⌉ = 32 → the 32nd smallest of 0..64, which is 31.
         assert_eq!(h.quantile(0.5), SUB / 2 - 1);
         assert_eq!(h.max(), SUB - 1);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_defined() {
+        let empty = LatencyHist::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram is 0 at q={q}");
+        }
+        let mut h = LatencyHist::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 10, "q = 0 is the smallest sample");
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0), "q below 0 clamps low");
+        assert_eq!(h.quantile(7.5), 30, "q above 1 clamps to the max");
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0), "NaN clamps low");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod clients;
 pub mod hist;
 pub mod mp;
+pub mod plan;
 pub mod sas;
 pub mod shmem;
 
@@ -45,6 +46,7 @@ use parallel::{Ctx, EventKind, SchedPolicy, TeamRun};
 
 use clients::Request;
 use hist::LatencyHist;
+pub use plan::{MitPlan, Mitigation};
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +73,15 @@ pub struct ServeConfig {
     pub poll_ns: u64,
     /// Seed for the client streams and table contents.
     pub seed: u64,
+    /// Hot-shard mitigation ([`Mitigation::Off`] keeps every pre-existing
+    /// run bitwise identical; see [`plan`] for the modes).
+    pub mitigation: Mitigation,
+    /// Virtual time of the earliest possible client arrival (ns). The
+    /// default 0 starts clients at time zero, which counts the table
+    /// build (and any replica-copy phase) against the first requests'
+    /// latencies; experiments that want a clean measurement window set
+    /// this past the warmup.
+    pub start_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +96,8 @@ impl Default for ServeConfig {
             deadline_ns: None,
             poll_ns: 4_000,
             seed: 0x0BAD_CAFE,
+            mitigation: Mitigation::Off,
+            start_ns: 0,
         }
     }
 }
@@ -440,6 +453,129 @@ mod tests {
         );
     }
 
+    /// Every mitigation mode serves exactly the same data: checksums and
+    /// per-shard demand are invariant across models *and* across
+    /// `Off`/`Replicate`/`Steal`, and the mitigated runs actually move
+    /// work (replica bytes placed, requests stolen).
+    #[test]
+    fn mitigation_modes_agree_on_data_across_models() {
+        // Tight gaps overload the skew-3 hot shard at P = 8 so the
+        // stealers actually find queued work to claim.
+        let cfg_with = |mitigation| ServeConfig {
+            skew: 3.0,
+            mean_gap_ns: 3_000,
+            requests: 1_200,
+            mitigation,
+            ..ServeConfig::small()
+        };
+        let baseline = run_sched(
+            queued_machine(8),
+            Model::Mp,
+            &cfg_with(Mitigation::Off),
+            det(),
+        );
+        let base_counts = baseline.serve.as_ref().unwrap().shard_counts.clone();
+        for model in [Model::Mp, Model::Shmem, Model::Sas] {
+            for mitigation in [
+                Mitigation::Off,
+                Mitigation::Replicate { replicas: 2 },
+                Mitigation::Steal,
+            ] {
+                let m = run_sched(queued_machine(8), model, &cfg_with(mitigation), det());
+                let s = m.serve.as_ref().unwrap();
+                assert_eq!(s.issued, s.completed + s.failed, "{model:?} {mitigation:?}");
+                assert_eq!(m.checksum, baseline.checksum, "{model:?} {mitigation:?}");
+                assert_eq!(s.shard_counts, base_counts, "{model:?} {mitigation:?}");
+                match mitigation {
+                    Mitigation::Replicate { .. } => assert!(
+                        m.counters.replica_bytes > 0,
+                        "{model:?} replicate must place replica data"
+                    ),
+                    Mitigation::Steal if model == Model::Mp => assert!(
+                        m.counters.requests_stolen > 0,
+                        "MP stealers must claim from the overloaded owner"
+                    ),
+                    _ => assert_eq!(
+                        m.counters.replica_bytes + m.counters.requests_stolen,
+                        0,
+                        "{model:?} {mitigation:?} must not move mitigation work"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Warm capture/restore equality with mitigation *on*: the replica
+    /// regions (SHMEM), copy messages (MP), striped page homes (CC-SAS),
+    /// and steal plans all survive the snapshot boundary.
+    #[test]
+    fn warm_snapshot_restore_matches_with_mitigation_on() {
+        use o2k_snap::{SnapPoint, SnapSpec};
+        let cases = [
+            (Model::Mp, Mitigation::Replicate { replicas: 2 }),
+            (Model::Mp, Mitigation::Steal),
+            (Model::Shmem, Mitigation::Replicate { replicas: 2 }),
+            (Model::Sas, Mitigation::Replicate { replicas: 2 }),
+        ];
+        for (i, (model, mitigation)) in cases.into_iter().enumerate() {
+            let cfg = ServeConfig {
+                skew: 3.0,
+                mean_gap_ns: 3_000,
+                requests: 1_000,
+                mitigation,
+                ..ServeConfig::small()
+            };
+            let dir = std::env::temp_dir().join(format!(
+                "o2ksnap-serve-mit{i}-{model:?}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let go = |snap| {
+                run_opts(
+                    queued_machine(8),
+                    model,
+                    &cfg,
+                    apps::RunOpts {
+                        sched: det(),
+                        snap,
+                        ..apps::RunOpts::default()
+                    },
+                )
+            };
+            let straight = go(None);
+            let captured = go(Some(SnapSpec::Capture {
+                dir: dir.clone(),
+                point: SnapPoint {
+                    name: "warm".into(),
+                    index: 0,
+                },
+            }));
+            let restored = go(Some(SnapSpec::Restore { dir: dir.clone() }));
+            for m in [&captured, &restored] {
+                assert_eq!(m.checksum, straight.checksum, "{model:?} {mitigation:?}");
+                assert_eq!(m.sim_time, straight.sim_time, "{model:?} {mitigation:?}");
+                assert_eq!(
+                    m.sched.as_ref().unwrap().fingerprint,
+                    straight.sched.as_ref().unwrap().fingerprint,
+                    "{model:?} {mitigation:?}"
+                );
+            }
+            // Counters come back through the snapshot, so even the replica
+            // copy traffic must match the straight run exactly.
+            assert_eq!(
+                restored.counters, straight.counters,
+                "{model:?} {mitigation:?}"
+            );
+            assert_eq!(
+                restored.serve.as_ref().unwrap().p999_ns,
+                straight.serve.as_ref().unwrap().p999_ns,
+                "{model:?} {mitigation:?}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -467,6 +603,55 @@ mod tests {
             prop_assert!(s.p50_ns <= s.p99_ns);
             prop_assert!(s.p99_ns <= s.p999_ns);
             prop_assert!(s.p999_ns <= s.max_ns);
+        }
+
+        /// DONE-token termination for MP serving survives every corner at
+        /// once: shedding deadlines, key skew, and all three mitigation
+        /// modes — requests are conserved, no replica or stealer PE
+        /// strands a message (asserted inside `mp::run_opts`), and the
+        /// deterministic fingerprint is identical on the thread and event
+        /// backends.
+        #[test]
+        fn mp_done_termination_under_shedding_skew_and_mitigation(
+            seed in 0u64..500,
+            skew_i in 0usize..3,
+            dl in 0usize..3,
+            mit in 0usize..3,
+        ) {
+            let cfg = ServeConfig {
+                requests: 500,
+                keys: 512,
+                mean_gap_ns: 2_500,
+                skew: [1.0, 2.0, 3.0][skew_i],
+                deadline_ns: [None, Some(8_000), Some(60_000)][dl],
+                mitigation: [
+                    Mitigation::Off,
+                    Mitigation::Replicate { replicas: 2 },
+                    Mitigation::Steal,
+                ][mit],
+                seed,
+                ..ServeConfig::small()
+            };
+            let thread = run_opts(
+                queued_machine(4), Model::Mp, &cfg,
+                apps::RunOpts::with_sched(det()),
+            );
+            let event = run_opts(
+                queued_machine(4), Model::Mp, &cfg,
+                apps::RunOpts::det_event(),
+            );
+            for m in [&thread, &event] {
+                let s = m.serve.as_ref().unwrap();
+                prop_assert_eq!(s.issued, cfg.requests);
+                prop_assert_eq!(s.issued, s.completed + s.failed, "conservation");
+            }
+            prop_assert_eq!(thread.checksum, event.checksum);
+            prop_assert_eq!(&thread.counters, &event.counters);
+            prop_assert_eq!(
+                thread.sched.as_ref().map(|s| s.fingerprint),
+                event.sched.as_ref().map(|s| s.fingerprint),
+                "thread and event backends must interleave identically"
+            );
         }
     }
 }

@@ -7,6 +7,14 @@
 //! home node. Under a degraded fabric every fill for a hot shard queues
 //! on the sick node's port — line traffic, not one message — which is
 //! exactly the tail-latency contrast experiment Q1 measures.
+//!
+//! Under [`Mitigation::Replicate`] the mitigation is pure *placement*:
+//! a hot shard's pages are striped round-robin over `{owner} ∪ helpers`
+//! at build time instead of all landing on the owner's node, so the
+//! coherence protocol itself fans the fill traffic out across the
+//! helper nodes — no routing change, no second table, and the serve
+//! loop is untouched. Page homes survive snapshots through the world
+//! export like any other placement.
 
 use std::sync::Arc;
 
@@ -14,25 +22,36 @@ use apps::{App, Model, RunMetrics, Snapshotter};
 use machine::Machine;
 use o2k_snap::wire::{WireReader, WireWriter};
 use parallel::{Ctx, Team};
-use sas::SasWorld;
+use sas::{SasSlice, SasWorld};
 
 use crate::clients;
+use crate::plan::{MitPlan, Mitigation};
 use crate::{await_arrival, finish, serve_cost, ClientLog, PeOut, ServeConfig, BUILD_NS_PER_WORD};
 
 pub fn run_opts(machine: Arc<Machine>, cfg: &ServeConfig, opts: apps::RunOpts) -> RunMetrics {
     let world = SasWorld::new(Arc::clone(&machine));
+    let plan = MitPlan::build(cfg, machine.pes());
     let mut snap = Snapshotter::new(&opts, App::Serve, Model::Sas, &machine, &format!("{cfg:?}"));
     snap.import_world(|b| world.import_state_bytes(b));
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run_resumed(snap.team_resume(), |ctx| rank_main(ctx, &world, cfg, &snap));
+    let run = team.run_resumed(snap.team_resume(), |ctx| {
+        rank_main(ctx, &world, cfg, &plan, &snap)
+    });
     finish(Model::Sas, cfg, &run)
 }
 
-fn rank_main(ctx: &mut Ctx, world: &SasWorld, cfg: &ServeConfig, snap: &Snapshotter) -> PeOut {
+fn rank_main(
+    ctx: &mut Ctx,
+    world: &SasWorld,
+    cfg: &ServeConfig,
+    plan: &MitPlan,
+    snap: &Snapshotter,
+) -> PeOut {
     let p = ctx.npes();
     let me = ctx.pe();
     let v = cfg.val_words;
     let mut pe = world.pe();
+    let replicate = matches!(plan.mitigation(), Mitigation::Replicate { .. }) && !plan.is_empty();
 
     let table = if snap.resume_index("warm").is_some() {
         // Warm start: the shared table, its page homes, and the coherence
@@ -60,7 +79,11 @@ fn rank_main(ctx: &mut Ctx, world: &SasWorld, cfg: &ServeConfig, snap: &Snapshot
                 );
             }
         }
-        table.home_pages(ctx, start * v, (start + len) * v);
+        if replicate {
+            stripe_homes(ctx, &table, plan, cfg, p);
+        } else {
+            table.home_pages(ctx, start * v, (start + len) * v);
+        }
         // sim:end
         ctx.compute_units((len * v) as u64, BUILD_NS_PER_WORD);
         ctx.barrier();
@@ -98,4 +121,60 @@ fn rank_main(ctx: &mut Ctx, world: &SasWorld, cfg: &ServeConfig, snap: &Snapshot
     }
     ctx.barrier();
     log.into_pe_out()
+}
+
+/// Home the pages of the shared table under the replication plan: a cold
+/// shard's pages go to its owner as usual, a hot shard's pages are striped
+/// round-robin over `{owner} ∪ helpers` so remote fills fan out across
+/// the helper nodes. The owner counts pages striped away from it as
+/// replica bytes (the re-placed data volume).
+fn stripe_homes(ctx: &mut Ctx, table: &SasSlice<u64>, plan: &MitPlan, cfg: &ServeConfig, p: usize) {
+    let me = ctx.pe();
+    let v = cfg.val_words;
+    let wpp = (ctx.machine().config.page_bytes / 8).max(1);
+    let total = cfg.keys * v;
+    let start = clients::shard_start(me, cfg.keys, p) * v;
+    let end = start + clients::shard_len(me, cfg.keys, p) * v;
+    match plan.hot_index(me) {
+        None => table.home_pages(ctx, start, end),
+        Some(h) => {
+            for (pg, assignee) in stripe(start, end, wpp, me, plan.helpers(h)) {
+                if assignee == me {
+                    table.home_pages(ctx, pg * wpp, ((pg + 1) * wpp).min(total));
+                } else {
+                    ctx.counters_mut().replica_bytes += (wpp * 8) as u64;
+                }
+            }
+        }
+    }
+    // Claim my stripes of the hot shards I help.
+    for &s in &plan.victims_of(me) {
+        let h = plan.hot_index(s).expect("victims are hot owners");
+        let sw = clients::shard_start(s, cfg.keys, p) * v;
+        let ew = sw + clients::shard_len(s, cfg.keys, p) * v;
+        for (pg, assignee) in stripe(sw, ew, wpp, s, plan.helpers(h)) {
+            if assignee == me {
+                table.home_pages(ctx, pg * wpp, ((pg + 1) * wpp).min(total));
+            }
+        }
+    }
+}
+
+/// The round-robin page → PE assignment of one hot shard's word range
+/// over its serving set (owner first, then helpers).
+fn stripe(
+    start_w: usize,
+    end_w: usize,
+    wpp: usize,
+    owner: usize,
+    helpers: &[usize],
+) -> Vec<(usize, usize)> {
+    let pg0 = start_w / wpp;
+    let pg1 = end_w.div_ceil(wpp).max(pg0 + 1);
+    let set: Vec<usize> = std::iter::once(owner)
+        .chain(helpers.iter().copied())
+        .collect();
+    (pg0..pg1)
+        .map(|pg| (pg, set[(pg - pg0) % set.len()]))
+        .collect()
 }

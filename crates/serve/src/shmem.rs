@@ -6,6 +6,14 @@
 //! no mailbox, no polling. Latency is the get's network round trip plus
 //! the local service compute, so the tail is shaped entirely by fabric
 //! contention on the owner's node, not by server queueing.
+//!
+//! Under [`Mitigation::Replicate`] a second symmetric region holds one
+//! slot per hot shard; each helper PE pulls the hot owner's shard into
+//! its slot during the build (the copy traffic runs inside a `replica`
+//! net phase and is gated by a `barrier_all` epoch before the warm
+//! point), and clients fan hot lookups over `{owner} ∪ helpers` by the
+//! plan's demand hash, issuing the same one-sided get against whichever
+//! PE the hash picks.
 
 use std::sync::Arc;
 
@@ -15,10 +23,12 @@ use parallel::{Ctx, Team};
 use shmem::SymWorld;
 
 use crate::clients;
+use crate::plan::{MitPlan, Mitigation};
 use crate::{await_arrival, finish, serve_cost, ClientLog, PeOut, ServeConfig, BUILD_NS_PER_WORD};
 
 pub fn run_opts(machine: Arc<Machine>, cfg: &ServeConfig, opts: apps::RunOpts) -> RunMetrics {
     let world = SymWorld::new(Arc::clone(&machine));
+    let plan = MitPlan::build(cfg, machine.pes());
     let mut snap = Snapshotter::new(
         &opts,
         App::Serve,
@@ -28,17 +38,27 @@ pub fn run_opts(machine: Arc<Machine>, cfg: &ServeConfig, opts: apps::RunOpts) -
     );
     snap.import_world(|b| world.import_state_bytes(b));
     let team = opts.configure(Team::new(machine).seed(cfg.seed));
-    let run = team.run_resumed(snap.team_resume(), |ctx| rank_main(ctx, &world, cfg, &snap));
+    let run = team.run_resumed(snap.team_resume(), |ctx| {
+        rank_main(ctx, &world, cfg, &plan, &snap)
+    });
     finish(Model::Shmem, cfg, &run)
 }
 
-fn rank_main(ctx: &mut Ctx, world: &SymWorld, cfg: &ServeConfig, snap: &Snapshotter) -> PeOut {
+fn rank_main(
+    ctx: &mut Ctx,
+    world: &SymWorld,
+    cfg: &ServeConfig,
+    plan: &MitPlan,
+    snap: &Snapshotter,
+) -> PeOut {
     let p = ctx.npes();
     let me = ctx.pe();
     let v = cfg.val_words;
     let slot = clients::max_shard_len(cfg.keys, p);
+    let replicate = matches!(plan.mitigation(), Mitigation::Replicate { .. }) && !plan.is_empty();
+    let resume = snap.resume_index("warm").is_some();
 
-    let table = if snap.resume_index("warm").is_some() {
+    let table = if resume {
         // Warm start: the filled shard tables came back through the heap
         // import; the client streams are a pure function of the config.
         world.attach::<u64>(ctx, slot * v)
@@ -59,10 +79,34 @@ fn rank_main(ctx: &mut Ctx, world: &SymWorld, cfg: &ServeConfig, snap: &Snapshot
         world.barrier_all(ctx);
         table
     };
+    // Replica region: one `slot`-wide copy per hot shard, pulled by the
+    // helper PEs and refreshed behind a barrier epoch gate. Attach order
+    // on resume must mirror the alloc order (table first).
+    let repl = if replicate {
+        let n_hot = plan.hot_shards().len();
+        Some(if resume {
+            world.attach::<u64>(ctx, n_hot * slot * v)
+        } else {
+            ctx.net_phase("replica");
+            let repl = world.alloc::<u64>(ctx, n_hot * slot * v);
+            for (h, &s) in plan.hot_shards().iter().enumerate() {
+                if plan.helpers(h).contains(&me) {
+                    let rl = clients::shard_len(s, cfg.keys, p) * v;
+                    let copy = table.get(ctx, s, 0, rl);
+                    repl.write_local(ctx, h * slot * v, &copy);
+                    ctx.counters_mut().replica_bytes += (rl * 8) as u64;
+                }
+            }
+            world.barrier_all(ctx);
+            repl
+        })
+    } else {
+        None
+    };
     let stream = clients::stream(cfg, me, p);
 
-    // Warm-table quiescence point: the shard tables are fully built and
-    // no request has been issued yet.
+    // Warm-table quiescence point: the shard tables (and replica slots)
+    // are fully built and no request has been issued yet.
     snap.point(ctx, "warm", 0, Vec::new, || world.export_state_bytes());
 
     // --- serve: every lookup is one one-sided get ---
@@ -75,12 +119,23 @@ fn rank_main(ctx: &mut Ctx, world: &SymWorld, cfg: &ServeConfig, snap: &Snapshot
             continue;
         }
         let off = (req.key - clients::shard_start(owner, cfg.keys, p)) * v;
-        let val0 = if owner == me {
-            table.read_local1(ctx, off)
+        let target = plan.route(owner, req.key, req.arrival);
+        let val0 = if target == owner {
+            if owner == me {
+                table.read_local1(ctx, off)
+            } else {
+                table.get(ctx, owner, off, v)[0]
+            }
         } else {
-            table.get(ctx, owner, off, v)[0]
+            let repl = repl.as_ref().expect("hot route needs the replica region");
+            let roff = plan.hot_index(owner).expect("routed shard is hot") * slot * v + off;
+            if target == me {
+                repl.read_local1(ctx, roff)
+            } else {
+                repl.get(ctx, target, roff, v)[0]
+            }
         };
-        serve_cost(ctx, cfg, owner);
+        serve_cost(ctx, cfg, target);
         log.complete(ctx.now(), req, val0, cfg);
     }
     world.barrier_all(ctx);

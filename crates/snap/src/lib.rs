@@ -52,7 +52,7 @@ pub mod wire;
 use wire::{WireReader, WireWriter};
 
 /// Container format version; bump on any layout change.
-pub const FORMAT_VERSION: u64 = 1;
+pub const FORMAT_VERSION: u64 = 2;
 
 /// File magic: 8 bytes at offset zero.
 pub const MAGIC: &[u8; 8] = b"O2KSNAP1";
@@ -343,6 +343,8 @@ impl PeCore {
             c.lock_acquires,
             c.sched_handoffs,
             c.requests_served,
+            c.requests_stolen,
+            c.replica_bytes,
             c.net_transfers,
             c.net_links,
             c.net_queued_ns,
@@ -388,6 +390,8 @@ impl PeCore {
             &mut c.lock_acquires,
             &mut c.sched_handoffs,
             &mut c.requests_served,
+            &mut c.requests_stolen,
+            &mut c.replica_bytes,
             &mut c.net_transfers,
             &mut c.net_links,
             &mut c.net_queued_ns,

@@ -79,11 +79,15 @@ pub enum EventKind {
     /// the server-side service time, `bytes` the value payload, and `peer`
     /// the shard owner the lookup resolved to.
     Request,
+    /// A work-stealing claim under the MP hot-shard mitigation: the span
+    /// covers the remote claim round trip plus the batch transfer, `bytes`
+    /// the stolen payload, and `peer` the victim PE.
+    Steal,
 }
 
 impl EventKind {
     /// Every kind, for tabulation.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::Compute,
         EventKind::Other,
         EventKind::BarrierWait,
@@ -105,6 +109,7 @@ impl EventKind {
         EventKind::Writeback,
         EventKind::SchedHandoff,
         EventKind::Request,
+        EventKind::Steal,
     ];
 
     /// Stable display name (also used as the Perfetto slice name).
@@ -131,6 +136,7 @@ impl EventKind {
             EventKind::Writeback => "writeback",
             EventKind::SchedHandoff => "sched_handoff",
             EventKind::Request => "request",
+            EventKind::Steal => "steal",
         }
     }
 
