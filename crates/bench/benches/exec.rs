@@ -9,6 +9,10 @@
 //!   thread cap, event core only (the wall-clock curve BENCH_exec.json
 //!   pins; every run replays the det schedule, so sim results are fixed).
 //!   The N-body P=1024 cell is message-volume-bound, hence its own id.
+//! * `event_heap_{indexed,lazy}_p1024` — the pending-PE set in isolation:
+//!   one million pick/advance handoffs through the fixed-capacity indexed
+//!   `PeHeap` versus the old lazy-invalidation `BinaryHeap` + stamp
+//!   design it replaced, at the P=1024 team size the event core targets.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -110,9 +114,64 @@ fn bench_exec(c: &mut Criterion) {
     }
 }
 
+/// One simulated handoff cycle: pick the min-clock PE, remove it (it now
+/// runs), advance its clock, re-schedule it — the exact traffic
+/// `CoopSched::hand_off`/`make_runnable` drive through the pending set.
+fn bench_event_heap(c: &mut Criterion) {
+    const P: usize = 1024;
+    const HANDOFFS: usize = 1 << 20;
+    c.bench_function("event_heap_indexed_p1024", |b| {
+        b.iter(|| {
+            let mut heap = o2k_sched::PeHeap::new(P);
+            for pe in 0..P {
+                heap.insert_or_update(pe, 0);
+            }
+            let mut sum = 0u64;
+            for i in 0..HANDOFFS {
+                let (clock, pe) = heap.peek().unwrap();
+                heap.remove(pe);
+                sum = sum.wrapping_add(clock);
+                heap.insert_or_update(pe, clock + 10 + (i as u64 % 7));
+            }
+            sum
+        })
+    });
+    c.bench_function("event_heap_lazy_p1024", |b| {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        b.iter(|| {
+            // The pre-refactor design: push-per-wake, stamp-per-PE, stale
+            // entries skipped (and popped) when they surface.
+            let mut heap: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+            let mut stamp = vec![0u64; P];
+            let mut clock = vec![0u64; P];
+            for (pe, s) in stamp.iter_mut().enumerate() {
+                *s += 1;
+                heap.push(Reverse((0, pe, *s)));
+            }
+            let mut sum = 0u64;
+            for i in 0..HANDOFFS {
+                let (c0, pe) = loop {
+                    let &Reverse((c0, p, s)) = heap.peek().unwrap();
+                    if stamp[p] == s {
+                        break (c0, p);
+                    }
+                    heap.pop();
+                };
+                stamp[pe] += 1; // leave_runnable: lazy invalidation
+                sum = sum.wrapping_add(c0);
+                clock[pe] = c0 + 10 + (i as u64 % 7);
+                stamp[pe] += 1;
+                heap.push(Reverse((clock[pe], pe, stamp[pe])));
+            }
+            sum
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(3);
-    targets = bench_exec
+    targets = bench_exec, bench_event_heap
 }
 criterion_main!(benches);

@@ -12,6 +12,11 @@
 //! * `fabric_route_recorded_*` — the delta in context: routing transfers
 //!   through a 32-node queued fabric with span recording on, the exact
 //!   path `repro --trace` and the hotspot reports exercise.
+//! * `fabric_charge_{scalar,batched}_16` — one coherence-protocol charge
+//!   run (a line fill plus an invalidation sweep, 16 destinations) priced
+//!   as 16 separate `route` calls versus one `try_route_many` walk over
+//!   the SoA resource table: the lock-amortisation the `ChargeRun` engine
+//!   buys on the CC-SAS hot path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -105,5 +110,48 @@ fn bench_fabric_route(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_span_sink, bench_fabric_route);
+fn bench_charge_batch(c: &mut Criterion) {
+    let pes = 64;
+    let topo = Topology::new(pes, 2);
+    let cfg = MachineConfig::origin2000();
+    let nodes = pes / 2;
+    const RUN: usize = 16;
+    c.bench_function("fabric_charge_scalar_16", |b| {
+        let net = NetSim::new(&topo, &cfg);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50;
+            let src = (t as usize / 50) % nodes;
+            let mut pending = 0u64;
+            for i in 0..RUN {
+                let dst = (src + 1 + i) % nodes;
+                let r = net.route((src * 2) as u32, src, dst, 128, t + pending);
+                pending += r.delay;
+            }
+            black_box(pending)
+        })
+    });
+    c.bench_function("fabric_charge_batched_16", |b| {
+        let net = NetSim::new(&topo, &cfg);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50;
+            let src = (t as usize / 50) % nodes;
+            let items: Vec<(usize, usize)> =
+                (0..RUN).map(|i| ((src + 1 + i) % nodes, 128)).collect();
+            black_box(
+                net.try_route_many((src * 2) as u32, src, &items, t, true, 0)
+                    .unwrap()
+                    .delay,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_span_sink,
+    bench_fabric_route,
+    bench_charge_batch
+);
 criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! The `BENCH_*.json` trajectory files: parse, merge, render.
 //!
 //! The repo pins wall-clock trajectories in flat JSON files at the repo
-//! root (`BENCH_apps.json`, `BENCH_exec.json`, `BENCH_serve.json`). Each
+//! root (`BENCH_apps.json`, `BENCH_exec.json`, `BENCH_net.json`,
+//! `BENCH_serve.json`). Each
 //! entry's `unit_work` string doubles as its config digest: it names
 //! exactly what the bench id measures, so diffs across PRs compare like
 //! with like. [`Suite::merge_entry`] enforces that — refreshing an id
@@ -325,6 +326,7 @@ mod tests {
         for text in [
             include_str!("../../../BENCH_exec.json"),
             include_str!("../../../BENCH_apps.json"),
+            include_str!("../../../BENCH_net.json"),
             include_str!("../../../BENCH_serve.json"),
         ] {
             let s = Suite::parse(text).expect("checked-in trajectory parses");

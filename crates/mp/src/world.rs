@@ -141,8 +141,11 @@ impl MpWorld {
         // Under ContentionMode::Queued the message additionally queues on
         // occupied fabric links, pushing its arrival out; under Fabric it
         // also arbitrates for the node buses and router hub ports (and a
-        // node-local send still crosses the shared bus); 0 when off.
-        let net_delay = ctx.net_delay_to_pe(dst, bytes);
+        // node-local send still crosses the shared bus); 0 when off. The
+        // charge goes through the shared engine as a one-item run.
+        let mut run = ctx.charge_run();
+        ctx.charge_to_pe(&mut run, dst, bytes);
+        let net_delay = ctx.flush_charge(run);
         let env = Envelope {
             src: ctx.pe(),
             tag,
@@ -301,8 +304,9 @@ impl MpWorld {
         let claim = cost::msg(&self.machine.config, 8, hops);
         let batch_bytes: usize = stolen.iter().map(|e| e.bytes).sum();
         let transfer = if batch_bytes > 0 {
-            cost::msg(&self.machine.config, batch_bytes, hops).network
-                + ctx.net_delay_to_pe(victim, batch_bytes)
+            let mut run = ctx.charge_run();
+            ctx.charge_to_pe(&mut run, victim, batch_bytes);
+            cost::msg(&self.machine.config, batch_bytes, hops).network + ctx.flush_charge(run)
         } else {
             0
         };

@@ -114,6 +114,27 @@ pub struct Route {
     pub links: u32,
 }
 
+/// Outcome of one vectored charge ([`NetSim::try_route_many`]): the sums
+/// a scalar loop over [`NetSim::try_route`] would have accumulated, plus
+/// the evolved serialization backlog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchRoute {
+    /// Total queueing delay across the batch (ns).
+    pub delay: SimTime,
+    /// Portion of `delay` accrued at shared node buses (ns).
+    pub bus_delay: SimTime,
+    /// Portion of `delay` accrued at router hub ports (ns).
+    pub hub_delay: SimTime,
+    /// Total resources crossed, summed over the batch.
+    pub links: u64,
+    /// Items that crossed at least one resource (what the per-PE
+    /// `net_transfers` counter counts).
+    pub transfers: u64,
+    /// The serialization backlog after the batch: the input `pending`
+    /// plus every item's delay when `serialize`, unchanged otherwise.
+    pub pending: SimTime,
+}
+
 /// Per-kind aggregate statistics (buses, hubs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KindStats {
@@ -217,27 +238,32 @@ pub struct LinkHot {
     pub transfers: u64,
 }
 
-/// One busy-until queue of the fabric.
-#[derive(Debug, Clone, Copy)]
-struct Resource {
-    kind: ResourceKind,
-    busy_until: SimTime,
-    bytes: u64,
-    busy_ns: u64,
-    queued_ns: u64,
-    transfers: u64,
+/// The busy-until queues of the fabric, laid out struct-of-arrays so the
+/// charge loop walks contiguous memory per field. A resource's kind is not
+/// stored: it is a pure function of its index (see [`NetSim::kind_of`]),
+/// links first, then buses, then hubs.
+#[derive(Debug, Clone)]
+struct ResTable {
+    busy_until: Vec<SimTime>,
+    bytes: Vec<u64>,
+    busy_ns: Vec<u64>,
+    queued_ns: Vec<u64>,
+    transfers: Vec<u64>,
 }
 
-impl Resource {
-    fn new(kind: ResourceKind) -> Self {
-        Resource {
-            kind,
-            busy_until: 0,
-            bytes: 0,
-            busy_ns: 0,
-            queued_ns: 0,
-            transfers: 0,
+impl ResTable {
+    fn new(n: usize) -> Self {
+        ResTable {
+            busy_until: vec![0; n],
+            bytes: vec![0; n],
+            busy_ns: vec![0; n],
+            queued_ns: vec![0; n],
+            transfers: vec![0; n],
         }
+    }
+
+    fn len(&self) -> usize {
+        self.busy_until.len()
     }
 }
 
@@ -321,7 +347,7 @@ struct Phase {
 }
 
 struct NetState {
-    resources: Vec<Resource>,
+    res: ResTable,
     spans: SpanArena,
     spans_dropped: u64,
     phases: Vec<Phase>,
@@ -359,6 +385,13 @@ pub struct NetSim {
     /// `(src, dst, epoch)`: the path plus whether it detours, or `None`
     /// when the dead links sever the pair in that epoch.
     fault_path_cache: Mutex<HashMap<(usize, usize, usize), Option<ResolvedPath>>>,
+    /// Total resources in the table (links, plus buses and hubs under
+    /// `fabric`) — fixed at construction.
+    nres: usize,
+    /// Display names for hotspot rows (`link_name` plus the terminal fault
+    /// tag), built once on first report: both inputs are time-independent,
+    /// and per-row formatting used to dominate phase-report rendering.
+    hot_names: OnceLock<Vec<String>>,
     state: Mutex<NetState>,
     record_spans: AtomicBool,
 }
@@ -419,11 +452,7 @@ impl NetSim {
         let mut fault_times: Vec<SimTime> = faults.iter().flatten().map(|&(at, _)| at).collect();
         fault_times.sort_unstable();
         fault_times.dedup();
-        let mut resources = vec![Resource::new(ResourceKind::Link); nlinks];
-        if fabric {
-            resources.extend(std::iter::repeat_n(Resource::new(ResourceKind::Bus), nodes));
-            resources.extend(std::iter::repeat_n(Resource::new(ResourceKind::Hub), rpad));
-        }
+        let nres = nlinks + if fabric { nodes + rpad } else { 0 };
         NetSim {
             cfg: cfg.clone(),
             topo: topo.clone(),
@@ -436,8 +465,10 @@ impl NetSim {
             path_cache: (0..nodes * nodes).map(|_| OnceLock::new()).collect(),
             fault_times,
             fault_path_cache: Mutex::new(HashMap::new()),
+            nres,
+            hot_names: OnceLock::new(),
             state: Mutex::new(NetState {
-                resources,
+                res: ResTable::new(nres),
                 spans: SpanArena::default(),
                 spans_dropped: 0,
                 phases: Vec::new(),
@@ -450,7 +481,7 @@ impl NetSim {
     /// Number of resources in the table (links, plus buses and hubs under
     /// `fabric`).
     pub fn links(&self) -> usize {
-        self.lock().resources.len()
+        self.nres
     }
 
     /// The kind of resource `id`.
@@ -569,6 +600,18 @@ impl NetSim {
             Some(FaultKind::Heal) => " [healed]".to_string(),
             None => String::new(),
         }
+    }
+
+    /// The cached hotspot display name of resource `id`: its link name
+    /// plus the terminal fault tag. Both are fixed at construction, so the
+    /// table is formatted once and reports only copy the surviving rows.
+    fn display_name(&self, id: ResourceId) -> &str {
+        let names = self.hot_names.get_or_init(|| {
+            (0..self.nres)
+                .map(|id| format!("{}{}", self.link_name(id), self.fault_tag(id)))
+                .collect()
+        });
+        &names[id]
     }
 
     /// Deterministic BFS over the router hypercube's surviving edges
@@ -762,18 +805,34 @@ impl NetSim {
         } else {
             (Arc::clone(self.healthy_path(src_node, dst_node)), false)
         };
-        let occ_link = self.cfg.transfer_ns(bytes).max(1);
-        let occ_bus = self.cfg.bus_transfer_ns(bytes).max(1);
-        let occ_hub = self.cfg.hub_occ_ns.max(1);
         let record = self.record_spans.load(Ordering::Relaxed);
         let mut st = self.lock();
         if detoured {
             st.detoured += 1;
         }
+        Ok(self.charge_path(&mut st, pe, &path, bytes, depart, record))
+    }
+
+    /// Walk one resolved path, waiting out and extending each resource's
+    /// busy-until queue. The innermost charge loop, shared by the scalar
+    /// [`NetSim::try_route`] and the vectored [`NetSim::try_route_many`];
+    /// the caller holds the state lock.
+    fn charge_path(
+        &self,
+        st: &mut NetState,
+        pe: u32,
+        path: &[ResourceId],
+        bytes: usize,
+        depart: SimTime,
+        record: bool,
+    ) -> Route {
+        let occ_link = self.cfg.transfer_ns(bytes).max(1);
+        let occ_bus = self.cfg.bus_transfer_ns(bytes).max(1);
+        let occ_hub = self.cfg.hub_occ_ns.max(1);
         let mut t = depart;
         let mut route = Route::default();
-        for &l in path.iter() {
-            let kind = st.resources[l].kind;
+        for &l in path {
+            let kind = self.kind_of(l);
             // Degraded service rate multiplies a link's hold time; gated on
             // `any_faults` so healthy runs stay bitwise-identical to the
             // pre-fault model. Buses and hubs are never faulted.
@@ -788,14 +847,13 @@ impl NetSim {
                 ResourceKind::Bus => occ_bus,
                 ResourceKind::Hub => occ_hub,
             };
-            let ls = &mut st.resources[l];
-            let wait = ls.busy_until.saturating_sub(t);
+            let wait = st.res.busy_until[l].saturating_sub(t);
             let start = t + wait;
-            ls.busy_until = start + occ_l;
-            ls.bytes += bytes as u64;
-            ls.busy_ns += occ_l;
-            ls.queued_ns += wait;
-            ls.transfers += 1;
+            st.res.busy_until[l] = start + occ_l;
+            st.res.bytes[l] += bytes as u64;
+            st.res.busy_ns[l] += occ_l;
+            st.res.queued_ns[l] += wait;
+            st.res.transfers[l] += 1;
             route.delay += wait;
             match kind {
                 ResourceKind::Bus => route.bus_delay += wait,
@@ -825,39 +883,99 @@ impl NetSim {
                 };
         }
         route.links = path.len() as u32;
-        Ok(route)
+        route
+    }
+
+    /// Vectored [`NetSim::try_route`]: charge a whole run of transfers —
+    /// `(dst_node, bytes)` per item, all departing from `src_node` on
+    /// behalf of `pe` — under **one** state-lock acquisition.
+    ///
+    /// The arithmetic is item-for-item identical to calling `try_route` in
+    /// a loop: items are walked in order; when `serialize` is set, each
+    /// item departs at `now` plus the backlog the earlier items accrued
+    /// (the `net_pending` serialization the runtimes apply between
+    /// scheduling points), starting from `pending`. Node-local items
+    /// outside `fabric` charge nothing, exactly as the scalar early-out.
+    ///
+    /// On [`Unreachable`] the items before the failing one stay committed
+    /// — the same table state a scalar loop would leave behind when its
+    /// N-th call fails.
+    pub fn try_route_many(
+        &self,
+        pe: u32,
+        src_node: usize,
+        items: &[(usize, usize)],
+        now: SimTime,
+        serialize: bool,
+        pending: SimTime,
+    ) -> Result<BatchRoute, Unreachable> {
+        let record = self.record_spans.load(Ordering::Relaxed);
+        let mut out = BatchRoute {
+            pending,
+            ..BatchRoute::default()
+        };
+        let mut st = self.lock();
+        for &(dst_node, bytes) in items {
+            if src_node == dst_node && !self.fabric {
+                continue;
+            }
+            let depart = now + if serialize { out.pending } else { 0 };
+            let (path, detoured) = if self.any_faults {
+                self.fault_path(src_node, dst_node, depart)?
+            } else {
+                (Arc::clone(self.healthy_path(src_node, dst_node)), false)
+            };
+            if detoured {
+                st.detoured += 1;
+            }
+            let r = self.charge_path(&mut st, pe, &path, bytes, depart, record);
+            out.delay += r.delay;
+            out.bus_delay += r.bus_delay;
+            out.hub_delay += r.hub_delay;
+            if r.links > 0 {
+                out.links += u64::from(r.links);
+                out.transfers += 1;
+            }
+            if serialize {
+                out.pending += r.delay;
+            }
+        }
+        Ok(out)
     }
 
     /// Aggregate statistics so far.
     pub fn stats(&self) -> NetStats {
         let st = self.lock();
         let mut s = NetStats::default();
-        for l in &st.resources {
-            if l.transfers == 0 {
+        for id in 0..st.res.len() {
+            let transfers = st.res.transfers[id];
+            if transfers == 0 {
                 continue;
             }
-            match l.kind {
+            let (queued_ns, bytes, busy_ns) =
+                (st.res.queued_ns[id], st.res.bytes[id], st.res.busy_ns[id]);
+            match self.kind_of(id) {
                 ResourceKind::Link => {
-                    s.transfers += l.transfers;
-                    s.queued_ns += l.queued_ns;
-                    s.link_bytes += l.bytes;
-                    s.busy_ns += l.busy_ns;
+                    s.transfers += transfers;
+                    s.queued_ns += queued_ns;
+                    s.link_bytes += bytes;
+                    s.busy_ns += busy_ns;
                     s.active_links += 1;
-                    s.max_link_queued_ns = s.max_link_queued_ns.max(l.queued_ns);
-                    s.max_link_bytes = s.max_link_bytes.max(l.bytes);
+                    s.max_link_queued_ns = s.max_link_queued_ns.max(queued_ns);
+                    s.max_link_bytes = s.max_link_bytes.max(bytes);
                 }
                 ResourceKind::Bus => {
-                    s.bus.transfers += l.transfers;
-                    s.bus.queued_ns += l.queued_ns;
-                    s.bus.bytes += l.bytes;
-                    s.bus.busy_ns += l.busy_ns;
+                    s.bus.transfers += transfers;
+                    s.bus.queued_ns += queued_ns;
+                    s.bus.bytes += bytes;
+                    s.bus.busy_ns += busy_ns;
                     s.bus.active += 1;
                 }
                 ResourceKind::Hub => {
-                    s.hub.transfers += l.transfers;
-                    s.hub.queued_ns += l.queued_ns;
-                    s.hub.bytes += l.bytes;
-                    s.hub.busy_ns += l.busy_ns;
+                    s.hub.transfers += transfers;
+                    s.hub.queued_ns += queued_ns;
+                    s.hub.bytes += bytes;
+                    s.hub.busy_ns += busy_ns;
                     s.hub.active += 1;
                 }
             }
@@ -879,10 +997,8 @@ impl NetSim {
     /// it in [`NetSim::phase_hotspots`].
     pub fn begin_phase(&self, name: &str) {
         let mut st = self.lock();
-        let at_start = st
-            .resources
-            .iter()
-            .map(|l| (l.queued_ns, l.bytes, l.transfers))
+        let at_start = (0..st.res.len())
+            .map(|id| (st.res.queued_ns[id], st.res.bytes[id], st.res.transfers[id]))
             .collect();
         st.phases.push(Phase {
             name: name.to_string(),
@@ -890,41 +1006,53 @@ impl NetSim {
         });
     }
 
-    fn hot_from(&self, cur: &[Resource], base: Option<&[LinkSnap]>, k: usize) -> Vec<LinkHot> {
-        let mut rows: Vec<LinkHot> = cur
-            .iter()
-            .enumerate()
-            .filter_map(|(id, l)| {
-                let (q0, b0, t0) = base.map_or((0, 0, 0), |b| b[id]);
-                let transfers = l.transfers - t0;
+    /// Build the top-`k` rows between a base snapshot and the phase-end
+    /// counters `end(id)` (queued, bytes, transfers; `busy_ns` is always
+    /// the live total). Display names resolve from the cached table, and
+    /// only for the rows that survive the sort and truncation.
+    fn hot_rows(
+        &self,
+        busy_ns: &[u64],
+        end: impl Fn(usize) -> LinkSnap,
+        base: Option<&[LinkSnap]>,
+        k: usize,
+    ) -> Vec<LinkHot> {
+        // (id, queued, bytes, transfers): names come after the truncate.
+        let mut rows: Vec<(usize, u64, u64, u64)> = (0..busy_ns.len())
+            .filter_map(|id| {
+                let (q, b, t) = end(id);
+                let (q0, b0, t0) = base.map_or((0, 0, 0), |s| s[id]);
+                let transfers = t - t0;
                 if transfers == 0 {
                     return None;
                 }
-                Some(LinkHot {
-                    link: id,
-                    kind: l.kind,
-                    name: format!("{}{}", self.link_name(id), self.fault_tag(id)),
-                    queued_ns: l.queued_ns - q0,
-                    busy_ns: l.busy_ns,
-                    bytes: l.bytes - b0,
-                    transfers,
-                })
+                Some((id, q - q0, b - b0, transfers))
             })
             .collect();
-        rows.sort_by(|a, b| {
-            b.queued_ns
-                .cmp(&a.queued_ns)
-                .then(b.bytes.cmp(&a.bytes))
-                .then(a.link.cmp(&b.link))
-        });
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
         rows.truncate(k);
-        rows
+        rows.into_iter()
+            .map(|(id, queued_ns, bytes, transfers)| LinkHot {
+                link: id,
+                kind: self.kind_of(id),
+                name: self.display_name(id).to_string(),
+                queued_ns,
+                busy_ns: busy_ns[id],
+                bytes,
+                transfers,
+            })
+            .collect()
     }
 
     /// Top-`k` resources by accrued queueing delay over the whole run.
     pub fn hotspots(&self, k: usize) -> Vec<LinkHot> {
         let st = self.lock();
-        self.hot_from(&st.resources, None, k)
+        self.hot_rows(
+            &st.res.busy_ns,
+            |id| (st.res.queued_ns[id], st.res.bytes[id], st.res.transfers[id]),
+            None,
+            k,
+        )
     }
 
     /// Top-`k` resources per recorded phase (deltas between phase marks;
@@ -933,25 +1061,23 @@ impl NetSim {
         let st = self.lock();
         let mut out = Vec::new();
         for (i, ph) in st.phases.iter().enumerate() {
-            // Reconstruct the phase-end snapshot: the next phase's start,
-            // or the live table for the final phase.
-            let end: Vec<Resource> = match st.phases.get(i + 1) {
-                Some(next) => st
-                    .resources
-                    .iter()
-                    .enumerate()
-                    .map(|(id, l)| Resource {
-                        kind: l.kind,
-                        busy_until: 0,
-                        queued_ns: next.at_start[id].0,
-                        bytes: next.at_start[id].1,
-                        transfers: next.at_start[id].2,
-                        busy_ns: l.busy_ns,
-                    })
-                    .collect(),
-                None => st.resources.clone(),
+            // The phase-end counters: the next phase's start snapshot, or
+            // the live table for the final phase.
+            let rows = match st.phases.get(i + 1) {
+                Some(next) => self.hot_rows(
+                    &st.res.busy_ns,
+                    |id| next.at_start[id],
+                    Some(&ph.at_start),
+                    k,
+                ),
+                None => self.hot_rows(
+                    &st.res.busy_ns,
+                    |id| (st.res.queued_ns[id], st.res.bytes[id], st.res.transfers[id]),
+                    Some(&ph.at_start),
+                    k,
+                ),
             };
-            out.push((ph.name.clone(), self.hot_from(&end, Some(&ph.at_start), k)));
+            out.push((ph.name.clone(), rows));
         }
         out
     }
@@ -964,14 +1090,14 @@ impl NetSim {
     pub fn utilization_hist(&self, now: SimTime) -> [u64; 10] {
         let st = self.lock();
         let mut hist = [0u64; 10];
-        for l in &st.resources {
-            if l.transfers == 0 {
+        for id in 0..st.res.len() {
+            if st.res.transfers[id] == 0 {
                 continue;
             }
             let u = if now == 0 {
                 1.0
             } else {
-                (l.busy_ns as f64 / now as f64).clamp(0.0, 1.0)
+                (st.res.busy_ns[id] as f64 / now as f64).clamp(0.0, 1.0)
             };
             hist[((u * 10.0) as usize).min(9)] += 1;
         }
@@ -1035,9 +1161,7 @@ impl NetSim {
         if st.spans.is_empty() {
             return (Vec::new(), Vec::new());
         }
-        let names = (0..st.resources.len())
-            .map(|id| self.link_name(id))
-            .collect();
+        let names = (0..st.res.len()).map(|id| self.link_name(id)).collect();
         (names, st.spans.to_vec())
     }
 
@@ -1091,20 +1215,20 @@ impl NetSim {
             }
         }
         let st = self.lock();
-        let mut out = Vec::with_capacity(32 + st.resources.len() * 48);
+        let mut out = Vec::with_capacity(32 + st.res.len() * 48);
         {
             let mut w = |v: u64| out.extend_from_slice(&v.to_le_bytes());
             w(Self::STATE_VERSION);
             w(st.detoured);
             w(st.spans_dropped);
-            w(st.resources.len() as u64);
-            for r in &st.resources {
-                w(kind_code(r.kind));
-                w(r.busy_until);
-                w(r.bytes);
-                w(r.busy_ns);
-                w(r.queued_ns);
-                w(r.transfers);
+            w(st.res.len() as u64);
+            for id in 0..st.res.len() {
+                w(kind_code(self.kind_of(id)));
+                w(st.res.busy_until[id]);
+                w(st.res.bytes[id]);
+                w(st.res.busy_ns[id]);
+                w(st.res.queued_ns[id]);
+                w(st.res.transfers[id]);
             }
             w(st.phases.len() as u64);
         }
@@ -1158,22 +1282,21 @@ impl NetSim {
         let detoured = r.u64()?;
         let spans_dropped = r.u64()?;
         let n = r.u64()? as usize;
-        let mut resources = Vec::with_capacity(n);
-        for _ in 0..n {
-            let kind = match r.u64()? {
+        let mut kinds = Vec::with_capacity(n);
+        let mut res = ResTable::new(0);
+        for i in 0..n {
+            kinds.push(match r.u64()? {
                 0 => ResourceKind::Link,
                 1 => ResourceKind::Bus,
                 2 => ResourceKind::Hub,
                 k => return Err(format!("unknown resource kind {k}")),
-            };
-            resources.push(Resource {
-                kind,
-                busy_until: r.u64()?,
-                bytes: r.u64()?,
-                busy_ns: r.u64()?,
-                queued_ns: r.u64()?,
-                transfers: r.u64()?,
             });
+            res.busy_until.push(r.u64()?);
+            res.bytes.push(r.u64()?);
+            res.busy_ns.push(r.u64()?);
+            res.queued_ns.push(r.u64()?);
+            res.transfers.push(r.u64()?);
+            debug_assert_eq!(res.len(), i + 1);
         }
         let nphases = r.u64()? as usize;
         let mut phases = Vec::with_capacity(nphases);
@@ -1191,19 +1314,19 @@ impl NetSim {
             phases.push(Phase { name, at_start });
         }
         let mut st = self.lock();
-        if resources.len() != st.resources.len()
-            || resources
+        if res.len() != st.res.len()
+            || kinds
                 .iter()
-                .zip(st.resources.iter())
-                .any(|(a, b)| a.kind != b.kind)
+                .enumerate()
+                .any(|(id, &k)| k != self.kind_of(id))
         {
             return Err(format!(
                 "fabric resource table mismatch: snapshot has {} resources, this machine {}",
-                resources.len(),
-                st.resources.len()
+                res.len(),
+                st.res.len()
             ));
         }
-        st.resources = resources;
+        st.res = res;
         st.detoured = detoured;
         st.spans_dropped = spans_dropped;
         st.phases = phases;

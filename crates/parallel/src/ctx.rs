@@ -45,6 +45,70 @@ pub struct Ctx {
     /// same-departure semantics so pre-fabric archives stay
     /// bitwise-identical. Reset whenever the clock is advanced.
     net_pending: SimTime,
+    /// Recycled item buffer for [`ChargeRun`]s: taken by
+    /// [`Ctx::charge_run`], returned by [`Ctx::flush_charge`], so the hot
+    /// paths batch without allocating per run. Always empty between runs —
+    /// never part of a snapshot (runs may not span a snap gate).
+    charge_pool: Vec<(usize, usize)>,
+}
+
+/// A batched run of fabric charges — the accesses a runtime issues between
+/// two consecutive scheduling points, coalesced into **one** vectored
+/// charge ([`o2k_net::NetSim::try_route_many`]) instead of N independent
+/// lock round-trips.
+///
+/// Rules (what keeps `det` fingerprints and pinned archives bitwise
+/// identical):
+///
+/// * a run may only span accesses between two consecutive scheduling
+///   points — queue nothing across a [`Ctx::sched_point`], a clock
+///   advance, a block point, a phase marker, or a snap gate;
+/// * every run must be flushed (its delay charged) before the next such
+///   point; [`Ctx::flush_charge`] returns the summed queueing delay the
+///   scalar calls would have returned, with identical arithmetic — items
+///   are walked in queue order, each departing after the backlog the
+///   earlier ones accrued, exactly as [`Ctx::net_delay_to_node`] composes.
+///
+/// Batching changes *where* the work is accounted (one fabric-lock
+/// acquisition, one counters update), never *when* the scheduler can
+/// preempt.
+#[derive(Debug, Default)]
+pub struct ChargeRun {
+    items: Vec<(usize, usize)>,
+}
+
+impl ChargeRun {
+    /// Queue a charge of `bytes` from this PE's node to `dst_node`.
+    #[inline]
+    pub fn to_node(&mut self, dst_node: usize, bytes: usize) {
+        self.items.push((dst_node, bytes));
+    }
+
+    /// Charges queued so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Process-wide switch for the vectored charge path (on by default).
+/// Exists for the equivalence harness: with batching disabled,
+/// [`Ctx::flush_charge`] degenerates to one [`Ctx::net_delay_to_node`]
+/// call per item, and both paths must produce bitwise-identical runs.
+static CHARGE_BATCHING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable the vectored charge path (tests only; on by default).
+pub fn set_charge_batching(on: bool) {
+    CHARGE_BATCHING.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`Ctx::flush_charge`] uses the vectored fabric charge.
+pub fn charge_batching() -> bool {
+    CHARGE_BATCHING.load(Ordering::SeqCst)
 }
 
 impl Ctx {
@@ -69,6 +133,7 @@ impl Ctx {
             node_epoch: 0,
             locks_held: Vec::new(),
             net_pending: 0,
+            charge_pool: Vec::new(),
         }
     }
 
@@ -202,6 +267,99 @@ impl Ctx {
         }
         let node = self.machine.topology.node_of(self.pe);
         self.net_delay_to_node(node, bytes)
+    }
+
+    /// Start a [`ChargeRun`] using this PE's pooled item buffer. The run
+    /// must be returned through [`Ctx::flush_charge`] before the next
+    /// scheduling point (see the [`ChargeRun`] batching rules).
+    #[inline]
+    pub fn charge_run(&mut self) -> ChargeRun {
+        debug_assert!(self.charge_pool.is_empty(), "pooled run not flushed");
+        ChargeRun {
+            items: std::mem::take(&mut self.charge_pool),
+        }
+    }
+
+    /// Queue a charge of `bytes` to the node hosting `dst_pe`.
+    #[inline]
+    pub fn charge_to_pe(&self, run: &mut ChargeRun, dst_pe: usize, bytes: usize) {
+        run.to_node(self.machine.topology.node_of(dst_pe), bytes);
+    }
+
+    /// Queue a charge of `bytes` that stays on this PE's node.
+    #[inline]
+    pub fn charge_local(&self, run: &mut ChargeRun, bytes: usize) {
+        run.to_node(self.machine.topology.node_of(self.pe), bytes);
+    }
+
+    /// Charge the whole run against the fabric in one vectored call and
+    /// return the summed queueing delay — item-for-item the delays (and
+    /// counter updates, and `net_pending` evolution) that calling
+    /// [`Ctx::net_delay_to_node`] per item would have produced. Returns 0
+    /// (routing nothing) under [`machine::ContentionMode::Off`]. The run's
+    /// buffer goes back to the pool either way.
+    ///
+    /// On a network partition the behaviour is the scalar path's: items
+    /// before the doomed one stay committed, then this PE parks as
+    /// [`BlockReason::DeadLink`] under a cooperative policy or panics with
+    /// the partition diagnostic when free-running.
+    ///
+    /// [`BlockReason::DeadLink`]: o2k_sched::BlockReason::DeadLink
+    pub fn flush_charge(&mut self, mut run: ChargeRun) -> SimTime {
+        if run.items.is_empty() || self.shared.net.is_none() {
+            run.items.clear();
+            self.charge_pool = run.items;
+            return 0;
+        }
+        if !charge_batching() {
+            // Equivalence mode: the scalar path, one call per item.
+            let mut total = 0;
+            for &(dst_node, bytes) in &run.items {
+                total += self.net_delay_to_node(dst_node, bytes);
+            }
+            run.items.clear();
+            self.charge_pool = run.items;
+            return total;
+        }
+        let net = self
+            .shared
+            .net
+            .as_ref()
+            .map(Arc::clone)
+            .expect("checked above");
+        let src_node = self.machine.topology.node_of(self.pe);
+        let serialize = self.machine.config.contention == machine::ContentionMode::Fabric
+            || self.shared.coop.is_none();
+        let b = match net.try_route_many(
+            self.pe as u32,
+            src_node,
+            &run.items,
+            self.clock.now(),
+            serialize,
+            self.net_pending,
+        ) {
+            Ok(b) => b,
+            Err(u) => match self.shared.coop.as_ref() {
+                Some(cs) => {
+                    cs.block(self.pe, self.clock.now(), o2k_sched::BlockReason::DeadLink);
+                    unreachable!("woken while parked on a dead link: {u}");
+                }
+                None => panic!("{u}"),
+            },
+        };
+        run.items.clear();
+        self.charge_pool = run.items;
+        if b.transfers > 0 {
+            self.counters.net_transfers += b.transfers;
+            self.counters.net_links += b.links;
+            self.counters.net_queued_ns += b.delay;
+            self.counters.net_bus_queued_ns += b.bus_delay;
+            self.counters.net_hub_queued_ns += b.hub_delay;
+        }
+        if serialize {
+            self.net_pending = b.pending;
+        }
+        b.delay
     }
 
     /// Mark the start of a named network phase for per-phase hotspot

@@ -33,7 +33,7 @@ mod element;
 mod lock;
 mod team;
 
-pub use ctx::Ctx;
+pub use ctx::{charge_batching, set_charge_batching, ChargeRun, Ctx};
 pub use element::{Element, IntElement};
 pub use lock::{SimLock, SimLockGuard};
 pub use team::{thread_pe_cap, PeReport, Team, TeamResume, TeamRun};

@@ -726,6 +726,12 @@ impl SasPe {
         let mut charge_local = 0u64;
         let mut charge_remote = 0u64;
         let mut fill_home: Option<u32> = None;
+        // Everything from the sched_point above to the advances below is
+        // one scheduling window: the fill, the owner forward and the whole
+        // invalidation sweep queue onto a single ChargeRun and hit the
+        // fabric in one vectored charge (in queue order, so the arithmetic
+        // is bitwise the per-access calls').
+        let mut net = ctx.charge_run();
 
         if !cached {
             // Fill from home (or forward from a dirty owner).
@@ -743,15 +749,16 @@ impl SasPe {
             } else {
                 // Under ContentionMode::Queued the line payload also queues
                 // on the fabric links between home and requester.
-                charge_remote += fill + ctx.net_delay_to_node(home, cfg.line_bytes);
+                charge_remote += fill;
+                net.to_node(home, cfg.line_bytes);
                 ctx.counters_mut().misses_remote += 1;
             }
             if d.dirty && d.owner != pe as u32 {
                 // Cache-to-cache forward from the current owner.
                 let owner_node = topo.node_of(d.owner as usize % topo.pes());
-                charge_remote += u64::from(topo.hops(my_node, owner_node)) * cfg.lat_hop
-                    + cfg.lat_directory
-                    + ctx.net_delay_to_node(owner_node, cfg.line_bytes);
+                charge_remote +=
+                    u64::from(topo.hops(my_node, owner_node)) * cfg.lat_hop + cfg.lat_directory;
+                net.to_node(owner_node, cfg.line_bytes);
                 d.dirty = false; // home copy now clean
             }
         }
@@ -766,9 +773,9 @@ impl SasPe {
                 let qn = topo.node_of(q.min(topo.pes() - 1));
                 // An invalidation is a small coherence packet; cross-node
                 // ones traverse (and queue on) the same fabric links.
-                charge_remote += cfg.lat_invalidate
-                    + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop
-                    + ctx.net_delay_to_node(qn, 8);
+                charge_remote +=
+                    cfg.lat_invalidate + u64::from(topo.hops(my_node, qn)) * cfg.lat_hop;
+                net.to_node(qn, 8);
                 invalidated += 1;
             });
             ctx.counters_mut().invalidations += u64::from(invalidated);
@@ -788,6 +795,7 @@ impl SasPe {
             .store(pack_meta(d.version, d.owner, d.dirty), Ordering::Release);
         let version = d.version;
         drop(d);
+        charge_remote += ctx.flush_charge(net);
 
         let line_bytes = cfg.line_bytes.min(u32::MAX as usize) as u32;
         if charge_local > 0 {

@@ -61,8 +61,6 @@
 //! `det` runs are bitwise identical between backends (enforced by the
 //! cross-backend golden tests).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::OnceLock;
 
 use machine::SimTime;
@@ -295,6 +293,196 @@ enum Chooser {
     BoundedPreempt { rng: SmallRng, budget: u32 },
 }
 
+// ---------------------------------------------------------------------------
+// Indexed event heap
+// ---------------------------------------------------------------------------
+
+/// `pos` sentinel for a PE with no entry in the [`PeHeap`].
+const HEAP_ABSENT: usize = usize::MAX;
+
+/// Fixed-capacity indexed binary min-heap over `(clock, pe)` keys — the
+/// event backend's pending-PE set.
+///
+/// The original event core used `BinaryHeap<Reverse<(clock, pe, stamp)>>`
+/// with lazy invalidation: every wake pushed a fresh entry and bumped a
+/// per-PE stamp, and stale entries were skipped when they surfaced. At
+/// P=1024 a busy run churns millions of short-lived heap entries through
+/// the allocator and the heap grows past the live-PE count between
+/// compactions. This structure replaces that with two arrays sized once
+/// at construction and never reallocated:
+///
+/// * `heap` — the live `(clock, pe)` entries in binary-heap order; at
+///   most one per PE, so capacity `npes` suffices forever.
+/// * `pos` — per-PE slot index into `heap` (`HEAP_ABSENT` when the PE has
+///   no entry), the classic indexed-heap back-pointer that makes
+///   [`PeHeap::remove`] and in-place reschedule O(log P) with *exact*
+///   deletion instead of tombstones.
+///
+/// Keys compare lexicographically, so min order is lowest clock with ties
+/// to the lowest PE id — exactly [`SchedPolicy::Det`]'s pick order, which
+/// is why [`PeHeap::peek`] never has to skip anything: every entry is
+/// live by construction.
+#[derive(Debug, Clone)]
+pub struct PeHeap {
+    heap: Vec<(SimTime, usize)>,
+    pos: Vec<usize>,
+}
+
+impl PeHeap {
+    /// A heap for PEs `0..npes`, with all storage allocated up front.
+    pub fn new(npes: usize) -> Self {
+        PeHeap {
+            heap: Vec::with_capacity(npes),
+            pos: vec![HEAP_ABSENT; npes],
+        }
+    }
+
+    /// Number of PEs currently scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no PE is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `pe` currently has an entry.
+    pub fn contains(&self, pe: usize) -> bool {
+        self.pos[pe] != HEAP_ABSENT
+    }
+
+    /// The minimum `(clock, pe)` entry, without removing it.
+    pub fn peek(&self) -> Option<(SimTime, usize)> {
+        self.heap.first().copied()
+    }
+
+    /// Schedule `pe` at `clock`, or reschedule it in place if already
+    /// present (the decrease/increase-key the lazy design could not do).
+    pub fn insert_or_update(&mut self, pe: usize, clock: SimTime) {
+        let i = self.pos[pe];
+        if i == HEAP_ABSENT {
+            self.heap.push((clock, pe));
+            let i = self.heap.len() - 1;
+            self.pos[pe] = i;
+            self.sift_up(i);
+        } else {
+            let old = self.heap[i].0;
+            self.heap[i].0 = clock;
+            if clock < old {
+                self.sift_up(i);
+            } else if clock > old {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    /// Remove `pe`'s entry if present; returns whether one was removed.
+    /// Tolerates absent PEs so the poison path can sweep any status.
+    pub fn remove(&mut self, pe: usize) -> bool {
+        let i = self.pos[pe];
+        if i == HEAP_ABSENT {
+            return false;
+        }
+        self.pos[pe] = HEAP_ABSENT;
+        let last = self.heap.len() - 1;
+        if i != last {
+            let moved = self.heap[last];
+            self.heap[i] = moved;
+            self.pos[moved.1] = i;
+        }
+        self.heap.pop();
+        if i < self.heap.len() {
+            if i == 0 {
+                // Removing the min (every det pick): the bottom-row
+                // filler almost always sinks back to a leaf, so take it
+                // straight down along the smaller-child spine — one
+                // comparison per level — and fix up from there, the same
+                // strategy `BinaryHeap::pop` uses.
+                self.sift_down_to_bottom(0);
+            } else if self.heap[i] < self.heap[(i - 1) / 2] {
+                // An arbitrary slot's filler may need to travel either
+                // direction.
+                self.sift_up(i);
+            } else {
+                self.sift_down(i);
+            }
+        }
+        true
+    }
+
+    // Both sifts move a *hole* instead of swapping pairwise: the element
+    // being placed is held in a register and written exactly once, and
+    // every displaced entry gets exactly one heap write and one pos
+    // write — half the memory traffic of swap-based sifting, which is
+    // what this structure races `BinaryHeap`'s hole-based sift against.
+
+    fn sift_up(&mut self, mut i: usize) {
+        let item = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if item >= self.heap[parent] {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i].1] = i;
+            i = parent;
+        }
+        self.heap[i] = item;
+        self.pos[item.1] = i;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let item = self.heap[i];
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < self.heap.len() && self.heap[r] < self.heap[l] {
+                r
+            } else {
+                l
+            };
+            if item <= self.heap[child] {
+                break;
+            }
+            self.heap[i] = self.heap[child];
+            self.pos[self.heap[i].1] = i;
+            i = child;
+        }
+        self.heap[i] = item;
+        self.pos[item.1] = i;
+    }
+
+    /// Sink the hole at `i` to a leaf along the smaller-child spine
+    /// without comparing against the displaced item, then let `sift_up`
+    /// find the item's true slot from below.
+    fn sift_down_to_bottom(&mut self, mut i: usize) {
+        let item = self.heap[i];
+        let end = self.heap.len();
+        let mut child = 2 * i + 1;
+        while child + 1 < end {
+            if self.heap[child + 1] < self.heap[child] {
+                child += 1;
+            }
+            self.heap[i] = self.heap[child];
+            self.pos[self.heap[i].1] = i;
+            i = child;
+            child = 2 * i + 1;
+        }
+        if child < end {
+            self.heap[i] = self.heap[child];
+            self.pos[self.heap[i].1] = i;
+            i = child;
+        }
+        self.heap[i] = item;
+        self.pos[item.1] = i;
+        self.sift_up(i);
+    }
+}
+
 struct Gate {
     members: usize,
     arrived: usize,
@@ -316,14 +504,11 @@ struct Inner {
     /// resume the single-threaded driver consumes. Unused (empty/None)
     /// under the thread backend, whose det picker is the linear scan.
     event: bool,
-    /// Pending events: `(clock, pe, stamp)` in min order. Entries are
-    /// invalidated *lazily*: a PE leaving `Runnable` bumps its stamp and
-    /// the stale entry is discarded when it surfaces, the standard
-    /// decrease-key workaround for a d-ary heap.
-    heap: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
-    /// Validity stamp per PE; only the entry carrying the current stamp
-    /// speaks for the PE.
-    stamp: Vec<u64>,
+    /// Pending PEs keyed `(clock, pe)`, exactly the `Runnable` set: PEs
+    /// are inserted on wake and removed *exactly* when they leave
+    /// `Runnable`, so the top entry is always the det pick with no stale
+    /// tombstones to skip and no allocation after construction.
+    heap: PeHeap,
     /// The PE the event driver must resume next, set by `hand_off` when
     /// the floor goes to a PE other than the caller.
     next_resume: Option<usize>,
@@ -349,43 +534,35 @@ impl Inner {
     fn make_runnable(&mut self, pe: usize) {
         self.status[pe] = Status::Runnable;
         if self.event {
-            self.stamp[pe] += 1;
-            self.heap
-                .push(Reverse((self.clock[pe], pe, self.stamp[pe])));
+            self.heap.insert_or_update(pe, self.clock[pe]);
         }
     }
 
-    /// Invalidate `pe`'s heap entry as it leaves `Runnable` (picked to
-    /// run, or force-finished by poison).
+    /// Drop `pe`'s heap entry as it leaves `Runnable` (picked to run, or
+    /// force-finished by poison — the latter may find no entry).
     fn leave_runnable(&mut self, pe: usize) {
         if self.event {
-            self.stamp[pe] += 1;
+            self.heap.remove(pe);
         }
     }
 
     /// Virtual-time order: lowest clock, ties to the lowest PE id.
     ///
     /// The thread backend scans the status table (P ≤ a few dozen). The
-    /// event backend peeks the heap — O(log P) amortised, which is what
-    /// makes P=1024 handoffs cheap — discarding stale entries but *not*
-    /// consuming the winner: `BoundedPreempt` may overrule the det base
-    /// pick, and an unconsumed entry is simply invalidated when the
-    /// chosen PE leaves `Runnable`.
+    /// event backend peeks the indexed heap — O(1), since exact removal
+    /// keeps every entry live — without consuming the winner:
+    /// `BoundedPreempt` may overrule the det base pick, and the chosen
+    /// PE's entry is removed when it leaves `Runnable`.
     fn pick_det(&mut self) -> Option<usize> {
         if !self.event {
             return self.runnable().min_by_key(|&p| (self.clock[p], p));
         }
-        let picked = loop {
-            let &Reverse((c, p, s)) = match self.heap.peek() {
-                Some(e) => e,
-                None => break None,
-            };
-            if self.stamp[p] == s && self.status[p] == Status::Runnable {
-                debug_assert_eq!(c, self.clock[p], "live heap entry with stale clock");
-                break Some(p);
-            }
-            self.heap.pop();
-        };
+        let picked = self.heap.peek().map(|(c, p)| {
+            debug_assert_eq!(self.status[p], Status::Runnable, "heap entry left behind");
+            debug_assert_eq!(c, self.clock[p], "heap entry with stale clock");
+            let _ = c;
+            p
+        });
         debug_assert_eq!(
             picked,
             self.runnable().min_by_key(|&p| (self.clock[p], p)),
@@ -536,8 +713,7 @@ impl CoopSched {
                 switches: 0,
                 fingerprint: 0xcbf2_9ce4_8422_2325,
                 event,
-                heap: BinaryHeap::new(),
-                stamp: vec![0; if event { npes } else { 0 }],
+                heap: PeHeap::new(if event { npes } else { 0 }),
                 next_resume: None,
                 resume_grant: None,
             }),
@@ -912,6 +1088,42 @@ mod tests {
         assert!(SchedPolicy::parse("explore:").is_err());
         assert!(SchedPolicy::parse("bp:1").is_err());
         assert!(SchedPolicy::parse("fifo").is_err());
+    }
+
+    /// The indexed heap against a brute-force reference: random
+    /// insert/update/remove streams must keep the peek equal to the
+    /// linear-scan minimum and the back-pointers consistent.
+    #[test]
+    fn pe_heap_matches_linear_reference() {
+        let npes = 37;
+        let mut heap = PeHeap::new(npes);
+        let mut reference: Vec<Option<SimTime>> = vec![None; npes];
+        let mut rng = SmallRng::seed_from_u64(0x5EED);
+        for _ in 0..20_000 {
+            let pe = (rng.next_u64() % npes as u64) as usize;
+            match rng.next_u64() % 3 {
+                0 | 1 => {
+                    let clock = rng.next_u64() % 1000;
+                    heap.insert_or_update(pe, clock);
+                    reference[pe] = Some(clock);
+                }
+                _ => {
+                    let removed = heap.remove(pe);
+                    assert_eq!(removed, reference[pe].is_some());
+                    reference[pe] = None;
+                }
+            }
+            let want = reference
+                .iter()
+                .enumerate()
+                .filter_map(|(p, c)| c.map(|c| (c, p)))
+                .min();
+            assert_eq!(heap.peek(), want);
+            assert_eq!(heap.len(), reference.iter().flatten().count());
+            for (p, c) in reference.iter().enumerate() {
+                assert_eq!(heap.contains(p), c.is_some());
+            }
+        }
     }
 
     /// Drive a scheduler from real threads: each PE appends its id to a

@@ -3,10 +3,18 @@
 //! Values are bucketed with 64 linear sub-buckets per power of two
 //! (≤ ~1.6 % relative error), the layout HdrHistogram popularised: exact
 //! counts below 64 ns, then `(octave, sub-bucket)` pairs up to `u64::MAX`.
-//! Recording is O(1) with no allocation after construction, quantile
-//! queries walk the fixed 3 776-bucket table, and histograms from
-//! different PEs merge by bucket-wise addition — so per-PE recording
-//! stays contention-free and deterministic.
+//! Recording is O(1), quantile queries walk the bucket table, and
+//! histograms from different PEs merge by bucket-wise addition — so
+//! per-PE recording stays contention-free and deterministic.
+//!
+//! The bucket table is materialised lazily. A fresh histogram keeps raw
+//! samples in a short inline list and only *spills* to the dense
+//! 3 776-bucket table past [`SPILL`] samples (or when merged with a
+//! spilled histogram). At P = 1024 each client PE records a handful of
+//! latencies, so the per-PE histograms never allocate the 30 KiB table;
+//! only the single merge accumulator does. Both representations bucket
+//! identically — every query answers as if the table had been dense from
+//! the start, and equality is semantic across representations.
 //!
 //! Quantiles report the *upper bound* of the bucket holding the target
 //! rank, clamped to the exact recorded maximum. Two invariants follow
@@ -20,6 +28,8 @@ const SUB_BITS: u32 = 6;
 const SUB: u64 = 1 << SUB_BITS;
 /// Total buckets needed to cover `0..=u64::MAX`.
 const NBUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+/// Raw samples held before spilling to the dense bucket table.
+const SPILL: usize = 128;
 
 /// Index of the bucket containing `v`.
 #[inline]
@@ -46,10 +56,17 @@ fn bucket_high(idx: usize) -> u64 {
     low + ((1u64 << shift) - 1)
 }
 
+/// Sample storage: raw values until [`SPILL`], dense buckets after.
+#[derive(Debug, Clone)]
+enum Rep {
+    Small(Vec<u64>),
+    Dense(Box<[u64; NBUCKETS]>),
+}
+
 /// A mergeable log-linear histogram of virtual-time latencies.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct LatencyHist {
-    counts: Box<[u64; NBUCKETS]>,
+    rep: Rep,
     total: u64,
     sum: u128,
     max: u64,
@@ -62,10 +79,10 @@ impl Default for LatencyHist {
 }
 
 impl LatencyHist {
-    /// An empty histogram.
+    /// An empty histogram. Allocation-free until the first sample.
     pub fn new() -> Self {
         LatencyHist {
-            counts: Box::new([0; NBUCKETS]),
+            rep: Rep::Small(Vec::new()),
             total: 0,
             sum: 0,
             max: 0,
@@ -75,10 +92,32 @@ impl LatencyHist {
     /// Record one latency sample (ns).
     #[inline]
     pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
         self.total += 1;
         self.sum += u128::from(v);
         self.max = self.max.max(v);
+        match &mut self.rep {
+            Rep::Dense(counts) => counts[bucket_of(v)] += 1,
+            Rep::Small(vals) if vals.len() < SPILL => vals.push(v),
+            Rep::Small(_) => {
+                let counts = self.spill();
+                counts[bucket_of(v)] += 1;
+            }
+        }
+    }
+
+    /// Rebucket the raw-sample list into the dense table and return it.
+    fn spill(&mut self) -> &mut [u64; NBUCKETS] {
+        if let Rep::Small(vals) = &self.rep {
+            let mut counts = Box::new([0u64; NBUCKETS]);
+            for &v in vals {
+                counts[bucket_of(v)] += 1;
+            }
+            self.rep = Rep::Dense(counts);
+        }
+        match &mut self.rep {
+            Rep::Dense(counts) => counts,
+            Rep::Small(_) => unreachable!("just spilled"),
+        }
     }
 
     /// Number of recorded samples.
@@ -112,26 +151,89 @@ impl LatencyHist {
         }
         let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_high(i).min(self.max);
+        match &self.rep {
+            Rep::Dense(counts) => {
+                let mut seen = 0u64;
+                for (i, &c) in counts.iter().enumerate() {
+                    seen += c;
+                    if seen >= rank {
+                        return bucket_high(i).min(self.max);
+                    }
+                }
+                self.max
+            }
+            Rep::Small(vals) => {
+                // The rank-th smallest bucket — exactly the bucket the
+                // dense cumulative walk would stop in.
+                let mut idxs: Vec<usize> = vals.iter().map(|&v| bucket_of(v)).collect();
+                idxs.sort_unstable();
+                bucket_high(idxs[rank as usize - 1]).min(self.max)
             }
         }
-        self.max
     }
 
     /// Fold another histogram into this one (bucket-wise).
     pub fn merge(&mut self, other: &LatencyHist) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
         self.total += other.total;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+        match (&mut self.rep, &other.rep) {
+            (Rep::Small(a), Rep::Small(b)) if a.len() + b.len() <= SPILL => {
+                a.extend_from_slice(b);
+            }
+            (_, Rep::Small(b)) => {
+                let counts = self.spill();
+                for &v in b {
+                    counts[bucket_of(v)] += 1;
+                }
+            }
+            (_, Rep::Dense(other_counts)) => {
+                let counts = self.spill();
+                for (a, b) in counts.iter_mut().zip(other_counts.iter()) {
+                    *a += b;
+                }
+            }
+        }
+    }
+
+    /// `(bucket, count)` pairs with non-zero count, ascending — the
+    /// canonical form both representations reduce to.
+    fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        match &self.rep {
+            Rep::Dense(counts) => counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(i, &n)| (i, n))
+                .collect(),
+            Rep::Small(vals) => {
+                let mut idxs: Vec<usize> = vals.iter().map(|&v| bucket_of(v)).collect();
+                idxs.sort_unstable();
+                let mut out: Vec<(usize, u64)> = Vec::new();
+                for i in idxs {
+                    match out.last_mut() {
+                        Some(last) if last.0 == i => last.1 += 1,
+                        _ => out.push((i, 1)),
+                    }
+                }
+                out
+            }
+        }
     }
 }
+
+/// Equality is semantic — the recorded multiset of buckets — so a
+/// histogram that spilled compares equal to one that did not.
+impl PartialEq for LatencyHist {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+            && self.sum == other.sum
+            && self.max == other.max
+            && self.nonzero_buckets() == other.nonzero_buckets()
+    }
+}
+
+impl Eq for LatencyHist {}
 
 #[cfg(test)]
 mod tests {
@@ -218,6 +320,43 @@ mod tests {
         assert_eq!(a, whole);
     }
 
+    /// Spilling is invisible: a histogram pushed past [`SPILL`] answers
+    /// every query exactly as the same samples split across un-spilled
+    /// histograms and merged — and compares equal across representations.
+    #[test]
+    fn spill_is_representation_invisible() {
+        let n = SPILL + 37;
+        let mut spilled = LatencyHist::new();
+        let mut left = LatencyHist::new();
+        let mut right = LatencyHist::new();
+        for i in 0..n {
+            let v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20;
+            spilled.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        assert!(matches!(spilled.rep, Rep::Dense(_)), "must have spilled");
+        // Merging two small halves crosses SPILL and spills too; compare
+        // against a dense-from-the-start accumulator as well.
+        let mut dense = LatencyHist::new();
+        dense.spill();
+        dense.merge(&left);
+        dense.merge(&right);
+        left.merge(&right);
+        for h in [&left, &dense] {
+            assert_eq!(h, &spilled);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), spilled.quantile(q), "q={q}");
+            }
+            assert_eq!(h.mean(), spilled.mean());
+            assert_eq!(h.max(), spilled.max());
+            assert_eq!(h.count(), spilled.count());
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -235,7 +374,8 @@ mod tests {
         }
 
         /// Quantiles are monotone and bounded by the exact maximum:
-        /// p50 ≤ p99 ≤ p999 ≤ max.
+        /// p50 ≤ p99 ≤ p999 ≤ max. The 1..300 length range straddles
+        /// [`SPILL`], so both representations are exercised.
         #[test]
         fn quantiles_monotone(values in proptest::collection::vec(0u64..1_000_000_000_000, 1..300)) {
             let mut h = LatencyHist::new();
@@ -264,6 +404,22 @@ mod tests {
             let tol = exact / 32 + 1; // 2^-5 ≥ one part in 64 resolution, plus rounding
             prop_assert!(got + tol >= exact && got <= exact + tol,
                 "q={} got {} exact {}", q, got, exact);
+        }
+
+        /// Identical sample multisets compare equal and answer queries
+        /// identically whatever representation they ended up in.
+        #[test]
+        fn representations_agree(values in proptest::collection::vec(0u64..1_000_000_000, 1..200), qi in 0usize..4) {
+            let q = [0.25, 0.5, 0.99, 1.0][qi];
+            let mut small_side = LatencyHist::new();
+            let mut dense_side = LatencyHist::new();
+            dense_side.spill();
+            for &v in &values {
+                small_side.record(v);
+                dense_side.record(v);
+            }
+            prop_assert_eq!(&small_side, &dense_side);
+            prop_assert_eq!(small_side.quantile(q), dense_side.quantile(q));
         }
     }
 }

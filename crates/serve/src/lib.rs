@@ -128,28 +128,33 @@ pub struct PeOut {
     issued: u64,
     completed: u64,
     failed: u64,
-    shard_counts: Vec<u64>,
+    shard_counts: Vec<(u32, u64)>,
     hist: LatencyHist,
 }
 
 /// Per-PE client-side bookkeeping shared by the three implementations.
+///
+/// `shard_counts` is sparse — `(shard, count)` pairs in first-hit order.
+/// A client touches at most `min(P, its requests)` distinct shards, a
+/// handful at P = 1024, where a dense per-PE vector would cost O(P²)
+/// zeroing and merging across the team for a few requests each.
 pub(crate) struct ClientLog {
     checksum: u64,
     issued: u64,
     completed: u64,
     failed: u64,
-    shard_counts: Vec<u64>,
+    shard_counts: Vec<(u32, u64)>,
     hist: LatencyHist,
 }
 
 impl ClientLog {
-    pub(crate) fn new(pes: usize) -> Self {
+    pub(crate) fn new(_pes: usize) -> Self {
         ClientLog {
             checksum: 0,
             issued: 0,
             completed: 0,
             failed: 0,
-            shard_counts: vec![0; pes],
+            shard_counts: Vec::new(),
             hist: LatencyHist::new(),
         }
     }
@@ -164,7 +169,14 @@ impl ClientLog {
         cfg: &ServeConfig,
     ) -> bool {
         self.issued += 1;
-        self.shard_counts[owner] += 1;
+        match self
+            .shard_counts
+            .iter_mut()
+            .find(|entry| entry.0 == owner as u32)
+        {
+            Some(entry) => entry.1 += 1,
+            None => self.shard_counts.push((owner as u32, 1)),
+        }
         if let Some(d) = cfg.deadline_ns {
             if now.saturating_sub(req.arrival) > d {
                 self.failed += 1;
@@ -273,8 +285,8 @@ pub(crate) fn finish(model: Model, cfg: &ServeConfig, run: &TeamRun<PeOut>) -> R
         completed += r.completed;
         failed += r.failed;
         checksum = checksum.wrapping_add(r.checksum);
-        for (a, b) in shard_counts.iter_mut().zip(&r.shard_counts) {
-            *a += b;
+        for &(shard, n) in &r.shard_counts {
+            shard_counts[shard as usize] += n;
         }
     }
     debug_assert_eq!(issued, completed + failed, "request conservation");

@@ -248,7 +248,9 @@ impl<T: Element> SymSlice<T> {
         }
         let bytes = data.len() * T::BYTES;
         let hops = self.machine.hops_between(ctx.pe(), target_pe);
-        let net_delay = ctx.net_delay_to_pe(target_pe, bytes);
+        let mut run = ctx.charge_run();
+        ctx.charge_to_pe(&mut run, target_pe, bytes);
+        let net_delay = ctx.flush_charge(run);
         ctx.advance_traced(
             cost::put(&self.machine.config, bytes, hops) + net_delay,
             TimeCat::Remote,
@@ -274,7 +276,9 @@ impl<T: Element> SymSlice<T> {
         // in that direction (the request hop rides the same links). Under
         // ContentionMode::Fabric the remote hub — where SHMEM pays its
         // contention in the paper — arbitrates the transfer too.
-        let net_delay = ctx.net_delay_to_pe(source_pe, bytes);
+        let mut run = ctx.charge_run();
+        ctx.charge_to_pe(&mut run, source_pe, bytes);
+        let net_delay = ctx.flush_charge(run);
         ctx.advance_traced(
             cost::get(&self.machine.config, bytes, hops) + net_delay,
             TimeCat::Remote,
@@ -357,7 +361,9 @@ impl<T: Element> SymSlice<T> {
         let depth = u64::from(self.machine.topology.tree_depth());
         // The binomial tree is rooted at the root PE's node: model the
         // fan-out contention at that funnel.
-        let net_delay = ctx.net_delay_to_node(self.machine.topology.node_of(root), bytes);
+        let mut run = ctx.charge_run();
+        run.to_node(self.machine.topology.node_of(root), bytes);
+        let net_delay = ctx.flush_charge(run);
         ctx.advance_traced(
             depth * per_level + net_delay,
             TimeCat::Remote,
@@ -406,7 +412,9 @@ impl<T: IntElement> SymSlice<T> {
 
     fn charge_amo(&self, ctx: &mut Ctx, target_pe: usize) {
         let hops = self.machine.hops_between(ctx.pe(), target_pe);
-        let net_delay = ctx.net_delay_to_pe(target_pe, T::BYTES);
+        let mut run = ctx.charge_run();
+        ctx.charge_to_pe(&mut run, target_pe, T::BYTES);
+        let net_delay = ctx.flush_charge(run);
         ctx.advance_traced(
             cost::amo(&self.machine.config, hops) + net_delay,
             TimeCat::Remote,
@@ -725,7 +733,9 @@ impl<T: Element> SymSlice<T> {
         let per_round = cost::put(&self.machine.config, bytes, hops);
         // All-to-all reduction trees funnel through node 0 in our cost
         // model; charge that link's queueing under contention.
-        let net_delay = ctx.net_delay_to_node(0, bytes);
+        let mut run = ctx.charge_run();
+        run.to_node(0, bytes);
+        let net_delay = ctx.flush_charge(run);
         ctx.advance_traced(
             depth * per_round + net_delay,
             TimeCat::Remote,

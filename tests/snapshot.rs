@@ -199,6 +199,56 @@ fn snapshots_are_portable_across_execution_backends() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The fabric's structure-of-arrays resource table must round-trip
+/// through the snapshot codec exactly: drive mid-run traffic (scalar
+/// routes, a vectored charge run, a phase boundary), export, import into
+/// a fresh fabric, and the restored table must re-export byte-identical
+/// and answer every read-side query (stats, hotspots, per-phase reports)
+/// identically.
+#[test]
+fn soa_fabric_state_round_trips_bitwise_mid_run() {
+    use origin2k::machine::Topology;
+    use origin2k::parallel::NetSim;
+    let topo = Topology::new(16, 2);
+    let cfg = MachineConfig::origin2000();
+    let net = NetSim::new(&topo, &cfg);
+    let mut t = 0u64;
+    net.begin_phase("warm");
+    for i in 0..200usize {
+        t += 40;
+        let src = i % 8;
+        let dst = (src + 3) % 8;
+        net.route((src * 2) as u32, src, dst, 256, t);
+    }
+    net.begin_phase("hot");
+    for i in 0..100usize {
+        t += 40;
+        let src = i % 8;
+        // A fill + invalidation-sweep shaped vectored charge.
+        let items: Vec<(usize, usize)> = (1..5).map(|d| ((src + d) % 8, 64)).collect();
+        net.try_route_many((src * 2) as u32, src, &items, t, true, 0)
+            .expect("healthy fabric");
+    }
+    let bytes = net.export_state_bytes();
+    let fresh = NetSim::new(&topo, &cfg);
+    fresh
+        .import_state_bytes(&bytes)
+        .expect("same-shape fabric import");
+    assert_eq!(
+        fresh.export_state_bytes(),
+        bytes,
+        "import → export must be the identity on the SoA table"
+    );
+    assert_eq!(fresh.stats(), net.stats(), "restored NetStats");
+    assert_eq!(fresh.hotspots(8), net.hotspots(8), "restored hotspot rows");
+    // And the restored fabric keeps evolving identically: one more
+    // vectored charge on each must agree delay-for-delay.
+    let items = [(5usize, 128usize), (6, 128), (7, 128)];
+    let a = net.try_route_many(2, 1, &items, t + 40, true, 0).unwrap();
+    let b = fresh.try_route_many(2, 1, &items, t + 40, true, 0).unwrap();
+    assert_eq!(a, b, "post-restore charging must continue bitwise");
+}
+
 // ------------------------------------------------- property tests
 
 mod properties {
